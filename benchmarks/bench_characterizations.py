@@ -1,0 +1,32 @@
+"""The eight characterizations (paper §5) evaluated on the full sweep.
+
+This is the paper's central deliverable; the benchmark regenerates the
+pass/fail table with quantitative evidence and times the evaluation.
+"""
+
+from repro.experiments.characterizations import run_characterizations
+from repro.experiments.expectations import check_all
+
+from conftest import emit
+
+
+def test_characterizations_regenerate(benchmark, paper_results):
+    results = benchmark(run_characterizations, paper_results)
+    lines = ["Paper characterizations vs. simulated testbed:"]
+    for c in results:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{status}] C{c.cid}: {c.title}")
+        lines.append(f"       {c.evidence}")
+    emit("characterizations", "\n".join(lines))
+    assert all(c.passed for c in results)
+
+
+def test_figure_expectations_regenerate(paper_results):
+    expectations = check_all(paper_results)
+    lines = ["Figure-level expectations vs. simulated testbed:"]
+    for e in expectations:
+        status = "PASS" if e.passed else "FAIL"
+        lines.append(f"[{status}] {e.source}: {e.name}")
+        lines.append(f"       {e.detail}")
+    emit("expectations", "\n".join(lines))
+    assert all(e.passed for e in expectations)

@@ -1,0 +1,81 @@
+"""Counting-engine throughput: the substrate the characterizations ride on.
+
+Benchmarks the three counting tiers on the paper's full database —
+the O(n) n-gram path (all 650 level-2 episodes at once), the
+subsequence vector sweep, and the scalar GMiner-style baseline — and
+reports the serial baseline's chars/sec for context (paper §1's
+motivation: single-CPU mining is the bottleneck).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch, count_batch_reference
+from repro.mining.gminer_ref import SerialMiner
+from repro.mining.policies import MatchPolicy
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def level2(paper_db):
+    return tuple(generate_level(UPPERCASE, 2))
+
+
+def test_ngram_batch_throughput_level2(benchmark, paper_db, level2):
+    """All 650 level-2 episodes in one O(n) pass over 393,019 symbols."""
+    counts = benchmark(count_batch, paper_db, list(level2), 26)
+    assert counts.shape == (650,)
+    assert counts.sum() > 0
+
+
+def test_ngram_batch_throughput_level3(benchmark, paper_db):
+    eps = generate_level(UPPERCASE, 3)
+    counts = benchmark(count_batch, paper_db, eps, 26)
+    assert counts.shape == (15_600,)
+
+
+def test_subsequence_sweep_throughput(benchmark, paper_db, level2):
+    """Vector FSM sweep on a 20k slice (the policy the spike examples use)."""
+    db = paper_db[:20_000]
+    counts = benchmark(
+        count_batch, db, list(level2[:64]), 26, MatchPolicy.SUBSEQUENCE
+    )
+    assert counts.shape == (64,)
+
+
+def test_serial_baseline_throughput(benchmark, paper_db, level2):
+    """The GMiner-like scalar baseline, on a slice (it is deliberately slow)."""
+    db = paper_db[:4_000]
+    eps = list(level2[:8])
+
+    counts = benchmark(count_batch_reference, db, eps, 26)
+    assert counts.shape == (8,)
+
+
+def test_baseline_vs_vectorized_report(paper_db, level2):
+    """Report the speedup of the vectorized engine over the serial
+    baseline — the CPU-side analogue of the paper's GPU motivation."""
+    import time
+
+    db = paper_db[:8_000]
+    eps = list(level2[:16])
+    miner = SerialMiner(UPPERCASE, threshold=0.0)
+    t0 = time.perf_counter()
+    serial_counts = miner.count(db, eps)
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    fast_counts = count_batch(db, eps, 26)
+    fast_s = time.perf_counter() - t0
+    assert np.array_equal(serial_counts, fast_counts)
+    emit(
+        "counting_baseline",
+        "Serial (GMiner-like) vs vectorized counting on "
+        f"{db.size} chars x {len(eps)} episodes:\n"
+        f"  serial:     {serial_s * 1e3:9.2f} ms "
+        f"({miner.last_timing.chars_per_second:,.0f} episode-chars/s)\n"
+        f"  vectorized: {fast_s * 1e3:9.2f} ms "
+        f"(speedup {serial_s / max(fast_s, 1e-9):,.0f}x)",
+    )

@@ -1,0 +1,110 @@
+"""Extension benchmarks (paper §6 future-work directions, implemented).
+
+* Level scaling L=1..5 — "the effects of larger episodes (L >> 3)";
+* pipelined mining — "pipelining multiple phases of the overall algorithm";
+* dual-GPU 9800 GX2 — using both G92s the card carries;
+* the micro-benchmark suite — "a series of micro-benchmarks to discover
+  the underlying hardware and architectural features".
+"""
+
+import pytest
+
+from repro.gpu.multi import dual_gx2
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import GEFORCE_9800_GX2, GEFORCE_GTX_280, get_card
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.mining.pipeline import PipelinedMiner
+from repro.algos import MiningProblem
+from repro.algos.registry import get_algorithm
+from repro.experiments.extension_levels import level_scaling_experiment
+from repro.experiments.microbench import run_all_probes
+from repro.util.tables import format_series, format_table
+
+from conftest import emit
+
+
+def test_level_scaling_l1_to_l5(benchmark, paper_db):
+    points = benchmark(
+        level_scaling_experiment,
+        paper_db,
+        GEFORCE_GTX_280,
+        (1, 2, 3, 4, 5),
+        96,
+    )
+    rows = [
+        (
+            f"L{p.level}",
+            f"{p.episodes:,}",
+            f"Algo {p.algorithm}",
+            p.total_ms,
+            p.us_per_episode,
+        )
+        for p in points
+    ]
+    emit(
+        "extension_levels",
+        format_table(
+            ["level", "episodes", "algorithm", "total ms", "us/episode"],
+            rows,
+            title="Extension: level scaling to L=5 on GTX 280 (96 threads/block)",
+        ),
+    )
+    a1 = {p.level: p for p in points if p.algorithm == 1}
+    # §6's constant-time question answered: once the device saturates
+    # (L >= 3) the thread-level per-episode cost stays flat within ~1.5x
+    # out to L=5 — versus a 400x drop from the unsaturated L=1 regime
+    assert a1[5].us_per_episode <= 1.5 * a1[3].us_per_episode
+    assert a1[5].us_per_episode <= a1[2].us_per_episode / 10
+
+
+def test_pipelined_mining(benchmark, paper_db):
+    miner = PipelinedMiner(
+        GEFORCE_GTX_280, UPPERCASE, threshold=0.00001, max_level=3,
+        host_ms_per_candidate=0.002,
+    )
+    report = benchmark(miner.mine, paper_db[:100_000])
+    emit(
+        "extension_pipeline",
+        "Pipelined mining (levels 1-3, GTX 280):\n"
+        f"  kernels launched:     {report.kernels_launched}\n"
+        f"  device-serialized:    {report.serialized_ms:.2f} ms\n"
+        f"  host work hidden:     {report.host_ms_hidden:.2f} ms\n"
+        f"  concurrent-kernel bound: {report.overlapped_ms:.2f} ms "
+        f"(ceiling speedup {report.overlap_speedup:.2f}x)",
+    )
+    assert report.kernels_launched == 3
+
+
+def test_dual_gx2(benchmark, paper_db):
+    eps = tuple(generate_level(UPPERCASE, 2))
+    problem = MiningProblem(paper_db, eps, 26)
+    multi = dual_gx2()
+    result = benchmark(multi.launch, problem, 3, 64)
+    single = GpuSimulator(GEFORCE_9800_GX2).time_only(
+        get_algorithm(3)(problem, threads_per_block=64)
+    )
+    gtx = GpuSimulator(GEFORCE_GTX_280).time_only(
+        get_algorithm(3)(problem, threads_per_block=64)
+    )
+    emit(
+        "extension_dual_gpu",
+        "Dual-GPU 9800 GX2 (both G92s) vs single devices, Algo3/L2 @64:\n"
+        f"  single 9800 GX2 GPU:  {single.total_ms:8.2f} ms\n"
+        f"  dual   9800 GX2:      {result.total_ms:8.2f} ms "
+        f"(speedup {single.total_ms / result.total_ms:.2f}x)\n"
+        f"  GTX 280:              {gtx.total_ms:8.2f} ms",
+    )
+    assert result.total_ms < single.total_ms
+
+
+def test_microbenchmark_suite(benchmark):
+    device = get_card("GTX280")
+    probes = benchmark(run_all_probes, device)
+    lines = [f"Micro-benchmark suite on {device.name} (paper §6):"]
+    for p in probes:
+        lines.append(format_series(p.name, p.xs, p.ys))
+        for key, value in p.derived.items():
+            lines.append(f"    {key} = {value:.3f}")
+    emit("extension_microbench", "\n".join(lines))
+    assert len(probes) == 4

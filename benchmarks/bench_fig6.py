@@ -1,0 +1,53 @@
+"""Fig. 6: impact of problem size on the GTX 280 (time relative to level 1).
+
+Regenerates the four panels (one per algorithm) and checks their
+headline shapes: thread-level ratios stay near 1 (Characterization 1),
+block-level ratios blow up with level and thread count
+(Characterization 3).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig6_spec, run_figure
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def rendered(paper_results):
+    return run_figure(fig6_spec(), paper_results)
+
+
+def test_fig6_regenerate(rendered, benchmark, paper_results):
+    emit("fig6", rendered.render_text(y_fmt="{:.2f}"))
+    assert len(rendered.panels) == 4
+    benchmark(run_figure, fig6_spec(), paper_results)
+
+
+@pytest.mark.parametrize(
+    "panel_id,algo,level3_cap",
+    [("a", 1, 4.0), ("b", 2, 30.0)],
+)
+def test_thread_level_ratios_stay_small(rendered, panel_id, algo, level3_cap):
+    """Paper Fig. 6(a)/(b): level-3/level-1 stays within a small factor
+    for t >= 64 (the constant-time-per-episode regime)."""
+    panel = rendered.panel(panel_id)
+    l3 = next(s for s in panel.series if s.name == "Level3")
+    capped = [y for x, y in zip(l3.xs, l3.ys) if x >= 64]
+    assert max(capped) <= level3_cap
+
+
+@pytest.mark.parametrize("panel_id,algo", [("c", 3), ("d", 4)])
+def test_block_level_ratios_blow_up(rendered, panel_id, algo):
+    """Paper Fig. 6(c)/(d): level 3 runs hundreds of times level 1."""
+    panel = rendered.panel(panel_id)
+    l3 = next(s for s in panel.series if s.name == "Level3")
+    assert max(l3.ys) >= 50.0
+    # and the ratio grows toward large blocks (C3)
+    assert l3.ys[-1] > l3.ys[0]
+
+
+def test_level1_baseline_is_unity(rendered):
+    for panel in rendered.panels:
+        l1 = next(s for s in panel.series if s.name == "Level1")
+        assert all(abs(y - 1.0) < 1e-9 for y in l1.ys)

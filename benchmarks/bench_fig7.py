@@ -1,0 +1,67 @@
+"""Fig. 7: impact of algorithm on the GTX 280, one panel per level.
+
+Regenerates the three panels and asserts the paper's §5.2
+characterizations: block-level dominates L1 (C4, Algo 4 sub-ms),
+Algorithm 3 at 64 threads rules L2 with the Algo-4 crossover near 240
+(C5), and thread-level dominates L3 (C6).  Benchmarks one modeled
+kernel-timing evaluation per algorithm.
+"""
+
+import pytest
+
+from repro.experiments.figures import fig7_spec, run_figure
+from repro.algos.registry import get_algorithm
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import get_card
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def rendered(paper_results):
+    return run_figure(fig7_spec(), paper_results)
+
+
+def test_fig7_regenerate(rendered, benchmark, paper_results):
+    emit("fig7", rendered.render_text(y_fmt="{:.2f}"))
+    benchmark(run_figure, fig7_spec(), paper_results)
+
+
+def test_panel_a_block_level_dominates_l1(rendered):
+    panel = rendered.panel("a")
+    series = {s.name: s for s in panel.series}
+    thread_best = min(series["Algorithm1"].y_min, series["Algorithm2"].y_min)
+    block_best = min(series["Algorithm3"].y_min, series["Algorithm4"].y_min)
+    assert thread_best >= 10 * block_best  # orders of magnitude (C4)
+    assert series["Algorithm4"].y_min < 1.0  # sub-millisecond (C4)
+
+
+def test_panel_b_algo3_at_64_rules_l2(rendered):
+    panel = rendered.panel("b")
+    series = {s.name: s for s in panel.series}
+    s3, s4 = series["Algorithm3"], series["Algorithm4"]
+    assert s3.argmin_x <= 96  # optimum at small blocks (paper: 64)
+    assert s4.y_min >= s3.y_min  # algo4 never beats algo3's optimum
+    crossover = next(
+        (x for x, y3, y4 in zip(s3.xs, s3.ys, s4.ys) if x >= 128 and y4 < y3),
+        None,
+    )
+    assert crossover is not None and 128 <= crossover <= 384  # paper: ~240
+
+
+def test_panel_c_thread_level_rules_l3(rendered):
+    panel = rendered.panel("c")
+    series = {s.name: s for s in panel.series}
+    thread_best = min(series["Algorithm1"].y_min, series["Algorithm2"].y_min)
+    block_best = min(series["Algorithm3"].y_min, series["Algorithm4"].y_min)
+    assert thread_best * 2 <= block_best  # C6
+
+
+@pytest.mark.parametrize("algo", [1, 2, 3, 4])
+def test_kernel_timing_evaluation(benchmark, harness, algo):
+    """Benchmark one analytic-model evaluation (the harness hot path)."""
+    problem = harness.problem(2)
+    sim = GpuSimulator(get_card("GTX280"))
+    kernel = get_algorithm(algo)(problem, threads_per_block=128)
+    report = benchmark(sim.time_only, kernel)
+    assert report.total_ms > 0

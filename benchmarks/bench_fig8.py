@@ -1,0 +1,56 @@
+"""Fig. 8: impact of card.
+
+Panel (a): Algorithm 1 / Level 2 — thread-level time orders by shader
+clock, the 1625 MHz 8800 GTS 512 fastest (Characterization 7).
+Panel (b): Algorithm 3 / Level 1 — block-level time orders by memory
+bandwidth, the 141.7 GB/s GTX 280 fastest (Characterization 8).
+"""
+
+import pytest
+
+from repro.experiments.figures import fig8_spec, run_figure
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def rendered(paper_results):
+    return run_figure(fig8_spec(), paper_results)
+
+
+def test_fig8_regenerate(rendered, benchmark, paper_results):
+    emit("fig8", rendered.render_text(y_fmt="{:.2f}"))
+    benchmark(run_figure, fig8_spec(), paper_results)
+
+
+def test_panel_a_clock_ordering(rendered):
+    panel = rendered.panel("a")
+    mids = {s.name: s.ys[len(s.ys) // 2] for s in panel.series}
+    assert mids["8800GTS512"] < mids["9800GX2"] < mids["GTX280"]
+
+
+def test_panel_a_clock_proportionality(rendered):
+    """time x clock is near-constant across cards (latency-bound in
+    cycles -> wall time scales with 1/frequency)."""
+    clocks = {"8800GTS512": 1625.0, "9800GX2": 1500.0, "GTX280": 1296.0}
+    panel = rendered.panel("a")
+    products = [
+        s.ys[len(s.ys) // 2] * clocks[s.name] for s in panel.series
+    ]
+    assert max(products) / min(products) < 1.25
+
+
+def test_panel_b_bandwidth_ordering(rendered):
+    panel = rendered.panel("b")
+    series = {s.name: s for s in panel.series}
+    gtx_worst = series["GTX280"].y_max
+    for g92 in ("8800GTS512", "9800GX2"):
+        assert series[g92].y_min > gtx_worst
+
+
+def test_panel_b_g92_rises_with_threads(rendered):
+    panel = rendered.panel("b")
+    for name in ("8800GTS512", "9800GX2"):
+        s = next(s for s in panel.series if s.name == name)
+        y64 = s.at(64)
+        assert s.ys[-1] > y64

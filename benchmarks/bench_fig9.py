@@ -1,0 +1,72 @@
+"""Fig. 9: the full appendix grid — all 12 panels (4 algorithms x 3
+levels, three cards each).
+
+Regenerates every panel and benchmarks the full sweep the figure
+requires.  Panel-level assertions cover the appendix's card orderings.
+"""
+
+import pytest
+
+from repro.experiments import Harness, SweepConfig
+from repro.experiments.figures import fig9_spec, run_figure
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def rendered(paper_results):
+    return run_figure(fig9_spec(), paper_results)
+
+
+def test_fig9_regenerate(rendered):
+    emit("fig9", rendered.render_text(y_fmt="{:.2f}"))
+    assert len(rendered.panels) == 12
+
+
+def test_full_sweep_benchmark(benchmark):
+    """Benchmark the whole experiment grid at a coarse thread sweep."""
+    config = SweepConfig(threads=(64, 128, 256, 512))
+
+    def run_sweep():
+        return Harness(config).run()
+
+    results = benchmark(run_sweep)
+    assert len(results) == config.n_points
+
+
+def test_appendix_thread_level_panels_order_by_clock(rendered):
+    """Panels (a)-(c): Algorithm 1 is fastest on the highest-clocked
+    G92 at every level for small/medium problems (appendix statement:
+    the GTX 280 takes over only at level 3)."""
+    for pid in ("a", "b"):
+        panel = rendered.panel(pid)
+        mids = {s.name: s.ys[len(s.ys) // 2] for s in panel.series}
+        assert mids["8800GTS512"] < mids["GTX280"], pid
+
+
+def test_appendix_gtx_wins_algo1_level3_at_scale(rendered):
+    """'the 30 core 280 GTX outperforms the 16 cored 9800GX2 and the
+    8800GTS512 for nearly all thread counts' (appendix note on L3)."""
+    panel = rendered.panel("c")
+    series = {s.name: s for s in panel.series}
+    wins = sum(
+        1
+        for y_gtx, y_g92 in zip(series["GTX280"].ys, series["8800GTS512"].ys)
+        if y_gtx < y_g92
+    )
+    assert wins >= len(series["GTX280"].ys) * 0.6
+
+
+def test_appendix_block_level_panels_favor_gtx(rendered):
+    """Panels (g)-(i): Algorithm 3's divergent texture streams favor the
+    GT200 at every level."""
+    for pid in ("g", "h", "i"):
+        panel = rendered.panel(pid)
+        series = {s.name: s for s in panel.series}
+        assert series["GTX280"].y_min < series["8800GTS512"].y_min, pid
+
+
+def test_appendix_buffered_block_sub_ms_panel_j(rendered):
+    panel = rendered.panel("j")
+    best = min(s.y_min for s in panel.series)
+    assert best < 1.0

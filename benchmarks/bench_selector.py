@@ -1,0 +1,63 @@
+"""Adaptive selection (paper §7's dynamic-adaptation conclusion).
+
+Regenerates the per-level optimal configurations the paper's conclusion
+lists and benchmarks the selection sweep itself.
+"""
+
+import pytest
+
+from repro.algos import AdaptiveSelector, MiningProblem
+from repro.gpu.specs import get_card
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.util.tables import format_table
+
+from conftest import emit
+
+
+@pytest.fixture(scope="module")
+def problems(paper_db):
+    return {
+        level: MiningProblem(
+            paper_db, tuple(generate_level(UPPERCASE, level)), UPPERCASE.size
+        )
+        for level in (1, 2, 3)
+    }
+
+
+def test_selector_regenerates_paper_conclusions(problems):
+    selector = AdaptiveSelector(get_card("GTX280"))
+    rows = []
+    choices = {}
+    for level, problem in problems.items():
+        choice = selector.select(problem)
+        choices[level] = choice
+        rows.append(
+            (
+                f"Level {level}",
+                problem.n_episodes,
+                f"Algorithm {choice.algorithm_id}",
+                choice.threads_per_block,
+                choice.best_ms,
+            )
+        )
+    emit(
+        "selector",
+        format_table(
+            ["problem", "episodes", "best algorithm", "threads", "modeled ms"],
+            rows,
+            title="Optimal (algorithm, threads) per level on GTX 280 "
+            "(paper §7 conclusions)",
+        ),
+    )
+    # §7: L1 -> blocks + buffering; L2 -> blocks of ~64 without buffering;
+    # L3 -> thread-level
+    assert choices[1].algorithm_id == 4
+    assert choices[2].algorithm_id == 3 and choices[2].threads_per_block <= 96
+    assert choices[3].algorithm_id in (1, 2)
+
+
+def test_selection_sweep_speed(benchmark, problems):
+    selector = AdaptiveSelector(get_card("GTX280"))
+    choice = benchmark(selector.select, problems[2])
+    assert choice.best_ms > 0

@@ -1,0 +1,26 @@
+"""Table 1: potential number of episodes with length L (paper §3.1).
+
+Regenerates the combinatorial table and benchmarks the candidate
+generator at the paper's largest evaluated level (15,600 episodes).
+"""
+
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import count_candidates, generate_level
+from repro.experiments.tables import render_table1
+
+from conftest import emit
+
+
+def test_table1_regenerate(benchmark):
+    text = render_table1(alphabet_size=26, max_level=6)
+    emit("table1", text)
+    # paper §5 evaluation sizes
+    assert count_candidates(26, 1) == 26
+    assert count_candidates(26, 2) == 650
+    assert count_candidates(26, 3) == 15_600
+    benchmark(render_table1, 26, 6)
+
+
+def test_level3_candidate_generation(benchmark):
+    episodes = benchmark(generate_level, UPPERCASE, 3)
+    assert len(episodes) == 15_600

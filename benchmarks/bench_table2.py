@@ -1,0 +1,37 @@
+"""Table 2: architectural features of the three cards (paper §4).
+
+Echoes the spec registry and benchmarks the occupancy calculator the
+timing model consults at every sweep point.
+"""
+
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.occupancy import OccupancyCalculator
+from repro.gpu.specs import CARD_REGISTRY, GEFORCE_GTX_280
+from repro.experiments.tables import render_table2
+
+from conftest import emit
+
+
+def test_table2_regenerate(benchmark):
+    text = render_table2()
+    emit("table2", text)
+    assert "141.7" in text and "57.6" in text
+    benchmark(render_table2)
+
+
+def test_occupancy_calculation(benchmark):
+    calc = OccupancyCalculator(GEFORCE_GTX_280)
+    config = LaunchConfig(grid=Dim3(650), block=Dim3(128))
+
+    result = benchmark(calc.blocks_per_sm, config)
+    assert result.blocks_per_sm == 8
+
+
+def test_derived_limits_match_paper_statements():
+    """§4.2.1: two 512-thread blocks cannot share a G92 multiprocessor;
+    §5.2.3: GTX 280 holds 30,720 active threads."""
+    g92 = CARD_REGISTRY["8800GTS512"]
+    calc = OccupancyCalculator(g92)
+    res = calc.blocks_per_sm(LaunchConfig(grid=Dim3(2), block=Dim3(512)))
+    assert res.blocks_per_sm == 1
+    assert CARD_REGISTRY["GTX280"].max_resident_threads == 30_720

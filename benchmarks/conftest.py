@@ -1,0 +1,47 @@
+"""Shared fixtures for the benchmark harness.
+
+The full paper sweep (3 cards x 4 algorithms x 3 levels x 32 thread
+counts at the 393,019-symbol database size) is computed once per session
+and shared by every figure benchmark.  Rendered tables/series are both
+printed and persisted under ``benchmarks/results/`` so the regenerated
+paper artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered artifact and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def paper_db():
+    from repro.data.synthetic import paper_database
+
+    return paper_database()
+
+
+@pytest.fixture(scope="session")
+def harness():
+    from repro.experiments import Harness, SweepConfig
+
+    return Harness(SweepConfig(threads=tuple(range(16, 513, 16))))
+
+
+@pytest.fixture(scope="session")
+def paper_results(harness):
+    return harness.run()

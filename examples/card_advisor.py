@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Card advisor: which GPU and configuration for *your* problem?
+
+The paper's §5.3 frames the user question directly: "Some users may
+have a variety of hardware and wish to know which will return results
+the fastest, or still others may wish to determine the optimal card for
+their problem when considering a new purchase."  This example runs the
+adaptive selector across all three cards for each problem size and
+prints a purchasing/configuration guide — reproducing the paper's
+punchline that the *oldest* card wins small problems while the GTX 280
+wins large ones.
+
+Run:  python examples/card_advisor.py
+"""
+
+from repro import AdaptiveSelector, MiningProblem, UPPERCASE, list_cards, get_card
+from repro.data import paper_database
+from repro.mining.candidates import generate_level
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    db = paper_database()
+    rows = []
+    winners = {}
+    for level in (1, 2, 3):
+        episodes = tuple(generate_level(UPPERCASE, level))
+        problem = MiningProblem(db, episodes, UPPERCASE.size)
+        best_card = None
+        for card_name in list_cards():
+            selector = AdaptiveSelector(get_card(card_name))
+            choice = selector.select(problem)
+            rows.append(
+                (
+                    f"L{level} ({len(episodes)} eps)",
+                    card_name,
+                    f"Algorithm {choice.algorithm_id}",
+                    choice.threads_per_block,
+                    choice.best_ms,
+                )
+            )
+            if best_card is None or choice.best_ms < best_card[1]:
+                best_card = (card_name, choice.best_ms)
+        winners[level] = best_card
+
+    print(
+        format_table(
+            ["problem", "card", "best algorithm", "threads/block", "modeled ms"],
+            rows,
+            title="Optimal configuration per (problem size, card)",
+        )
+    )
+    print("\nrecommendations:")
+    for level, (card, ms) in winners.items():
+        print(f"  level {level}: buy/use {card} ({ms:.2f} ms at its best config)")
+    print(
+        "\npaper §7: 'the best execution time for large problem sizes always "
+        "occurs on the newest generation ... What is surprising however, is "
+        "that the oldest card we tested was consistently the fastest for "
+        "small problem sizes.'"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Tour of the paper's eight characterizations on the simulated testbed.
+
+Runs the full Fig. 9 sweep (3 cards x 4 algorithms x 3 levels x thread
+counts), evaluates the paper's eight performance characterizations
+(§5.1-§5.3) against the model, and renders Fig. 7's panels as ASCII
+series so the shapes are visible in a terminal.
+
+Run:  python examples/characterization_tour.py
+"""
+
+from repro.experiments import (
+    Harness,
+    SweepConfig,
+    fig7_spec,
+    run_characterizations,
+    run_figure,
+)
+from repro.experiments.expectations import check_all
+
+
+def main() -> None:
+    config = SweepConfig(threads=tuple(range(16, 513, 16)))
+    print(f"running sweep: {config.n_points} configurations ...")
+    harness = Harness(config)
+    results = harness.run()
+
+    print("\n--- the eight characterizations ---")
+    for c in run_characterizations(results):
+        status = "PASS" if c.passed else "FAIL"
+        print(f"[{status}] C{c.cid}: {c.title}")
+        print(f"        {c.evidence}")
+
+    print("\n--- figure-level expectations ---")
+    for e in check_all(results):
+        status = "PASS" if e.passed else "FAIL"
+        print(f"[{status}] {e.source}: {e.name}")
+        print(f"        {e.detail}")
+
+    print()
+    rendered = run_figure(fig7_spec(), results)
+    print(rendered.render_text(y_fmt="{:.2f}"))
+
+    print("\n--- optimal configurations (paper §7) ---")
+    for level in (1, 2, 3):
+        best = results.best("GTX280", level)
+        print(
+            f"level {level}: Algorithm {best.algorithm} with {best.threads} "
+            f"threads/block -> {best.ms:.2f} ms "
+            f"(dominant: {best.dominant_phase}[{best.dominant_bound}])"
+        )
+
+
+if __name__ == "__main__":
+    main()

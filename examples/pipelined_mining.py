@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Pipelined mining (paper §6: pipelining multiple phases).
+
+Compares the classic serialized mining loop against the pipelined miner
+on the paper's database: counting kernels for consecutive levels queue
+back-to-back while host-side candidate generation overlaps device work,
+and the report shows the idealized concurrent-kernel ceiling that
+post-2009 hardware (Fermi onwards) would unlock.
+
+Run:  python examples/pipelined_mining.py
+"""
+
+import time
+
+from repro import PipelinedMiner, UPPERCASE, get_card
+from repro.data import paper_database
+from repro.mining.miner import FrequentEpisodeMiner
+
+
+def main() -> None:
+    db = paper_database()[:150_000]
+    threshold = 0.00001  # keep all three levels interesting
+
+    # classic loop (host generation serialized between kernels)
+    t0 = time.perf_counter()
+    classic = FrequentEpisodeMiner(
+        UPPERCASE, threshold, exhaustive_candidates=True, max_level=3
+    ).mine(db)
+    host_s = time.perf_counter() - t0
+    print(f"classic loop: {len(classic.all_frequent)} frequent episodes, "
+          f"{host_s * 1e3:.0f} ms host-side")
+
+    # pipelined loop on the simulated GTX 280
+    miner = PipelinedMiner(
+        get_card("GTX280"), UPPERCASE, threshold, max_level=3,
+        host_ms_per_candidate=0.002,
+    )
+    report = miner.mine(db)
+    print(f"\npipelined mining over {report.kernels_launched} kernels:")
+    print(f"  device-serialized timeline: {report.serialized_ms:9.2f} ms")
+    print(f"  host work hidden:           {report.host_ms_hidden:9.2f} ms")
+    print(f"  concurrent-kernel ceiling:  {report.overlapped_ms:9.2f} ms "
+          f"({report.overlap_speedup:.2f}x if kernels could overlap)")
+
+    piped = report.result.all_frequent
+    assert piped == classic.all_frequent, "pipelined result must match classic"
+    print(f"\nresults identical to the classic loop "
+          f"({len(piped)} frequent episodes)")
+    for lvl in report.result.levels:
+        print(f"  level {lvl.level}: {lvl.n_candidates:,} candidates -> "
+              f"{lvl.n_frequent} frequent")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""The paper's four GPU mining algorithms plus the adaptive selector.
+
+Algorithms are the cartesian product of the parallelism dimension
+(thread-level: one thread per episode; block-level: one block per
+episode) and the data-access dimension (texture memory; shared-memory
+buffering) — paper §3.3 and Fig. 4.
+"""
+
+from repro.algos.base import MiningKernel, MiningProblem
+from repro.algos.thread_tex import ThreadTexKernel
+from repro.algos.thread_buf import ThreadBufKernel
+from repro.algos.block_tex import BlockTexKernel
+from repro.algos.block_buf import BlockBufKernel
+from repro.algos.registry import ALGORITHMS, get_algorithm, algorithm_names
+from repro.algos.selector import AdaptiveSelector, SelectionResult
+
+__all__ = [
+    "MiningKernel",
+    "MiningProblem",
+    "ThreadTexKernel",
+    "ThreadBufKernel",
+    "BlockTexKernel",
+    "BlockBufKernel",
+    "ALGORITHMS",
+    "get_algorithm",
+    "algorithm_names",
+    "AdaptiveSelector",
+    "SelectionResult",
+]

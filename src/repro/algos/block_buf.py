@@ -1,0 +1,109 @@
+"""Algorithm 4 — block-level parallelism with shared-memory buffering
+(paper §3.3.3).
+
+One block per episode, database staged chunk-by-chunk into shared
+memory; thread ``i`` always scans the same shared-memory window — "the
+data at those addresses will change as the buffer is updated".  The
+segment boundaries therefore recur *every chunk*, so the span fix-up
+runs per chunk and its cost scales with both the thread count and the
+episode length — why "Algorithm 4 [has] an almost constant slope when
+solving the problem size at Level 3" (Characterization 3).
+
+The reduce is cheap here: partial counts live in the same shared memory
+as the buffer, folded by a log2 tree with a single global atomic per
+block — which is what leaves Algorithm 4 sub-millisecond territory on
+small problems (Characterization 4).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.specs import DeviceSpecs
+from repro.gpu.trace import KernelTrace, Pattern, Phase, Space
+from repro.mining.spanning import count_segmented
+from repro.algos.base import MiningKernel
+
+
+class BlockBufKernel(MiningKernel):
+    """Paper Algorithm 4: one block per episode, buffered."""
+
+    name = "algo4-block-buf"
+    algorithm_id = 4
+    block_level = True
+    buffered = True
+
+    def execute(self, memory: DeviceMemory, config: LaunchConfig) -> np.ndarray:
+        p = self.problem
+        db = memory.global_mem.get(f"{self.name}/db")
+        memory.global_mem.counters.reads += p.n * config.total_blocks
+        t = config.threads_per_block
+        # Thread i's logical segment is the concatenation of its windows
+        # across chunks: [i*s, (i+1)*s) of chunk 0, then of chunk 1, ...
+        # which equals an interleaved partition of the database.  The
+        # span fix handles window boundaries within each chunk; chunk
+        # boundaries belong to adjacent windows of *different* chunks
+        # held by edge threads, handled the same way.  Functionally this
+        # equals segmenting the whole database into t*chunks windows.
+        n_segments = min(p.n, t * self.n_chunks)
+        seg = count_segmented(
+            db,
+            list(p.episodes),
+            p.alphabet_size,
+            n_segments=max(1, n_segments),
+            policy=p.policy,
+            fix_spanning=True,
+        )
+        return seg.totals
+
+    def build_trace(self, device: DeviceSpecs, config: LaunchConfig) -> KernelTrace:
+        card = self._card(device)
+        t = config.threads_per_block
+        level = self.problem.level
+        chunk = self.chunk_chars
+        chunks = self.n_chunks
+        load = Phase(
+            name="load",
+            # staged as 4-byte words so CC 1.1 half-warps coalesce
+            elements_per_thread=chunk / (4.0 * t),
+            instructions_per_element=self.costs.load_instructions,
+            chain_cycles_per_element=card.a4_load_chain,
+            space=Space.GLOBAL,
+            pattern=Pattern.COALESCED,
+            bytes_per_element=4.0,
+            repeats=float(chunks),
+            fixed_cycles_per_repeat=2.0 * self.costs.barrier_cycles,
+        )
+        scan = Phase(
+            name="scan",
+            elements_per_thread=chunk / t + max(0, level - 1),
+            instructions_per_element=self.costs.fsm_instructions_smem,
+            chain_cycles_per_element=card.smem_chain,
+            space=Space.SHARED,
+            pattern=Pattern.NONE,
+            repeats=float(chunks),
+        )
+        span = Phase(
+            name="span-fix",
+            serial_elements=float(t * max(0, level - 1)),
+            serial_cycles_per_element=self.costs.stitch_cycles_per_char,
+            repeats=float(chunks),  # boundaries recur every chunk
+        )
+        reduce = Phase(
+            name="reduce",
+            serial_elements=float(max(1, math.ceil(math.log2(max(2, t))))),
+            serial_cycles_per_element=self.costs.reduce_step_cycles,
+            atomics=1.0,  # single folded atomic per block
+        )
+        return KernelTrace(
+            kernel_name=self.name,
+            phases=(load, scan, span, reduce),
+            notes=(
+                f"{chunks} chunks of {chunk} B; span fix per chunk; "
+                "reduce=shared tree + one atomic"
+            ),
+        )

@@ -1,0 +1,38 @@
+"""Algorithm registry: number/name -> kernel class."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.algos.base import MiningKernel
+from repro.algos.thread_tex import ThreadTexKernel
+from repro.algos.thread_buf import ThreadBufKernel
+from repro.algos.block_tex import BlockTexKernel
+from repro.algos.block_buf import BlockBufKernel
+
+#: Keyed by the paper's algorithm number.
+ALGORITHMS: dict[int, type[MiningKernel]] = {
+    1: ThreadTexKernel,
+    2: ThreadBufKernel,
+    3: BlockTexKernel,
+    4: BlockBufKernel,
+}
+
+_BY_NAME = {cls.name: cls for cls in ALGORITHMS.values()}
+
+
+def get_algorithm(key: "int | str") -> type[MiningKernel]:
+    """Look up a kernel class by paper number (1-4) or kernel name."""
+    if isinstance(key, int):
+        try:
+            return ALGORITHMS[key]
+        except KeyError:
+            raise ConfigError(
+                f"unknown algorithm number {key}; the paper defines 1-4"
+            ) from None
+    if key in _BY_NAME:
+        return _BY_NAME[key]
+    raise ConfigError(f"unknown algorithm {key!r}; known: {sorted(_BY_NAME)}")
+
+
+def algorithm_names() -> list[str]:
+    return [cls.name for cls in ALGORITHMS.values()]

@@ -1,0 +1,93 @@
+"""Adaptive algorithm selection.
+
+The paper's conclusion: "a MapReduce-based implementation must
+dynamically adapt the type and level of parallelism in order to obtain
+the best performance" — episodes of length 1 want block-level buffered
+parallelism, length 2 wants block-level unbuffered at small blocks,
+length 3 wants thread-level.  :class:`AdaptiveSelector` operationalizes
+that: given a problem and a card, it sweeps the (algorithm x thread
+count) space with the timing model and returns the fastest
+configuration.  This is the paper's future-work auto-tuner, implemented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigError
+from repro.gpu.report import TimingReport
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import DeviceSpecs
+from repro.algos.base import MiningProblem
+from repro.algos.registry import ALGORITHMS
+
+#: The paper sweeps thread counts in this range (Figs. 6-9 x-axes).
+DEFAULT_THREAD_SWEEP: tuple[int, ...] = tuple(range(32, 513, 32))
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Winner of a selection sweep plus the full ranking."""
+
+    algorithm_id: int
+    threads_per_block: int
+    report: TimingReport
+    ranking: tuple[tuple[int, int, float], ...]  # (algo, threads, ms) sorted
+
+    @property
+    def best_ms(self) -> float:
+        return self.report.total_ms
+
+    def best_for_algorithm(self, algorithm_id: int) -> tuple[int, float]:
+        """Best (threads, ms) for one algorithm within the sweep."""
+        entries = [r for r in self.ranking if r[0] == algorithm_id]
+        if not entries:
+            raise ConfigError(f"algorithm {algorithm_id} not in sweep")
+        _, threads, ms = min(entries, key=lambda r: r[2])
+        return threads, ms
+
+
+class AdaptiveSelector:
+    """Model-driven (algorithm, thread-count) auto-tuner for one device."""
+
+    def __init__(
+        self,
+        device: DeviceSpecs,
+        thread_sweep: Sequence[int] = DEFAULT_THREAD_SWEEP,
+        algorithms: Iterable[int] = (1, 2, 3, 4),
+    ) -> None:
+        if not thread_sweep:
+            raise ConfigError("thread sweep must not be empty")
+        self.device = device
+        self.thread_sweep = tuple(thread_sweep)
+        self.algorithms = tuple(algorithms)
+        for a in self.algorithms:
+            if a not in ALGORITHMS:
+                raise ConfigError(f"unknown algorithm {a}")
+        self._sim = GpuSimulator(device)
+
+    def select(self, problem: MiningProblem) -> SelectionResult:
+        """Sweep and return the fastest configuration for ``problem``."""
+        ranking: list[tuple[int, int, float]] = []
+        best: tuple[float, int, int, TimingReport] | None = None
+        for algo_id in self.algorithms:
+            cls = ALGORITHMS[algo_id]
+            for t in self.thread_sweep:
+                if t > self.device.max_threads_per_block:
+                    continue
+                kernel = cls(problem, threads_per_block=t)
+                report = self._sim.time_only(kernel)
+                ms = report.total_ms
+                ranking.append((algo_id, t, ms))
+                if best is None or ms < best[0]:
+                    best = (ms, algo_id, t, report)
+        assert best is not None  # sweep is non-empty by construction
+        ranking.sort(key=lambda r: r[2])
+        _, algo_id, threads, report = best
+        return SelectionResult(
+            algorithm_id=algo_id,
+            threads_per_block=threads,
+            report=report,
+            ranking=tuple(ranking),
+        )

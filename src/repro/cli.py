@@ -1,0 +1,196 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the experiment harness so the paper's artifacts can be
+regenerated without writing Python:
+
+* ``tables`` — print Tables 1 and 2;
+* ``figure --id fig7`` — run the sweep and print one figure's series;
+* ``characterize`` — run the full sweep, print C1-C8 and expectations;
+* ``advise --level 2 [--card GTX280]`` — the §5.3 card/config advisor;
+* ``mine --events 20000 --threshold 0.02`` — end-to-end mining demo on a
+  synthetic market stream with the auto-selected GPU algorithm;
+* ``probe`` — run the §6 micro-benchmark suite on a card.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Multi-Dimensional Characterization of "
+        "Temporal Data Mining on Graphics Processors' (IPPS 2009)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Tables 1 and 2")
+
+    fig = sub.add_parser("figure", help="regenerate one figure's series")
+    fig.add_argument(
+        "--id",
+        dest="figure_id",
+        choices=("fig6", "fig7", "fig8", "fig9"),
+        required=True,
+    )
+    fig.add_argument("--step", type=int, default=32, help="thread sweep step")
+
+    chz = sub.add_parser("characterize", help="run C1-C8 on the full sweep")
+    chz.add_argument("--step", type=int, default=16, help="thread sweep step")
+
+    adv = sub.add_parser("advise", help="best (algorithm, threads) per card")
+    adv.add_argument("--level", type=int, default=2, choices=(1, 2, 3))
+    adv.add_argument("--card", default=None, help="restrict to one card")
+
+    mine = sub.add_parser("mine", help="end-to-end mining on a market stream")
+    mine.add_argument("--events", type=int, default=20_000)
+    mine.add_argument("--threshold", type=float, default=0.02)
+    mine.add_argument("--card", default="GTX280")
+
+    probe = sub.add_parser("probe", help="run the micro-benchmark suite")
+    probe.add_argument("--card", default="GTX280")
+    return parser
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import render_table1, render_table2
+
+    print(render_table1())
+    print()
+    print(render_table2())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.experiments import Harness, SweepConfig, run_figure
+    from repro.experiments.figures import fig6_spec, fig7_spec, fig8_spec, fig9_spec
+
+    specs = {
+        "fig6": fig6_spec,
+        "fig7": fig7_spec,
+        "fig8": fig8_spec,
+        "fig9": fig9_spec,
+    }
+    config = SweepConfig(threads=tuple(range(max(16, args.step), 513, args.step)))
+    results = Harness(config).run()
+    rendered = run_figure(specs[args.figure_id](), results)
+    print(rendered.render_text(y_fmt="{:.2f}"))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments import Harness, SweepConfig, run_characterizations
+    from repro.experiments.expectations import check_all
+
+    config = SweepConfig(threads=tuple(range(max(16, args.step), 513, args.step)))
+    results = Harness(config).run()
+    ok = True
+    for c in run_characterizations(results):
+        status = "PASS" if c.passed else "FAIL"
+        ok &= c.passed
+        print(f"[{status}] C{c.cid}: {c.title}")
+        print(f"        {c.evidence}")
+    for e in check_all(results):
+        status = "PASS" if e.passed else "FAIL"
+        ok &= e.passed
+        print(f"[{status}] {e.source}: {e.name}")
+    return 0 if ok else 1
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.algos import AdaptiveSelector, MiningProblem
+    from repro.data.synthetic import paper_database
+    from repro.gpu.specs import get_card, list_cards
+    from repro.mining.alphabet import UPPERCASE
+    from repro.mining.candidates import generate_level
+
+    db = paper_database()
+    episodes = tuple(generate_level(UPPERCASE, args.level))
+    problem = MiningProblem(db, episodes, UPPERCASE.size)
+    cards = [args.card] if args.card else list_cards()
+    for card in cards:
+        choice = AdaptiveSelector(get_card(card)).select(problem)
+        print(
+            f"{card}: level {args.level} ({len(episodes)} episodes) -> "
+            f"Algorithm {choice.algorithm_id} with "
+            f"{choice.threads_per_block} threads/block "
+            f"({choice.best_ms:.3f} ms modeled)"
+        )
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    from repro.data.market import MarketConfig, generate_market_stream
+    from repro.gpu.specs import get_card
+    from repro.mapreduce.gpu_engine import GpuCountingEngine
+    from repro.mining.miner import FrequentEpisodeMiner
+
+    config = MarketConfig(
+        n_products=12,
+        n_events=args.events,
+        rules=(((0, 1, 2), 0.05), ((3, 4), 0.06)),
+        seed=5,
+    )
+    alphabet = config.alphabet()
+    stream = generate_market_stream(config)
+    engine = GpuCountingEngine(
+        device=get_card(args.card), alphabet_size=alphabet.size, algorithm="auto"
+    )
+    result = FrequentEpisodeMiner(
+        alphabet, threshold=args.threshold, engine=engine, max_level=4
+    ).mine(stream)
+    print(f"mined {stream.size:,} events at alpha={args.threshold}")
+    for lvl in result.levels:
+        print(
+            f"  level {lvl.level}: {lvl.n_candidates} candidates -> "
+            f"{lvl.n_frequent} frequent"
+        )
+    for ep, count in sorted(result.all_frequent.items(), key=lambda kv: -kv[1])[:10]:
+        print(f"  {ep.to_symbols(alphabet)}: {count:,}")
+    print(
+        f"simulated kernel time: {engine.total_kernel_ms:.3f} ms across "
+        f"{len(engine.reports)} launches"
+    )
+    return 0
+
+
+def _cmd_probe(args: argparse.Namespace) -> int:
+    from repro.experiments.microbench import run_all_probes
+    from repro.gpu.specs import get_card
+    from repro.util.tables import format_series
+
+    device = get_card(args.card)
+    for probe in run_all_probes(device):
+        print(format_series(f"{probe.name} on {device.name}", probe.xs, probe.ys))
+        for key, value in probe.derived.items():
+            print(f"    {key} = {value:.3f}")
+    return 0
+
+
+_COMMANDS = {
+    "tables": _cmd_tables,
+    "figure": _cmd_figure,
+    "characterize": _cmd_characterize,
+    "advise": _cmd_advise,
+    "mine": _cmd_mine,
+    "probe": _cmd_probe,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,25 @@
+"""Workload generators and persistence.
+
+The paper's evaluation database is a 393,019-letter stream over A-Z
+(§5); :func:`paper_database` regenerates it (seeded).  The neuroscience
+and market-basket generators exercise the same code paths on workloads
+shaped like the application domains the paper motivates (§1, §3.1).
+"""
+
+from repro.data.synthetic import paper_database, random_database, PAPER_DB_LENGTH
+from repro.data.spikes import SpikeTrainConfig, generate_spike_stream, PlantedEpisode
+from repro.data.market import MarketConfig, generate_market_stream
+from repro.data.io import save_database, load_database
+
+__all__ = [
+    "paper_database",
+    "random_database",
+    "PAPER_DB_LENGTH",
+    "SpikeTrainConfig",
+    "generate_spike_stream",
+    "PlantedEpisode",
+    "MarketConfig",
+    "generate_market_stream",
+    "save_database",
+    "load_database",
+]

@@ -1,0 +1,45 @@
+"""Database persistence: symbol streams round-trip as text or npy."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.alphabet import Alphabet
+
+
+def save_database(
+    path: "str | Path", db: np.ndarray, alphabet: Alphabet | None = None
+) -> Path:
+    """Save a database; ``.txt`` writes symbols, anything else ``.npy``."""
+    path = Path(path)
+    db = np.asarray(db)
+    if db.ndim != 1 or db.dtype != np.uint8:
+        raise ValidationError("database must be a 1-D uint8 array")
+    if path.suffix == ".txt":
+        if alphabet is None:
+            raise ValidationError("saving .txt requires an alphabet")
+        path.write_text(alphabet.decode(db))
+    else:
+        np.save(path.with_suffix(".npy"), db)
+        path = path.with_suffix(".npy")
+    return path
+
+
+def load_database(
+    path: "str | Path", alphabet: Alphabet | None = None
+) -> np.ndarray:
+    """Load a database saved by :func:`save_database`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no database file at {path}")
+    if path.suffix == ".txt":
+        if alphabet is None:
+            raise ValidationError("loading .txt requires an alphabet")
+        return alphabet.encode(path.read_text().strip())
+    arr = np.load(path)
+    if arr.ndim != 1:
+        raise ValidationError(f"{path} does not contain a 1-D database")
+    return arr.astype(np.uint8)

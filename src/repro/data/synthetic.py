@@ -1,0 +1,54 @@
+"""Synthetic symbol databases.
+
+The paper's experiments use a database of 393,019 letters over the
+uppercase alphabet (§5).  The original stream is unavailable; a seeded
+uniform stream of the same length and alphabet is the substitution
+(DESIGN.md §2) — the characterization dimensions (algorithm, level,
+card, thread count) do not depend on symbol statistics, only on the
+database length and candidate count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.alphabet import Alphabet, UPPERCASE
+from repro.util.rng import make_rng
+
+#: Length of the paper's evaluation database (§5).
+PAPER_DB_LENGTH: int = 393_019
+
+
+def random_database(
+    length: int,
+    alphabet: Alphabet = UPPERCASE,
+    seed: "int | np.random.Generator | None" = None,
+    weights: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """A uint8-coded random symbol stream.
+
+    ``weights`` optionally skews the symbol distribution (used by the
+    ablation that checks counting is load-independent of skew).
+    """
+    if length < 0:
+        raise ValidationError(f"length must be >= 0, got {length}")
+    rng = make_rng(seed)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (alphabet.size,):
+            raise ValidationError(
+                f"weights shape {weights.shape} != alphabet size {alphabet.size}"
+            )
+        if (weights < 0).any() or weights.sum() <= 0:
+            raise ValidationError("weights must be non-negative and sum > 0")
+        probs = weights / weights.sum()
+        return rng.choice(alphabet.size, size=length, p=probs).astype(np.uint8)
+    return rng.integers(0, alphabet.size, size=length, dtype=np.int64).astype(np.uint8)
+
+
+def paper_database(
+    seed: "int | np.random.Generator | None" = 2009,
+) -> np.ndarray:
+    """The reproduction's stand-in for the paper's 393,019-letter stream."""
+    return random_database(PAPER_DB_LENGTH, UPPERCASE, seed=seed)

@@ -1,0 +1,46 @@
+"""Experiment harness: reproduces every table and figure in the paper.
+
+* Tables: :mod:`repro.experiments.tables` (Table 1, Table 2)
+* Figures: :mod:`repro.experiments.figures` (Figs. 6, 7, 8, 9)
+* The eight characterizations: :mod:`repro.experiments.characterizations`
+* Qualitative paper expectations: :mod:`repro.experiments.expectations`
+* Ablations motivated by §6: :mod:`repro.experiments.ablations`
+"""
+
+from repro.experiments.config import SweepConfig, PAPER_THREAD_SWEEP, FAST_THREAD_SWEEP
+from repro.experiments.harness import Harness, SweepRow
+from repro.experiments.results import ResultSet, Series
+from repro.experiments.figures import (
+    FigureSpec,
+    PanelSpec,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    run_figure,
+)
+from repro.experiments.tables import table1_rows, table2_rows, render_table1, render_table2
+from repro.experiments.characterizations import run_characterizations, CharacterizationResult
+
+__all__ = [
+    "SweepConfig",
+    "PAPER_THREAD_SWEEP",
+    "FAST_THREAD_SWEEP",
+    "Harness",
+    "SweepRow",
+    "ResultSet",
+    "Series",
+    "FigureSpec",
+    "PanelSpec",
+    "fig6_spec",
+    "fig7_spec",
+    "fig8_spec",
+    "fig9_spec",
+    "run_figure",
+    "table1_rows",
+    "table2_rows",
+    "render_table1",
+    "render_table2",
+    "run_characterizations",
+    "CharacterizationResult",
+]

@@ -1,0 +1,165 @@
+"""Ablation experiments motivated by the paper's §6 future work.
+
+* :func:`texture_cache_ablation` — vary the per-SM texture cache to show
+  Algorithm 3's thrash point (the micro-benchmark direction §6 proposes).
+* :func:`buffer_size_ablation` — vary Algorithm 4's staging buffer: the
+  chunk-count vs residency trade the paper's buffered kernels embody.
+* :func:`span_fix_ablation` — count with and without the Fig. 5 fix-up,
+  quantifying both the lost occurrences and the time the intermediate
+  step costs.
+* :func:`expiration_ablation` — the §6 "episode expiration" feature:
+  how the expiry window changes counts (spanning likelihood shrinks as
+  the window tightens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import DeviceSpecs, get_card
+from repro.mining.counting import count_batch
+from repro.mining.episode import Episode
+from repro.mining.policies import MatchPolicy
+from repro.mining.spanning import count_segmented
+from repro.algos.base import MiningProblem
+from repro.algos.block_buf import BlockBufKernel
+from repro.algos.block_tex import BlockTexKernel
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One (knob value, outcome) pair."""
+
+    knob: float
+    ms: float
+    detail: str = ""
+
+
+def texture_cache_ablation(
+    problem: MiningProblem,
+    threads: int = 256,
+    cache_sizes: tuple[int, ...] = (2048, 4096, 8192, 16384, 32768),
+    card: str = "GTX280",
+) -> list[AblationPoint]:
+    """Algorithm 3's time as the texture cache grows: thrash disappears."""
+    points = []
+    base = get_card(card)
+    for size in cache_sizes:
+        device = base.with_overrides(texture_cache_per_sm=size)
+        sim = GpuSimulator(device)
+        kernel = BlockTexKernel(problem, threads_per_block=threads)
+        report = sim.time_only(kernel)
+        points.append(
+            AblationPoint(
+                knob=float(size),
+                ms=report.total_ms,
+                detail=f"dominant={report.dominant_bound}",
+            )
+        )
+    return points
+
+
+def buffer_size_ablation(
+    problem: MiningProblem,
+    threads: int = 256,
+    buffer_sizes: tuple[int, ...] = (1024, 2048, 4096, 8192, 10240, 14336),
+    card: str = "GTX280",
+) -> list[AblationPoint]:
+    """Algorithm 4's time as the staging buffer grows.
+
+    Bigger buffers mean fewer chunks (fewer span fix-ups and barriers)
+    but lower residency — the trade-off behind Characterization 2's
+    "only one block may be resident".
+    """
+    points = []
+    sim = GpuSimulator(get_card(card))
+    for size in buffer_sizes:
+        kernel = BlockBufKernel(problem, threads_per_block=threads, buffer_bytes=size)
+        report = sim.time_only(kernel)
+        points.append(
+            AblationPoint(
+                knob=float(size),
+                ms=report.total_ms,
+                detail=f"waves={report.waves}",
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class SpanFixOutcome:
+    """Counting with vs without the Fig. 5 boundary fix."""
+
+    segments: int
+    exact_total: int
+    unfixed_total: int
+    recovered: int
+
+    @property
+    def loss_fraction(self) -> float:
+        return self.recovered / self.exact_total if self.exact_total else 0.0
+
+
+def span_fix_ablation(
+    db: np.ndarray,
+    episodes: list[Episode],
+    alphabet_size: int,
+    segment_counts: tuple[int, ...] = (2, 8, 32, 128, 512),
+) -> list[SpanFixOutcome]:
+    """Quantify occurrences lost without the span fix as segments grow.
+
+    The paper's Fig. 5 shows the wrong answer spanning produces; this
+    ablation measures how wrong, as a function of how finely the
+    block-level algorithms segment the database.
+    """
+    exact = int(count_batch(db, episodes, alphabet_size).sum())
+    out = []
+    for n_seg in segment_counts:
+        unfixed = count_segmented(
+            db, episodes, alphabet_size, n_segments=n_seg, fix_spanning=False
+        )
+        fixed = count_segmented(
+            db, episodes, alphabet_size, n_segments=n_seg, fix_spanning=True
+        )
+        if int(fixed.totals.sum()) != exact:
+            raise ExperimentError(
+                f"span fix is not exact at {n_seg} segments: "
+                f"{int(fixed.totals.sum())} != {exact}"
+            )
+        unfixed_total = int(unfixed.totals.sum())
+        out.append(
+            SpanFixOutcome(
+                segments=n_seg,
+                exact_total=exact,
+                unfixed_total=unfixed_total,
+                recovered=exact - unfixed_total,
+            )
+        )
+    return out
+
+
+def expiration_ablation(
+    db: np.ndarray,
+    episodes: list[Episode],
+    alphabet_size: int,
+    windows: tuple[int, ...] = (1, 2, 4, 8, 16, 64),
+) -> list[tuple[int, int]]:
+    """Counts under the EXPIRING policy as the window widens.
+
+    Tightening the window reduces counts monotonically toward the
+    contiguous (RESET) regime; widening approaches plain SUBSEQUENCE —
+    the behaviour §6 predicts ("with episode expiration, we expect the
+    reduce phase ... will be decreased as less episodes will span
+    boundaries").
+    """
+    out = []
+    for w in windows:
+        counts = count_batch(
+            db, episodes, alphabet_size, policy=MatchPolicy.EXPIRING, window=w
+        )
+        out.append((w, int(counts.sum())))
+    return out

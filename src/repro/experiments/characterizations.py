@@ -1,0 +1,203 @@
+"""The paper's eight performance characterizations as executable checks.
+
+Each function evaluates one characterization (paper §5.1-§5.3) against
+sweep results and returns a :class:`CharacterizationResult` recording
+pass/fail plus the quantitative evidence.  These are the paper's core
+deliverable ("we have provided 8 performance characterizations as a
+guide", §7) — here they double as regression tests for the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.results import ResultSet, Series
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    cid: int
+    title: str
+    passed: bool
+    evidence: str
+
+
+def _series(rs: ResultSet, card: str, algo: int, level: int) -> Series:
+    return rs.series(f"a{algo}L{level}", card, algo, level)
+
+
+def c1_thread_parallel_constant_time(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C1: thread-parallel algorithms are O(C) per episode — 26 or 650
+    searches complete in essentially the same time (§5.1.1)."""
+    ratios = []
+    for algo in (1, 2):
+        s1 = _series(rs, card, algo, 1)
+        s2 = _series(rs, card, algo, 2)
+        mid = len(s1.xs) // 2
+        ratios.append(s2.ys[mid] / s1.ys[mid])
+    passed = all(0.8 <= r <= 1.5 for r in ratios)
+    return CharacterizationResult(
+        1,
+        "Thread-parallel algorithms have O(C) time per episode",
+        passed,
+        f"L2/L1 mid-sweep time ratios: algo1={ratios[0]:.2f}, algo2={ratios[1]:.2f} "
+        "(constant-time regime keeps these near 1)",
+    )
+
+
+def c2_buffering_amortized(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C2: Algorithm 2's buffering penalty amortizes — execution time
+    decreases as threads are added (§5.1.2)."""
+    s = _series(rs, card, 2, 1)
+    lo = s.ys[0]
+    hi = s.ys[-1]
+    decreasing = lo > hi
+    monotone_mostly = sum(
+        1 for a, b in zip(s.ys, s.ys[1:]) if b <= a * 1.02
+    ) >= int(0.8 * (len(s.ys) - 1))
+    return CharacterizationResult(
+        2,
+        "Buffering penalty in thread-parallel can be amortized",
+        decreasing and monotone_mostly,
+        f"algo2/L1: {lo:.1f} ms at {s.xs[0]} threads -> {hi:.1f} ms at "
+        f"{s.xs[-1]} threads (mostly monotone decay)",
+    )
+
+
+def c3_block_parallel_does_not_scale(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C3: block-level algorithms lose performance (per episode) as
+    threads and level increase (§5.1.3).
+
+    The paper's Fig. 6(c)/(d) evidence is *relative to level 1*: the
+    L3/L1 ratio grows with thread count for both block-level
+    algorithms; Algorithm 3 also rises in absolute terms.
+    """
+    evid = []
+    ok = True
+    for algo in (3, 4):
+        s3 = _series(rs, card, algo, 3)
+        s1 = _series(rs, card, algo, 1)
+        ratios = s3.relative_to(s1).ys
+        ratio_rises = ratios[-1] > ratios[0]
+        # level growth: L3 slower than L2 slower than L1 at a fixed t
+        mid_x = s3.xs[len(s3.xs) // 2]
+        l1 = s1.at(mid_x)
+        l2 = _series(rs, card, algo, 2).at(mid_x)
+        l3 = s3.at(mid_x)
+        level_growth = l1 < l2 < l3
+        ok = ok and ratio_rises and level_growth
+        evid.append(
+            f"algo{algo}: L1={l1:.1f} < L2={l2:.1f} < L3={l3:.1f} ms at t={mid_x}; "
+            f"L3/L1 ratio {ratios[0]:.0f} -> {ratios[-1]:.0f}"
+        )
+    # Algorithm 3 additionally rises in absolute time toward large blocks
+    s3_abs = _series(rs, card, 3, 3)
+    tail_rises = s3_abs.ys[-1] > s3_abs.y_min
+    ok = ok and tail_rises
+    evid.append(f"algo3 absolute tail {s3_abs.ys[-1]:.0f} > min {s3_abs.y_min:.0f}")
+    return CharacterizationResult(
+        3, "Block-parallel does not scale with block size", ok, "; ".join(evid)
+    )
+
+
+def c4_thread_level_insufficient_small(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C4: at L=1 there are too few episodes for thread-level parallelism;
+    block-level algorithms are orders of magnitude faster and Algorithm 4
+    reaches sub-millisecond (§5.2.1)."""
+    thread_best = min(_series(rs, card, a, 1).y_min for a in (1, 2))
+    block_best = min(_series(rs, card, a, 1).y_min for a in (3, 4))
+    a4_best = _series(rs, card, 4, 1).y_min
+    passed = thread_best >= 10 * block_best and a4_best < 1.0
+    return CharacterizationResult(
+        4,
+        "Thread level alone not sufficient for small problem sizes (L=1)",
+        passed,
+        f"thread best {thread_best:.1f} ms vs block best {block_best:.2f} ms; "
+        f"algo4 best {a4_best:.3f} ms (sub-ms)",
+    )
+
+
+def c5_block_level_depends_on_block_size(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C5: at L=2 Algorithm 3 peaks at small blocks and stays unbeaten;
+    Algorithm 4 overtakes it only at high thread counts (§5.2.2)."""
+    s3 = _series(rs, card, 3, 2)
+    s4 = _series(rs, card, 4, 2)
+    best_small = s3.argmin_x <= 96
+    never_beaten = s4.y_min >= s3.y_min
+    crossover = next(
+        (x for x, y3, y4 in zip(s3.xs, s3.ys, s4.ys) if x >= 128 and y4 < y3), None
+    )
+    passed = best_small and never_beaten and crossover is not None
+    return CharacterizationResult(
+        5,
+        "Block level depends on block size for medium problem sizes (L=2)",
+        passed,
+        f"algo3 optimum {s3.y_min:.1f} ms at {s3.argmin_x} threads; algo4 "
+        f"overtakes at {crossover} threads but bottoms at {s4.y_min:.1f} ms",
+    )
+
+
+def c6_thread_level_sufficient_large(rs: ResultSet, card: str = "GTX280") -> CharacterizationResult:
+    """C6: at L=3 thread-level parallelism is sufficient — significantly
+    faster than block-level (§5.2.3)."""
+    thread_best = min(_series(rs, card, a, 3).y_min for a in (1, 2))
+    block_best = min(_series(rs, card, a, 3).y_min for a in (3, 4))
+    passed = thread_best * 2 <= block_best
+    return CharacterizationResult(
+        6,
+        "Thread-level parallelism is sufficient for large problem sizes (L=3)",
+        passed,
+        f"thread best {thread_best:.0f} ms vs block best {block_best:.0f} ms",
+    )
+
+
+def c7_thread_level_clock_bound(rs: ResultSet) -> CharacterizationResult:
+    """C7: thread-level algorithms scale with shader frequency for
+    small/medium problems — 1625 MHz > 1500 MHz > 1296 MHz (§5.3.1)."""
+    clocks = {"8800GTS512": 1625.0, "9800GX2": 1500.0, "GTX280": 1296.0}
+    mids = {}
+    for card in clocks:
+        s = _series(rs, card, 1, 2)
+        mids[card] = s.ys[len(s.ys) // 2]
+    ordered = mids["8800GTS512"] < mids["9800GX2"] < mids["GTX280"]
+    # near-linear in 1/clock: time x clock roughly constant
+    products = [mids[c] * clocks[c] for c in clocks]
+    spread = max(products) / min(products)
+    passed = ordered and spread < 1.25
+    return CharacterizationResult(
+        7,
+        "Thread level dependent on shader frequency for small/medium problems",
+        passed,
+        f"mid-sweep ms: {', '.join(f'{c}={v:.0f}' for c, v in mids.items())}; "
+        f"time x clock spread {spread:.2f} (1.0 = perfectly clock-bound)",
+    )
+
+
+def c8_block_level_bandwidth_bound(rs: ResultSet) -> CharacterizationResult:
+    """C8: block-level algorithms are affected by memory bandwidth — the
+    141.7 GB/s GTX 280 far outruns the ~60 GB/s G92 cards on Algo3/L1
+    (§5.3.2)."""
+    best = {c: _series(rs, c, 3, 1).y_min for c in ("8800GTS512", "9800GX2", "GTX280")}
+    gtx = best["GTX280"]
+    passed = all(best[c] >= 2.0 * gtx for c in ("8800GTS512", "9800GX2"))
+    return CharacterizationResult(
+        8,
+        "Block level algorithms affected by memory bandwidth",
+        passed,
+        f"best ms: {', '.join(f'{c}={v:.1f}' for c, v in best.items())} "
+        "(G92 cards >= 2x slower despite higher clocks)",
+    )
+
+
+def run_characterizations(rs: ResultSet) -> list[CharacterizationResult]:
+    """Evaluate all eight characterizations against a full sweep."""
+    return [
+        c1_thread_parallel_constant_time(rs),
+        c2_buffering_amortized(rs),
+        c3_block_parallel_does_not_scale(rs),
+        c4_thread_level_insufficient_small(rs),
+        c5_block_level_depends_on_block_size(rs),
+        c6_thread_level_sufficient_large(rs),
+        c7_thread_level_clock_bound(rs),
+        c8_block_level_bandwidth_bound(rs),
+    ]

@@ -1,0 +1,63 @@
+"""Sweep configuration for the characterization experiments.
+
+A sweep is the cartesian product the paper explores: cards x algorithms
+x levels x threads-per-block, over one database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.gpu.specs import CARD_REGISTRY
+
+#: Thread counts matching the granularity of the paper's x-axes (0-512).
+PAPER_THREAD_SWEEP: tuple[int, ...] = tuple(range(16, 513, 16))
+
+#: Coarser sweep for tests and quick runs.
+FAST_THREAD_SWEEP: tuple[int, ...] = (32, 64, 96, 128, 192, 256, 384, 512)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One experiment grid."""
+
+    cards: tuple[str, ...] = tuple(CARD_REGISTRY)
+    algorithms: tuple[int, ...] = (1, 2, 3, 4)
+    levels: tuple[int, ...] = (1, 2, 3)
+    threads: tuple[int, ...] = PAPER_THREAD_SWEEP
+    db_length: int = 393_019
+    seed: int = 2009
+
+    def __post_init__(self) -> None:
+        if not self.cards:
+            raise ExperimentError("sweep needs at least one card")
+        for c in self.cards:
+            if c not in CARD_REGISTRY:
+                raise ExperimentError(f"unknown card {c!r}")
+        for a in self.algorithms:
+            if a not in (1, 2, 3, 4):
+                raise ExperimentError(f"unknown algorithm {a}")
+        for lvl in self.levels:
+            if lvl < 1:
+                raise ExperimentError(f"level must be >= 1, got {lvl}")
+        if not self.threads or any(t < 1 for t in self.threads):
+            raise ExperimentError("threads sweep must contain positive counts")
+        if self.db_length < 1:
+            raise ExperimentError("db_length must be >= 1")
+
+    @property
+    def n_points(self) -> int:
+        return (
+            len(self.cards)
+            * len(self.algorithms)
+            * len(self.levels)
+            * len(self.threads)
+        )
+
+
+#: The paper's full grid (Fig. 9): 3 cards x 4 algorithms x 3 levels.
+PAPER_SWEEP = SweepConfig()
+
+#: Fast variant for tests.
+FAST_SWEEP = SweepConfig(threads=FAST_THREAD_SWEEP, db_length=20_011)

@@ -1,0 +1,182 @@
+"""Per-figure experiment definitions.
+
+Each paper figure is a :class:`FigureSpec`: a set of panels, each panel
+a set of (card, algorithm, level) series over the thread sweep, with an
+optional transform (Fig. 6 plots time *relative to level 1*).
+:func:`run_figure` materializes a spec from a :class:`ResultSet` and
+renders the same series the paper plots.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.results import ResultSet, Series
+from repro.util.tables import format_series
+
+
+class Transform(enum.Enum):
+    ABSOLUTE = "absolute"  # plain milliseconds (Figs. 7, 8, 9)
+    RELATIVE_TO_LEVEL1 = "relative-to-level1"  # Fig. 6's y-axis
+
+
+@dataclass(frozen=True)
+class SeriesSpec:
+    """One line of one panel."""
+
+    label: str
+    card: str
+    algorithm: int
+    level: int
+
+
+@dataclass(frozen=True)
+class PanelSpec:
+    """One sub-figure."""
+
+    panel_id: str
+    title: str
+    series: tuple[SeriesSpec, ...]
+    transform: Transform = Transform.ABSOLUTE
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One paper figure: ordered panels."""
+
+    figure_id: str
+    title: str
+    panels: tuple[PanelSpec, ...]
+
+    def panel(self, panel_id: str) -> PanelSpec:
+        for p in self.panels:
+            if p.panel_id == panel_id:
+                return p
+        raise ExperimentError(f"{self.figure_id} has no panel {panel_id!r}")
+
+
+_CARDS = ("8800GTS512", "9800GX2", "GTX280")
+
+
+def fig6_spec() -> FigureSpec:
+    """Fig. 6: impact of problem size on the GTX 280, per algorithm.
+
+    Y-axis is execution time relative to level 1 at the same thread
+    count — the paper's normalization isolating problem-size scaling.
+    """
+    panels = []
+    for algo, pid in zip((1, 2, 3, 4), "abcd"):
+        panels.append(
+            PanelSpec(
+                panel_id=pid,
+                title=f"Execution Time of Algorithm{algo} on GTX280 (relative to Level1)",
+                series=tuple(
+                    SeriesSpec(f"Level{lvl}", "GTX280", algo, lvl) for lvl in (1, 2, 3)
+                ),
+                transform=Transform.RELATIVE_TO_LEVEL1,
+            )
+        )
+    return FigureSpec("fig6", "Impact of Problem Size on the GTX280", tuple(panels))
+
+
+def fig7_spec() -> FigureSpec:
+    """Fig. 7: impact of algorithm on the GTX 280, per level (absolute ms)."""
+    panels = []
+    for lvl, pid in zip((1, 2, 3), "abc"):
+        panels.append(
+            PanelSpec(
+                panel_id=pid,
+                title=f"Execution Time of Level{lvl} on GTX280 using Different Algorithms",
+                series=tuple(
+                    SeriesSpec(f"Algorithm{a}", "GTX280", a, lvl) for a in (1, 2, 3, 4)
+                ),
+            )
+        )
+    return FigureSpec("fig7", "Impact of Algorithm on the GTX280", tuple(panels))
+
+
+def fig8_spec() -> FigureSpec:
+    """Fig. 8: impact of card — (a) Algo1/L2 clock scaling, (b) Algo3/L1 bandwidth."""
+    return FigureSpec(
+        "fig8",
+        "Impact of Card",
+        (
+            PanelSpec(
+                panel_id="a",
+                title="Algorithm1 on Level2 across cards",
+                series=tuple(SeriesSpec(c, c, 1, 2) for c in _CARDS),
+            ),
+            PanelSpec(
+                panel_id="b",
+                title="Algorithm3 on Level1 across cards",
+                series=tuple(SeriesSpec(c, c, 3, 1) for c in _CARDS),
+            ),
+        ),
+    )
+
+
+def fig9_spec() -> FigureSpec:
+    """Fig. 9: the full appendix grid — 4 algorithms x 3 levels, 3 cards each."""
+    panels = []
+    pid_iter = iter("abcdefghijkl")
+    for algo in (1, 2, 3, 4):
+        for lvl in (1, 2, 3):
+            panels.append(
+                PanelSpec(
+                    panel_id=next(pid_iter),
+                    title=f"Algorithm{algo} on Level{lvl} across cards",
+                    series=tuple(SeriesSpec(c, c, algo, lvl) for c in _CARDS),
+                )
+            )
+    return FigureSpec("fig9", "Overview of all of the tests", tuple(panels))
+
+
+@dataclass(frozen=True)
+class RenderedPanel:
+    panel_id: str
+    title: str
+    series: tuple[Series, ...]
+
+
+@dataclass(frozen=True)
+class RenderedFigure:
+    figure_id: str
+    title: str
+    panels: tuple[RenderedPanel, ...]
+
+    def panel(self, panel_id: str) -> RenderedPanel:
+        for p in self.panels:
+            if p.panel_id == panel_id:
+                return p
+        raise ExperimentError(f"{self.figure_id} has no panel {panel_id!r}")
+
+    def render_text(self, y_fmt: str = "{:.3f}") -> str:
+        lines = [f"=== {self.figure_id}: {self.title} ==="]
+        for p in self.panels:
+            lines.append(f"--- panel ({p.panel_id}): {p.title}")
+            for s in p.series:
+                lines.append(format_series(s.name, s.xs, s.ys, y_fmt=y_fmt))
+        return "\n".join(lines)
+
+
+def run_figure(spec: FigureSpec, results: ResultSet) -> RenderedFigure:
+    """Materialize a figure's series from sweep results."""
+    panels = []
+    for pspec in spec.panels:
+        series = []
+        for sspec in pspec.series:
+            s = results.series(sspec.label, sspec.card, sspec.algorithm, sspec.level)
+            if pspec.transform is Transform.RELATIVE_TO_LEVEL1:
+                base = results.series(
+                    "level1-base", sspec.card, sspec.algorithm, level=1
+                )
+                s = Series(name=sspec.label, xs=s.xs, ys=s.relative_to(base).ys)
+            series.append(s)
+        panels.append(
+            RenderedPanel(panel_id=pspec.panel_id, title=pspec.title, series=tuple(series))
+        )
+    return RenderedFigure(
+        figure_id=spec.figure_id, title=spec.title, panels=tuple(panels)
+    )

@@ -1,0 +1,119 @@
+"""The sweep harness: run a :class:`SweepConfig` and collect results.
+
+One :class:`Harness` owns the database and the per-card simulators, and
+caches the candidate episode batches per level (the episode space is
+the same for every point of the sweep).  Timing points use
+``GpuSimulator.time_only`` — the functional counts are identical across
+thread counts and cards, and are checked separately by
+:meth:`Harness.verify_functional`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import get_card
+from repro.mining.alphabet import UPPERCASE, Alphabet
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch
+from repro.mining.policies import MatchPolicy
+from repro.algos.base import MiningProblem
+from repro.algos.registry import get_algorithm
+from repro.data.synthetic import random_database
+from repro.experiments.config import SweepConfig
+from repro.experiments.results import ResultSet, SweepRow
+
+
+class Harness:
+    """Runs sweeps over one database."""
+
+    def __init__(
+        self,
+        config: SweepConfig,
+        alphabet: Alphabet = UPPERCASE,
+        db: "np.ndarray | None" = None,
+    ) -> None:
+        self.config = config
+        self.alphabet = alphabet
+        self.db = (
+            db
+            if db is not None
+            else random_database(config.db_length, alphabet, seed=config.seed)
+        )
+        self._sims = {name: GpuSimulator(get_card(name)) for name in config.cards}
+        self._problems: dict[int, MiningProblem] = {}
+
+    def problem(self, level: int) -> MiningProblem:
+        """The counting problem for one level (cached)."""
+        if level not in self._problems:
+            episodes = generate_level(self.alphabet, level)
+            if not episodes:
+                raise ExperimentError(
+                    f"level {level} exceeds alphabet size {self.alphabet.size}"
+                )
+            self._problems[level] = MiningProblem(
+                db=self.db,
+                episodes=tuple(episodes),
+                alphabet_size=self.alphabet.size,
+                policy=MatchPolicy.RESET,
+            )
+        return self._problems[level]
+
+    def time_point(
+        self, card: str, algorithm: int, level: int, threads: int
+    ) -> SweepRow:
+        """Model one sweep point."""
+        problem = self.problem(level)
+        kernel = get_algorithm(algorithm)(problem, threads_per_block=threads)
+        report = self._sims[card].time_only(kernel)
+        return SweepRow(
+            card=card,
+            algorithm=algorithm,
+            level=level,
+            threads=threads,
+            ms=report.total_ms,
+            cycles=report.total_cycles,
+            waves=report.waves,
+            occupancy=report.occupancy,
+            dominant_phase=report.dominant_phase,
+            dominant_bound=report.dominant_bound,
+            episodes=problem.n_episodes,
+            db_length=problem.n,
+        )
+
+    def run(self) -> ResultSet:
+        """Run the full grid."""
+        results = ResultSet()
+        for card in self.config.cards:
+            for algo in self.config.algorithms:
+                for level in self.config.levels:
+                    for threads in self.config.threads:
+                        results.add(self.time_point(card, algo, level, threads))
+        return results
+
+    def verify_functional(
+        self, level: int, threads: int = 128, card: str | None = None
+    ) -> bool:
+        """Check all four kernels agree with the vectorized CPU counter.
+
+        Raises :class:`ExperimentError` on the first mismatch; returns
+        True when every algorithm's output matches.
+        """
+        card = card or self.config.cards[0]
+        problem = self.problem(level)
+        expected = count_batch(
+            problem.db, problem.matrix, problem.alphabet_size, problem.policy
+        )
+        for algo in self.config.algorithms:
+            kernel = get_algorithm(algo)(problem, threads_per_block=threads)
+            result = self._sims[card].launch(kernel)
+            if not np.array_equal(result.output, expected):
+                raise ExperimentError(
+                    f"algorithm {algo} counts diverge from CPU reference "
+                    f"at level {level}"
+                )
+        return True

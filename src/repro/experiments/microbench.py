@@ -1,0 +1,143 @@
+"""Micro-benchmark suite (paper §6: "a series of micro-benchmarks to
+discover the underlying hardware and architectural features such as
+scheduling, caching, and memory allocation").
+
+Pointed at our own modeled hardware, each probe runs the cycle-level
+micro-simulator on a synthetic instruction stream and extracts one
+architectural parameter — the same methodology the paper proposes for
+real cards.  Tests cross-validate every probe against the analytic
+model's closed forms, so the two substrate layers cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.microsim import Instruction, Op, SmMicrosim
+from repro.gpu.specs import DeviceSpecs
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    name: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+    derived: dict[str, float]
+
+
+def latency_hiding_probe(
+    device: DeviceSpecs,
+    latency: int = 400,
+    instructions_per_element: int = 5,
+    elements: int = 30,
+    warp_counts: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32),
+) -> ProbeResult:
+    """IPC vs resident warps: locates the latency-hiding saturation point.
+
+    Below saturation IPC grows ~linearly with warps; above it IPC pins
+    at the issue ceiling 1/cpi.  The derived ``saturation_warps`` is the
+    knee the occupancy guidance in the paper's C2/C6 revolves around.
+    """
+    sim = SmMicrosim(device)
+    program = []
+    for _ in range(elements):
+        program.append(Instruction(Op.MEMORY, latency=latency))
+        program.extend(Instruction(Op.COMPUTE) for _ in range(instructions_per_element - 1))
+    ipcs = []
+    for w in warp_counts:
+        res = sim.run([list(program) for _ in range(w)])
+        ipcs.append(res.ipc)
+    ceiling = 1.0 / device.cycles_per_warp_instruction
+    # analytic knee: w * I * cpi >= latency + I * cpi
+    knee = (latency + instructions_per_element * device.cycles_per_warp_instruction) / (
+        instructions_per_element * device.cycles_per_warp_instruction
+    )
+    saturation = next(
+        (w for w, ipc in zip(warp_counts, ipcs) if ipc >= 0.9 * ceiling),
+        warp_counts[-1],
+    )
+    return ProbeResult(
+        name="latency-hiding",
+        xs=tuple(float(w) for w in warp_counts),
+        ys=tuple(ipcs),
+        derived={
+            "issue_ceiling_ipc": ceiling,
+            "observed_saturation_warps": float(saturation),
+            "analytic_knee_warps": knee,
+        },
+    )
+
+
+def barrier_cost_probe(
+    device: DeviceSpecs,
+    warp_counts: tuple[int, ...] = (2, 4, 8, 16),
+    work: int = 8,
+) -> ProbeResult:
+    """Cycles added per __syncthreads as block width grows."""
+    sim = SmMicrosim(device)
+    costs = []
+    for w in warp_counts:
+        base_prog = [Instruction(Op.COMPUTE)] * work
+        with_barrier = (
+            [Instruction(Op.COMPUTE)] * (work // 2)
+            + [Instruction(Op.BARRIER)]
+            + [Instruction(Op.COMPUTE)] * (work - work // 2)
+        )
+        base = sim.run([list(base_prog) for _ in range(w)]).cycles
+        barr = sim.run([list(with_barrier) for _ in range(w)]).cycles
+        costs.append(float(barr - base))
+    return ProbeResult(
+        name="barrier-cost",
+        xs=tuple(float(w) for w in warp_counts),
+        ys=tuple(costs),
+        derived={"max_extra_cycles": max(costs)},
+    )
+
+
+def issue_ceiling_probe(
+    device: DeviceSpecs, instructions: int = 200, warps: int = 8
+) -> ProbeResult:
+    """Pure-compute throughput: must land exactly on 1/cpi IPC."""
+    sim = SmMicrosim(device)
+    prog = [Instruction(Op.COMPUTE)] * instructions
+    res = sim.run([list(prog) for _ in range(warps)])
+    return ProbeResult(
+        name="issue-ceiling",
+        xs=(float(warps),),
+        ys=(res.ipc,),
+        derived={
+            "ipc": res.ipc,
+            "expected_ipc": 1.0 / device.cycles_per_warp_instruction,
+        },
+    )
+
+
+def memory_divergence_probe(
+    device: DeviceSpecs,
+    latencies: tuple[int, ...] = (100, 200, 400, 800),
+    elements: int = 20,
+) -> ProbeResult:
+    """Single-warp runtime vs memory latency: slope recovers the modeled
+    per-access latency (the paper's missing datum for texture fetches)."""
+    sim = SmMicrosim(device)
+    cycles = []
+    for lat in latencies:
+        prog = [Instruction(Op.MEMORY, latency=lat) for _ in range(elements)]
+        cycles.append(float(sim.run([prog]).cycles))
+    # slope of cycles vs latency ~= elements - 1 (final stall unobserved)
+    slope = (cycles[-1] - cycles[0]) / (latencies[-1] - latencies[0])
+    return ProbeResult(
+        name="memory-latency",
+        xs=tuple(float(v) for v in latencies),
+        ys=tuple(cycles),
+        derived={"slope_elements": slope, "expected_slope": float(elements - 1)},
+    )
+
+
+def run_all_probes(device: DeviceSpecs) -> list[ProbeResult]:
+    return [
+        latency_hiding_probe(device),
+        barrier_cost_probe(device),
+        issue_ceiling_probe(device),
+        memory_divergence_probe(device),
+    ]

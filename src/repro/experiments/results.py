@@ -1,0 +1,174 @@
+"""Result containers: sweep rows, filtering, and series extraction."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One (card, algorithm, level, threads) measurement."""
+
+    card: str
+    algorithm: int
+    level: int
+    threads: int
+    ms: float
+    cycles: float
+    waves: int
+    occupancy: float
+    dominant_phase: str
+    dominant_bound: str
+    episodes: int
+    db_length: int
+
+
+@dataclass(frozen=True)
+class Series:
+    """One figure line: y(ms) over x(threads)."""
+
+    name: str
+    xs: tuple[int, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ExperimentError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+
+    @property
+    def y_min(self) -> float:
+        return min(self.ys)
+
+    @property
+    def y_max(self) -> float:
+        return max(self.ys)
+
+    @property
+    def argmin_x(self) -> int:
+        return self.xs[self.ys.index(min(self.ys))]
+
+    def at(self, x: int) -> float:
+        try:
+            return self.ys[self.xs.index(x)]
+        except ValueError:
+            raise ExperimentError(f"series {self.name!r} has no x={x}") from None
+
+    def relative_to(self, other: "Series") -> "Series":
+        """Pointwise ratio series (used by Fig. 6's relative-to-level-1 axes)."""
+        if self.xs != other.xs:
+            raise ExperimentError(
+                f"cannot divide series with different x-axes: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        ys = tuple(a / b if b else float("inf") for a, b in zip(self.ys, other.ys))
+        return Series(name=f"{self.name}/{other.name}", xs=self.xs, ys=ys)
+
+
+class ResultSet:
+    """A queryable collection of sweep rows."""
+
+    def __init__(self, rows: Iterable[SweepRow] = ()) -> None:
+        self._rows: list[SweepRow] = list(rows)
+
+    def add(self, row: SweepRow) -> None:
+        self._rows.append(row)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def filter(
+        self,
+        card: str | None = None,
+        algorithm: int | None = None,
+        level: int | None = None,
+        threads: int | None = None,
+        predicate: Callable[[SweepRow], bool] | None = None,
+    ) -> "ResultSet":
+        rows = self._rows
+        if card is not None:
+            rows = [r for r in rows if r.card == card]
+        if algorithm is not None:
+            rows = [r for r in rows if r.algorithm == algorithm]
+        if level is not None:
+            rows = [r for r in rows if r.level == level]
+        if threads is not None:
+            rows = [r for r in rows if r.threads == threads]
+        if predicate is not None:
+            rows = [r for r in rows if predicate(r)]
+        return ResultSet(rows)
+
+    def series(
+        self, name: str, card: str, algorithm: int, level: int
+    ) -> Series:
+        """Extract the ms-vs-threads line for one configuration."""
+        rows = sorted(
+            self.filter(card=card, algorithm=algorithm, level=level),
+            key=lambda r: r.threads,
+        )
+        if not rows:
+            raise ExperimentError(
+                f"no rows for card={card} algo={algorithm} level={level}"
+            )
+        return Series(
+            name=name,
+            xs=tuple(r.threads for r in rows),
+            ys=tuple(r.ms for r in rows),
+        )
+
+    def best(
+        self, card: str, level: int, algorithms: Sequence[int] = (1, 2, 3, 4)
+    ) -> SweepRow:
+        """Fastest row for a (card, level) across the given algorithms."""
+        rows = [
+            r
+            for r in self._rows
+            if r.card == card and r.level == level and r.algorithm in algorithms
+        ]
+        if not rows:
+            raise ExperimentError(f"no rows for card={card} level={level}")
+        return min(rows, key=lambda r: r.ms)
+
+    def to_csv(self) -> str:
+        """Render all rows as CSV (header + one line per row)."""
+        out = io.StringIO()
+        if not self._rows:
+            return ""
+        writer = csv.DictWriter(out, fieldnames=list(asdict(self._rows[0])))
+        writer.writeheader()
+        for r in self._rows:
+            writer.writerow(asdict(r))
+        return out.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "ResultSet":
+        """Parse rows written by :meth:`to_csv`."""
+        reader = csv.DictReader(io.StringIO(text))
+        rows = []
+        for rec in reader:
+            rows.append(
+                SweepRow(
+                    card=rec["card"],
+                    algorithm=int(rec["algorithm"]),
+                    level=int(rec["level"]),
+                    threads=int(rec["threads"]),
+                    ms=float(rec["ms"]),
+                    cycles=float(rec["cycles"]),
+                    waves=int(rec["waves"]),
+                    occupancy=float(rec["occupancy"]),
+                    dominant_phase=rec["dominant_phase"],
+                    dominant_bound=rec["dominant_bound"],
+                    episodes=int(rec["episodes"]),
+                    db_length=int(rec["db_length"]),
+                )
+            )
+        return cls(rows)

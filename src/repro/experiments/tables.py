@@ -1,0 +1,73 @@
+"""The paper's tables.
+
+* Table 1 — the combinatorial growth of the candidate space:
+  episodes of length L over an N-symbol alphabet number N!/(N-L)!.
+* Table 2 — architectural features of the three cards, echoed from the
+  spec registry together with derived quantities the occupancy model
+  adds (the paper's table is input; the derived block shows the model
+  actually consumes it).
+"""
+
+from __future__ import annotations
+
+from repro.gpu.specs import CARD_REGISTRY
+from repro.mining.candidates import count_candidates
+from repro.util.tables import format_table
+
+
+def table1_rows(alphabet_size: int = 26, max_level: int = 6) -> list[tuple[int, int]]:
+    """(level, candidate count) rows; the paper prints L=1..L symbolically."""
+    return [
+        (lvl, count_candidates(alphabet_size, lvl)) for lvl in range(1, max_level + 1)
+    ]
+
+
+def render_table1(alphabet_size: int = 26, max_level: int = 6) -> str:
+    rows = [
+        (lvl, f"{count:,}")
+        for lvl, count in table1_rows(alphabet_size, max_level)
+    ]
+    return format_table(
+        ["Episode Length", f"Episodes (N={alphabet_size})"],
+        rows,
+        title="Table 1: potential number of episodes with length L "
+        f"from an alphabet of size {alphabet_size}",
+    )
+
+
+_TABLE2_FIELDS: tuple[tuple[str, str], ...] = (
+    ("GPU", "gpu"),
+    ("Memory (MB)", "memory_mb"),
+    ("Memory Bandwidth (GBps)", "memory_bandwidth_gbps"),
+    ("Multiprocessors", "multiprocessors"),
+    ("Cores", "cores"),
+    ("Processor Clock (MHz)", "clock_mhz"),
+    ("Compute Capability", "compute_capability"),
+    ("Registers per Multiprocessor", "registers_per_sm"),
+    ("Threads per Block (Max)", "max_threads_per_block"),
+    ("Active Threads per Multiprocessor (Max)", "max_threads_per_sm"),
+    ("Active Blocks per Multiprocessor (Max)", "max_blocks_per_sm"),
+    ("Active Warps per Multiprocessor (Max)", "max_warps_per_sm"),
+)
+
+
+def table2_rows() -> list[tuple[str, ...]]:
+    """Rows of the paper's Table 2, one attribute per row, one card per column."""
+    cards = list(CARD_REGISTRY.values())
+    rows: list[tuple[str, ...]] = []
+    for label, attr in _TABLE2_FIELDS:
+        row = [label]
+        for c in cards:
+            v = getattr(c, attr)
+            row.append(str(v))
+        rows.append(tuple(row))
+    return rows
+
+
+def render_table2() -> str:
+    headers = ["Graphics Card"] + [c.name for c in CARD_REGISTRY.values()]
+    return format_table(
+        headers,
+        table2_rows(),
+        title="Table 2: architectural features of the three cards",
+    )

@@ -1,0 +1,60 @@
+"""CUDA-like SIMT GPU substrate.
+
+This package is the substrate substitute for the physical NVIDIA cards
+the paper benchmarked (GeForce 8800 GTS 512, 9800 GX2, GTX 280).  It
+models, from the parameters in the paper's Table 2:
+
+* device specifications and compute-capability features (:mod:`specs`),
+* the memory hierarchy with a texture-cache model (:mod:`memory`,
+  :mod:`cache`),
+* the CUDA occupancy rules (:mod:`occupancy`),
+* launch configuration validation (:mod:`launch`),
+* block-to-multiprocessor wave scheduling (:mod:`scheduler`),
+* an analytic SIMT timing model (:mod:`timing`, :mod:`calibration`),
+* a cycle-level micro-simulator used to validate the analytic trends
+  (:mod:`microsim`, :mod:`trace`),
+* a facade tying functional execution to timing (:mod:`simulator`).
+"""
+
+from repro.gpu.specs import (
+    DeviceSpecs,
+    ComputeCapability,
+    GEFORCE_8800_GTS_512,
+    GEFORCE_9800_GX2,
+    GEFORCE_GTX_280,
+    CARD_REGISTRY,
+    get_card,
+    list_cards,
+)
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.occupancy import OccupancyCalculator, OccupancyResult
+from repro.gpu.scheduler import BlockScheduler, SchedulePlan
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.report import TimingReport, PhaseTiming
+from repro.gpu.streams import StreamTimeline, StreamEvent
+
+# NOTE: repro.gpu.multi and repro.gpu.simt depend on repro.algos (which in
+# turn imports repro.gpu submodules); import them via their full module
+# paths or from the top-level repro package to avoid a cycle here.
+
+__all__ = [
+    "DeviceSpecs",
+    "ComputeCapability",
+    "GEFORCE_8800_GTS_512",
+    "GEFORCE_9800_GX2",
+    "GEFORCE_GTX_280",
+    "CARD_REGISTRY",
+    "get_card",
+    "list_cards",
+    "Dim3",
+    "LaunchConfig",
+    "OccupancyCalculator",
+    "OccupancyResult",
+    "BlockScheduler",
+    "SchedulePlan",
+    "GpuSimulator",
+    "TimingReport",
+    "PhaseTiming",
+    "StreamTimeline",
+    "StreamEvent",
+]

@@ -1,0 +1,159 @@
+"""Calibration constants for the analytic timing model.
+
+Every mechanism in the model (occupancy, 4-cycle warp issue, wave
+scheduling, transaction granularity, cache working sets) comes from the
+paper's Table 2 and the CUDA 2.0 programming guide.  The constants in
+this module are the *effective costs* of operations the paper's CUDA
+kernels performed but whose cycle counts 2009-era NVIDIA hardware never
+documented.  Each constant records the figure it was anchored against.
+
+Calibration philosophy (DESIGN.md §6): we reproduce the paper's
+*shapes* — who wins, trends with threads/level/card, crossover
+locations — and accept absolute-millisecond deviations, because the
+substrate is a model rather than the authors' testbed.
+
+Noteworthy generation differences encoded here:
+
+* **Broadcast texture chains** (Algorithms 1/2 read the same address
+  across the warp) cost slightly more cycles on GT200 than on G92, so
+  the thread-level algorithms scale with *shader clock* — the paper's
+  Characterization 7 and Fig. 8(a), where the 1625 MHz 8800 GTS 512
+  beats the GTX 280 (time ratio 228/167 ~= (690/630)x(1625/1296)).
+* **Divergent texture chains** (Algorithms 3/4 give every lane its own
+  stream) are far cheaper on GT200 than on G92 — G92's texture pipe
+  serializes divergent fetches.  Combined with the GTX 280's 2.5x
+  memory bandwidth this drives Characterization 8 and Fig. 8(b).
+* **Atomic costs**: the block-level kernels stage per-thread partial
+  counts through global atomics; CC 1.1 atomics are ~2.6x the CC 1.3
+  cost.  The ``threads x atomic`` term reproduces Fig. 8(b)'s rise with
+  thread count on every card.
+* **Buffer staging**: the paper's Algorithm 2 shows a much higher
+  effective per-element staging cost than Algorithm 4 (compare the
+  decays of Fig. 9d-f against 9j-l); we encode separate constants and
+  hypothesize stride/bank-conflict differences between the two load
+  loops.  Algorithm 2's low-thread-count staging cost is the one place
+  the paper's panels are mutually inconsistent (Fig. 9d vs 9f cannot be
+  produced by any common per-block cost model); we keep the physically
+  consistent value and record the deviation in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import ComputeCapability, DeviceSpecs
+
+
+@dataclass(frozen=True)
+class CardTimingParams:
+    """Per-generation effective latencies (shader cycles)."""
+
+    #: per-character dependent chain for broadcast texture FSM scans
+    #: (anchored to Fig. 8a / Fig. 9a-c absolute levels)
+    tex_broadcast_chain: float
+    #: per-character dependent chain for divergent (per-lane streamed)
+    #: texture FSM scans on a cache hit (anchored to Fig. 8b)
+    tex_divergent_chain_hit: float
+    #: extra chain cycles on a texture miss
+    tex_miss_extra: float
+    #: per-character dependent chain for shared-memory FSM scans
+    #: (anchored to the high-thread floors of Fig. 9d-f)
+    smem_chain: float
+    #: Algorithm 2's per-word (4-byte) buffer staging chain (Fig. 9d-f
+    #: decay).  Both staging loops load word-granular so CC 1.1 can
+    #: coalesce them (sub-word accesses cannot coalesce on G92).
+    a2_load_chain: float
+    #: Algorithm 4's per-word cooperative-load chain (Fig. 9j-l decay,
+    #: and the §7 conclusion that the oldest card wins small problems —
+    #: G92's staging path is cheaper per word at its higher clock)
+    a4_load_chain: float
+    #: device-serialized cost of one global atomic (Fig. 8b rise with t)
+    atomic_cycles: float
+    #: texture-unit occupancy per divergent lane fetch (per-warp for
+    #: broadcast fetches).  G92's texture pipe serializes divergent
+    #: fetches badly; GT200's does not — the flat base of Fig. 8(b).
+    tex_lane_cycles: float
+
+
+#: G92 cards (8800 GTS 512 and 9800 GX2) — compute capability 1.1.
+G92_TIMING = CardTimingParams(
+    tex_broadcast_chain=630.0,
+    tex_divergent_chain_hit=1_200.0,
+    tex_miss_extra=300.0,
+    smem_chain=165.0,
+    a2_load_chain=2_400.0,
+    a4_load_chain=2_200.0,
+    atomic_cycles=500.0,
+    tex_lane_cycles=25.0,
+)
+
+#: GT200 (GTX 280) — compute capability 1.3.
+GT200_TIMING = CardTimingParams(
+    tex_broadcast_chain=690.0,
+    tex_divergent_chain_hit=520.0,
+    tex_miss_extra=250.0,
+    smem_chain=115.0,
+    a2_load_chain=2_000.0,
+    a4_load_chain=4_320.0,
+    atomic_cycles=180.0,
+    tex_lane_cycles=1.5,
+)
+
+
+def timing_params_for(device: DeviceSpecs) -> CardTimingParams:
+    """Select the generation's timing parameters for a device."""
+    if device.compute_capability is ComputeCapability.CC_1_3:
+        return GT200_TIMING
+    return G92_TIMING
+
+
+@dataclass(frozen=True)
+class AlgoCostParams:
+    """Per-algorithm instruction-count constants (generation independent).
+
+    ``fsm_instructions_tex`` is the warp-instruction cost of one FSM
+    step — fetch decode, compare, table transition, counter update —
+    including the divergence factor (a warp split across the FSM's
+    advance/restart/reset arcs executes every arc, paper §2.1.1).  The
+    shared-memory variant is smaller because the texture fetch sequence
+    is replaced by a single shared load.
+    """
+
+    fsm_instructions_tex: float = 15.0
+    fsm_instructions_smem: float = 2.0
+    #: warp instructions per element of a cooperative buffer load
+    load_instructions: float = 2.0
+    #: cycles per level of the intra-block log2 tree reduction
+    reduce_step_cycles: float = 60.0
+    #: __syncthreads barrier cost, cycles
+    barrier_cycles: float = 40.0
+    #: serial stitch cost per boundary character (Fig. 5 fix-up)
+    stitch_cycles_per_char: float = 20.0
+    #: registers per thread the mining kernels consume (ptxas-style);
+    #: 16 x 512 exactly fills the G92 register file — one resident block
+    registers_per_thread: int = 16
+
+
+DEFAULT_ALGO_COSTS = AlgoCostParams()
+
+#: Algorithm 4's shared-memory staging buffer, in bytes.  The paper's
+#: buffered block-level kernel dedicates most of the 16 KB shared memory
+#: to the buffer, so at most one buffered block is resident per SM —
+#: the "only one block may be resident" situation of Characterization 2.
+A4_BUFFER_BYTES: int = 10_240
+
+#: Algorithm 2 stages a fixed per-thread stripe (bytes/thread), capped
+#: so counters still fit beside the buffer.  Scaling the chunk with the
+#: thread count is what lets small blocks stay multiply-resident (the
+#: Fig. 9f low-thread-count regime) while 512-thread blocks monopolize
+#: an SM.
+A2_BUFFER_BYTES_PER_THREAD: int = 64
+A2_BUFFER_CAP_BYTES: int = 14_336
+
+#: Backwards-compatible alias (Algorithm 4's buffer).
+BUFFER_BYTES: int = A4_BUFFER_BYTES
+
+
+def a2_buffer_bytes(threads_per_block: int) -> int:
+    """Algorithm 2's buffer size for a block of ``threads_per_block``."""
+    return min(A2_BUFFER_BYTES_PER_THREAD * threads_per_block, A2_BUFFER_CAP_BYTES)

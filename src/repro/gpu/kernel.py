@@ -1,0 +1,50 @@
+"""Kernel protocol: what the simulator needs from a kernel.
+
+A kernel bundles (a) a launch plan, (b) a functional execution that
+produces real results against the device's memory spaces, and (c) a
+:class:`~repro.gpu.trace.KernelTrace` quantifying the work for the
+timing model.  The mining algorithms in :mod:`repro.algos` implement
+this protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.specs import DeviceSpecs
+from repro.gpu.trace import KernelTrace
+
+
+class Kernel(abc.ABC):
+    """Abstract simulated kernel."""
+
+    #: short name used in reports and registries
+    name: str = "kernel"
+
+    @abc.abstractmethod
+    def launch_config(self, device: DeviceSpecs) -> LaunchConfig:
+        """The grid/block/shared-memory configuration for ``device``."""
+
+    @abc.abstractmethod
+    def build_trace(self, device: DeviceSpecs, config: LaunchConfig) -> KernelTrace:
+        """Quantify per-block work for the timing model."""
+
+    @abc.abstractmethod
+    def execute(self, memory: DeviceMemory, config: LaunchConfig) -> np.ndarray:
+        """Run the kernel functionally against device memory.
+
+        Returns the kernel's output array (for the mining kernels: the
+        per-episode occurrence counts, i.e. the MapReduce output).
+        """
+
+    def upload(self, memory: DeviceMemory) -> None:
+        """Stage input buffers into device memory (default: nothing)."""
+
+    def describe(self) -> dict[str, Any]:
+        """Metadata for experiment records."""
+        return {"kernel": self.name}

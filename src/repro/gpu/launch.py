@@ -1,0 +1,129 @@
+"""Kernel launch configuration: grid/block dimensions and validation.
+
+Mirrors the CUDA ``<<<grid, block, smem>>>`` launch syntax.  The paper's
+kernels are one-dimensional, but :class:`Dim3` supports the full 1/2/3-D
+arrangement the CUDA programming model exposes (paper §2.1.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LaunchError
+from repro.gpu.specs import DeviceSpecs
+
+
+@dataclass(frozen=True)
+class Dim3:
+    """A CUDA dim3: x/y/z extents, all >= 1."""
+
+    x: int
+    y: int = 1
+    z: int = 1
+
+    def __post_init__(self) -> None:
+        for axis in ("x", "y", "z"):
+            v = getattr(self, axis)
+            if not isinstance(v, int) or v < 1:
+                raise LaunchError(f"Dim3.{axis} must be a positive int, got {v!r}")
+
+    @property
+    def count(self) -> int:
+        """Total elements in the 3-D extent."""
+        return self.x * self.y * self.z
+
+    @classmethod
+    def of(cls, value: "int | tuple[int, ...] | Dim3") -> "Dim3":
+        """Coerce an int, tuple, or Dim3 into a Dim3."""
+        if isinstance(value, Dim3):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        if isinstance(value, tuple):
+            if not 1 <= len(value) <= 3:
+                raise LaunchError(f"Dim3 tuple must have 1-3 entries, got {value!r}")
+            return cls(*value)
+        raise LaunchError(f"cannot interpret {value!r} as Dim3")
+
+    def __str__(self) -> str:
+        return f"({self.x}, {self.y}, {self.z})"
+
+
+def flat_thread_id(block: Dim3, tx: int, ty: int = 0, tz: int = 0) -> int:
+    """CUDA's flattened thread id within a block (x fastest)."""
+    return tx + ty * block.x + tz * block.x * block.y
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """A validated kernel launch: grid, block, dynamic shared memory, regs.
+
+    ``registers_per_thread`` is declared by the kernel (the CUDA compiler
+    would report it via ``-ptxas-options=-v``); it participates in the
+    occupancy calculation exactly as the paper's quotation of Mars [12]
+    warns ("performance can be strongly affected by the number of
+    registers ... amount of local memory ... number of threads").
+    """
+
+    grid: Dim3
+    block: Dim3
+    shared_mem_bytes: int = 0
+    registers_per_thread: int = 16
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", Dim3.of(self.grid))
+        object.__setattr__(self, "block", Dim3.of(self.block))
+        if self.shared_mem_bytes < 0:
+            raise LaunchError(
+                f"shared_mem_bytes must be >= 0, got {self.shared_mem_bytes}"
+            )
+        if self.registers_per_thread < 1:
+            raise LaunchError(
+                f"registers_per_thread must be >= 1, got {self.registers_per_thread}"
+            )
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.block.count
+
+    @property
+    def total_blocks(self) -> int:
+        return self.grid.count
+
+    @property
+    def total_threads(self) -> int:
+        return self.total_blocks * self.threads_per_block
+
+    def warps_per_block(self, warp_size: int = 32) -> int:
+        """Warps per block, counting the partially-filled tail warp."""
+        return -(-self.threads_per_block // warp_size)
+
+    def validate(self, device: DeviceSpecs) -> "LaunchConfig":
+        """Raise :class:`LaunchError` if this launch violates device limits."""
+        if self.threads_per_block > device.max_threads_per_block:
+            raise LaunchError(
+                f"{self.threads_per_block} threads/block exceeds "
+                f"{device.name} limit of {device.max_threads_per_block}"
+            )
+        if self.block.y > 512 or self.block.z > 64:
+            raise LaunchError(
+                f"block dims {self.block} exceed CUDA per-axis limits (512,512,64)"
+            )
+        if self.grid.count < 1:
+            raise LaunchError("grid must contain at least one block")
+        if self.grid.x > 65535 or self.grid.y > 65535:
+            raise LaunchError(
+                f"grid dims {self.grid} exceed CUDA per-axis limit of 65535"
+            )
+        if self.shared_mem_bytes > device.shared_mem_per_sm:
+            raise LaunchError(
+                f"block requests {self.shared_mem_bytes} B shared memory but "
+                f"{device.name} has {device.shared_mem_per_sm} B per SM"
+            )
+        regs_needed = self.registers_per_thread * self.threads_per_block
+        if regs_needed > device.registers_per_sm:
+            raise LaunchError(
+                f"block needs {regs_needed} registers but {device.name} has "
+                f"{device.registers_per_sm} per SM"
+            )
+        return self

@@ -1,0 +1,173 @@
+"""Functional device memory spaces.
+
+These classes carry the *functional* state of a simulated device —
+NumPy-backed buffers for global, texture, constant, and shared memory —
+plus access counters the timing model and tests can interrogate.  They
+deliberately do not model timing; timing lives in :mod:`repro.gpu.timing`
+(analytic) and :mod:`repro.gpu.microsim` (cycle-level).
+
+Space semantics follow the paper's §2.1.1 description:
+
+* **global** — read/write, off-chip, device-wide;
+* **texture** — read-only from kernels, cached per-SM (see
+  :mod:`repro.gpu.cache`);
+* **constant** — read-only, small, cached;
+* **shared** — per-block scratchpad, 16 KB per SM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.specs import DeviceSpecs
+
+
+@dataclass
+class AccessCounters:
+    """Read/write counters, in elements, for one memory space."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class MemorySpace:
+    """Base class: a named, bounds-checked, access-counted byte store."""
+
+    def __init__(self, name: str, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise DeviceMemoryError(f"{name}: capacity must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.counters = AccessCounters()
+        self._buffers: dict[str, np.ndarray] = {}
+        self._used = 0
+
+    # -- allocation --------------------------------------------------------
+    def alloc(self, key: str, data: np.ndarray) -> np.ndarray:
+        """Copy ``data`` into the space under ``key``; returns the copy."""
+        if key in self._buffers:
+            raise DeviceMemoryError(f"{self.name}: buffer {key!r} already allocated")
+        nbytes = int(data.nbytes)
+        if self._used + nbytes > self.capacity_bytes:
+            raise DeviceMemoryError(
+                f"{self.name}: allocating {nbytes} B for {key!r} exceeds "
+                f"capacity ({self._used}/{self.capacity_bytes} B used)"
+            )
+        buf = np.array(data, copy=True)
+        buf.setflags(write=self.writable)
+        self._buffers[key] = buf
+        self._used += nbytes
+        return buf
+
+    def free(self, key: str) -> None:
+        buf = self._buffers.pop(key, None)
+        if buf is None:
+            raise DeviceMemoryError(f"{self.name}: no buffer {key!r} to free")
+        self._used -= int(buf.nbytes)
+
+    def get(self, key: str) -> np.ndarray:
+        try:
+            return self._buffers[key]
+        except KeyError:
+            raise DeviceMemoryError(f"{self.name}: no buffer {key!r}") from None
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def writable(self) -> bool:
+        return True
+
+    # -- counted access helpers ---------------------------------------------
+    def read(self, key: str, index: "int | np.ndarray") -> np.ndarray:
+        """Counted elementwise read (scalar or fancy index)."""
+        buf = self.get(key)
+        out = buf[index]
+        self.counters.reads += int(np.size(out))
+        return out
+
+    def write(self, key: str, index: "int | np.ndarray", value: np.ndarray) -> None:
+        """Counted elementwise write."""
+        if not self.writable:
+            raise DeviceMemoryError(f"{self.name} is read-only from kernels")
+        buf = self.get(key)
+        buf[index] = value
+        self.counters.writes += int(np.size(value))
+
+
+class GlobalMemory(MemorySpace):
+    """Off-chip device memory: read/write, capacity from the card specs."""
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        super().__init__("global", device.memory_bytes)
+
+
+class TextureMemory(MemorySpace):
+    """Read-only (from kernels) texture-bound memory.
+
+    Binding is modeled as allocation; reads are counted so the cache
+    model can derive hit rates from actual access streams in tests.
+    """
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        super().__init__("texture", device.memory_bytes)
+
+    @property
+    def writable(self) -> bool:
+        return False
+
+
+class ConstantMemory(MemorySpace):
+    """64 KB cached constant space (CUDA 2.0 fixed size)."""
+
+    CONSTANT_BYTES = 64 * 1024
+
+    def __init__(self, device: DeviceSpecs) -> None:  # noqa: ARG002 - uniform ctor
+        super().__init__("constant", self.CONSTANT_BYTES)
+
+    @property
+    def writable(self) -> bool:
+        return False
+
+
+class SharedMemory(MemorySpace):
+    """Per-block scratchpad; one instance per simulated resident block."""
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        super().__init__("shared", device.shared_mem_per_sm)
+
+
+@dataclass
+class DeviceMemory:
+    """The full memory system of one simulated device."""
+
+    device: DeviceSpecs
+    global_mem: GlobalMemory = field(init=False)
+    texture_mem: TextureMemory = field(init=False)
+    constant_mem: ConstantMemory = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.global_mem = GlobalMemory(self.device)
+        self.texture_mem = TextureMemory(self.device)
+        self.constant_mem = ConstantMemory(self.device)
+
+    def new_shared(self) -> SharedMemory:
+        """Fresh per-block shared memory (cleared between blocks)."""
+        return SharedMemory(self.device)
+
+    def reset_counters(self) -> None:
+        self.global_mem.counters.reset()
+        self.texture_mem.counters.reset()
+        self.constant_mem.counters.reset()

@@ -1,0 +1,184 @@
+"""Cycle-level SIMT micro-simulator.
+
+Replays warp instruction streams against one multiprocessor at cycle
+granularity: round-robin issue of one warp instruction per
+``cycles_per_warp_instruction`` (4) cycles, warps stalled on memory
+until their access latency elapses, and a bandwidth-limited memory
+pipe.  Much too slow for the 393,019-character database, but exactly
+right for validating the analytic model's *regimes* on small streams —
+tests assert that the analytic issue/latency crossover matches what the
+micro-simulator observes (see ``tests/test_microsim.py``).
+
+This is the micro-benchmark instrument the paper's §6 wishes for
+("a series of micro-benchmarks to discover the underlying hardware and
+architectural features such as scheduling, caching, and memory
+allocation") — pointed at our own modeled hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.gpu.specs import DeviceSpecs
+from repro.gpu.trace import KernelTrace, Pattern, Phase, Space
+
+
+class Op(enum.Enum):
+    COMPUTE = "compute"
+    MEMORY = "memory"
+    BARRIER = "barrier"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One warp instruction: op class plus memory latency if any."""
+
+    op: Op
+    latency: int = 0  # post-issue stall for MEMORY ops
+
+
+@dataclass
+class WarpState:
+    """Execution cursor of one warp."""
+
+    warp_id: int
+    program: list[Instruction]
+    pc: int = 0
+    ready_at: int = 0
+    at_barrier: bool = False
+
+    @property
+    def done(self) -> bool:
+        return self.pc >= len(self.program)
+
+
+@dataclass(frozen=True)
+class MicrosimResult:
+    """Outcome of simulating one SM."""
+
+    cycles: int
+    instructions_issued: int
+    memory_stall_cycles: int
+    barrier_waits: int
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions_issued / self.cycles if self.cycles else 0.0
+
+
+class SmMicrosim:
+    """Single-SM cycle simulator with round-robin warp scheduling.
+
+    The scheduler picks the least-recently-issued ready warp each issue
+    slot — the "0-cycle overhead" scheduling the paper describes
+    (§2.1.2) — and charges each instruction the device's 4-cycle warp
+    issue time.  Memory instructions additionally stall their warp for
+    ``latency`` cycles, during which other warps may issue: the latency-
+    hiding mechanism whose saturation point the analytic model predicts.
+    """
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        self.device = device
+
+    def run(self, programs: list[list[Instruction]]) -> MicrosimResult:
+        if not programs:
+            raise ConfigError("microsim needs at least one warp program")
+        cpi = self.device.cycles_per_warp_instruction
+        warps = [WarpState(i, prog) for i, prog in enumerate(programs)]
+        cycle = 0
+        issued = 0
+        mem_stall = 0
+        barrier_waits = 0
+        # round-robin order maintained as a rotating list of warp ids
+        order = list(range(len(warps)))
+        while any(not w.done for w in warps):
+            # barrier release: if every unfinished warp is at a barrier,
+            # release them all
+            pending = [w for w in warps if not w.done]
+            if pending and all(w.at_barrier for w in pending):
+                for w in pending:
+                    w.at_barrier = False
+                    w.pc += 1
+                barrier_waits += 1
+                continue
+            # choose next ready warp in round-robin order
+            chosen = None
+            for idx, wid in enumerate(order):
+                w = warps[wid]
+                if w.done or w.at_barrier or w.ready_at > cycle:
+                    continue
+                chosen = w
+                order.append(order.pop(idx))
+                break
+            if chosen is None:
+                # all stalled: advance to the earliest wake-up
+                wake = min(
+                    (w.ready_at for w in warps if not w.done and not w.at_barrier),
+                    default=cycle + 1,
+                )
+                stall = max(1, wake - cycle)
+                mem_stall += stall
+                cycle += stall
+                continue
+            inst = chosen.program[chosen.pc]
+            cycle += cpi
+            issued += 1
+            if inst.op is Op.BARRIER:
+                chosen.at_barrier = True
+                # pc advanced on release
+            elif inst.op is Op.MEMORY:
+                chosen.ready_at = cycle + inst.latency
+                chosen.pc += 1
+            else:
+                chosen.pc += 1
+        return MicrosimResult(
+            cycles=cycle,
+            instructions_issued=issued,
+            memory_stall_cycles=mem_stall,
+            barrier_waits=barrier_waits,
+        )
+
+
+def programs_from_phase(
+    phase: Phase,
+    device: DeviceSpecs,
+    n_warps: int,
+    elements_override: int | None = None,
+) -> list[list[Instruction]]:
+    """Expand a trace phase into identical per-warp instruction streams.
+
+    ``elements_override`` shrinks the element count so the cycle-level
+    replay stays tractable; trends (not totals) are what tests compare.
+    """
+    if n_warps < 1:
+        raise ConfigError("need at least one warp")
+    elements = int(
+        elements_override
+        if elements_override is not None
+        else phase.elements_per_thread
+    )
+    per_elem_compute = max(0, round(phase.instructions_per_element) - 1)
+    latency = int(phase.chain_cycles_per_element)
+    program: list[Instruction] = []
+    for _ in range(elements):
+        if phase.space in (Space.TEXTURE, Space.GLOBAL, Space.SHARED):
+            program.append(Instruction(Op.MEMORY, latency=latency))
+        for _ in range(per_elem_compute):
+            program.append(Instruction(Op.COMPUTE))
+    if not program:
+        program.append(Instruction(Op.COMPUTE))
+    return [list(program) for _ in range(n_warps)]
+
+
+def simulate_phase(
+    phase: Phase,
+    device: DeviceSpecs,
+    n_warps: int,
+    elements: int,
+) -> MicrosimResult:
+    """Convenience wrapper: expand and run one phase on one SM."""
+    sim = SmMicrosim(device)
+    return sim.run(programs_from_phase(phase, device, n_warps, elements))

@@ -1,0 +1,110 @@
+"""CUDA occupancy calculator.
+
+Computes how many blocks of a given launch can be *resident* on one
+multiprocessor simultaneously, limited by (paper Table 2 / §2.1.2):
+
+* the hard per-SM block ceiling (8 on all three cards),
+* the active-thread ceiling (768 on G92, 1024 on GT200),
+* the active-warp ceiling (24 on G92, 32 on GT200),
+* the register file (blocks consume ``regs/thread x threads``),
+* shared memory (blocks consume their static + dynamic allocation).
+
+The paper's §6 notes the stock CUDA Occupancy Calculator "only shows the
+utilization of a given multiprocessor" and that "30 multiprocessors of
+occupancy 66% might perform better than 15 multiprocessors at 100%" —
+:meth:`OccupancyCalculator.device_utilization` exposes exactly that
+device-wide view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LaunchError
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.specs import DeviceSpecs
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Residency outcome for one launch on one device.
+
+    ``limiter`` names the binding constraint — useful when tuning the
+    thread-count dimension the paper sweeps.
+    """
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float  # active warps / max warps, the CUDA definition
+    limiter: str
+
+    @property
+    def is_full(self) -> bool:
+        return self.occupancy >= 1.0 - 1e-9
+
+
+class OccupancyCalculator:
+    """Compute residency and occupancy for launches on a device."""
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        self.device = device
+
+    def blocks_per_sm(self, config: LaunchConfig) -> OccupancyResult:
+        """Maximum simultaneously-resident blocks per SM for ``config``."""
+        d = self.device
+        config.validate(d)
+        t = config.threads_per_block
+        warps = config.warps_per_block(d.warp_size)
+        # Threads are allocated to SMs at warp granularity.
+        warp_slots = d.max_warps_per_sm // warps
+        thread_slots = d.max_threads_per_sm // (warps * d.warp_size)
+        limits = {
+            "blocks": d.max_blocks_per_sm,
+            "threads": min(warp_slots, thread_slots),
+            "registers": d.registers_per_sm // max(1, config.registers_per_thread * t),
+            "shared_mem": (
+                d.shared_mem_per_sm // config.shared_mem_bytes
+                if config.shared_mem_bytes > 0
+                else d.max_blocks_per_sm
+            ),
+        }
+        limiter = min(limits, key=lambda k: limits[k])
+        blocks = limits[limiter]
+        if blocks < 1:
+            raise LaunchError(
+                f"launch with {t} threads/block cannot fit on {d.name} "
+                f"(limited by {limiter}: {limits})"
+            )
+        resident_warps = blocks * warps
+        return OccupancyResult(
+            blocks_per_sm=blocks,
+            warps_per_sm=resident_warps,
+            threads_per_sm=resident_warps * d.warp_size,
+            occupancy=resident_warps / d.max_warps_per_sm,
+            limiter=limiter,
+        )
+
+    def active_sms(self, config: LaunchConfig) -> int:
+        """How many SMs receive at least one block (may be < SM count)."""
+        return min(self.device.multiprocessors, config.total_blocks)
+
+    def device_utilization(self, config: LaunchConfig) -> float:
+        """Device-wide active-warp fraction (paper §6's missing metric).
+
+        occupancy x (active SMs / total SMs): 26 single-warp blocks on a
+        30-SM GTX 280 shows up as low device utilization even though each
+        loaded SM may be "busy".
+        """
+        res = self.blocks_per_sm(config)
+        sms = self.active_sms(config)
+        blocks_on_busiest = min(res.blocks_per_sm, -(-config.total_blocks // sms))
+        warps_used = min(
+            config.total_blocks * config.warps_per_block(self.device.warp_size),
+            sms * blocks_on_busiest * config.warps_per_block(self.device.warp_size),
+        )
+        return warps_used / (self.device.multiprocessors * self.device.max_warps_per_sm)
+
+    def max_resident_blocks(self, config: LaunchConfig) -> int:
+        """Device-wide simultaneously-resident block capacity."""
+        return self.blocks_per_sm(config).blocks_per_sm * self.device.multiprocessors

@@ -1,0 +1,92 @@
+"""Timing reports returned by the simulator.
+
+A :class:`TimingReport` is the simulated analogue of the paper's
+measurement: "the amount of time between the moment the kernel is
+invoked, to the moment that it returns" (§5), broken down by phase and
+bound so experiments can explain *why* a configuration is slow — the
+explanatory power the paper's characterizations are built on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import cycles_to_ms
+
+
+@dataclass(frozen=True)
+class PhaseTiming:
+    """Cycles attributed to one phase, with its binding bound."""
+
+    name: str
+    cycles: float
+    bound: str  # 'issue' | 'latency' | 'bandwidth' | 'serial' | 'fixed'
+    issue_cycles: float
+    latency_cycles: float
+    bandwidth_cycles: float
+    serial_cycles: float = 0.0
+    fixed_cycles: float = 0.0
+
+
+@dataclass(frozen=True)
+class TimingReport:
+    """Full kernel timing: per-phase breakdown plus launch bookkeeping."""
+
+    kernel_name: str
+    device_name: str
+    clock_mhz: float
+    total_cycles: float
+    launch_cycles: float
+    atomic_cycles: float
+    waves: int
+    resident_blocks_per_sm: int
+    occupancy: float
+    phase_timings: tuple[PhaseTiming, ...]
+    notes: str = ""
+
+    @property
+    def total_ms(self) -> float:
+        """Kernel wall time in milliseconds at the device's shader clock."""
+        return cycles_to_ms(self.total_cycles, self.clock_mhz)
+
+    @property
+    def dominant_phase(self) -> str:
+        if not self.phase_timings:
+            return "launch"
+        best = max(self.phase_timings, key=lambda p: p.cycles)
+        return best.name
+
+    @property
+    def dominant_bound(self) -> str:
+        if not self.phase_timings:
+            return "fixed"
+        best = max(self.phase_timings, key=lambda p: p.cycles)
+        return best.bound
+
+    def phase(self, name: str) -> PhaseTiming:
+        for p in self.phase_timings:
+            if p.name == name:
+                return p
+        raise KeyError(f"no phase {name!r} in report for {self.kernel_name}")
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase-name -> milliseconds map (plus launch/atomic overheads)."""
+        out = {p.name: cycles_to_ms(p.cycles, self.clock_mhz) for p in self.phase_timings}
+        out["launch"] = cycles_to_ms(self.launch_cycles, self.clock_mhz)
+        out["atomics"] = cycles_to_ms(self.atomic_cycles, self.clock_mhz)
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.kernel_name} on {self.device_name}: "
+            f"{self.total_ms:.3f} ms ({self.total_cycles:.0f} cycles)",
+            f"  waves={self.waves} resident_blocks/SM={self.resident_blocks_per_sm} "
+            f"occupancy={self.occupancy:.2f} dominant={self.dominant_phase}"
+            f"[{self.dominant_bound}]",
+        ]
+        for p in self.phase_timings:
+            lines.append(
+                f"  phase {p.name:<12} {cycles_to_ms(p.cycles, self.clock_mhz):9.3f} ms"
+                f"  bound={p.bound}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,88 @@
+"""Block-to-multiprocessor scheduling.
+
+The CUDA runtime places thread blocks on multiprocessors "according to
+available execution capacity" (paper §2.1.2) and the programmer cannot
+influence placement.  The model therefore assumes the documented
+behaviour: blocks are dispatched in waves — each SM holds up to its
+occupancy-limited resident count, and as the grid exceeds device
+capacity, additional *waves* of blocks run back-to-back
+(Characterization 3's "cost of loading more blocks than can be active on
+the card simultaneously").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.occupancy import OccupancyCalculator, OccupancyResult
+from repro.gpu.specs import DeviceSpecs
+
+
+@dataclass(frozen=True)
+class Wave:
+    """One dispatch wave: how loaded the busiest SM is."""
+
+    index: int
+    blocks: int
+    sms_used: int
+    blocks_per_sm: int  # on the busiest SM — sets the wave's duration
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """Full wave decomposition of a grid on a device."""
+
+    device_name: str
+    total_blocks: int
+    resident_blocks_per_sm: int
+    occupancy: OccupancyResult
+    waves: tuple[Wave, ...]
+
+    @property
+    def n_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def full_capacity(self) -> int:
+        """Device-wide resident-block capacity per wave."""
+        return self.waves[0].sms_used * self.resident_blocks_per_sm if self.waves else 0
+
+
+class BlockScheduler:
+    """Decompose a launch into waves over a device's SMs."""
+
+    def __init__(self, device: DeviceSpecs) -> None:
+        self.device = device
+        self._occupancy = OccupancyCalculator(device)
+
+    def plan(self, config: LaunchConfig) -> SchedulePlan:
+        """Compute the wave structure for ``config``.
+
+        Blocks are spread across SMs before they stack: a 26-block grid
+        on a 30-SM card uses 26 SMs with one block each, not 4 SMs with
+        6-7 — matching the "available execution capacity" rule, which
+        favours idle SMs.
+        """
+        occ = self._occupancy.blocks_per_sm(config)
+        n_sm = self.device.multiprocessors
+        remaining = config.total_blocks
+        waves: list[Wave] = []
+        idx = 0
+        capacity = n_sm * occ.blocks_per_sm
+        while remaining > 0:
+            in_wave = min(remaining, capacity)
+            sms_used = min(n_sm, in_wave)
+            per_sm = -(-in_wave // sms_used)  # busiest SM's block count
+            waves.append(
+                Wave(index=idx, blocks=in_wave, sms_used=sms_used, blocks_per_sm=per_sm)
+            )
+            remaining -= in_wave
+            idx += 1
+        return SchedulePlan(
+            device_name=self.device.name,
+            total_blocks=config.total_blocks,
+            resident_blocks_per_sm=occ.blocks_per_sm,
+            occupancy=occ,
+            waves=tuple(waves),
+        )

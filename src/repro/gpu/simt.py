@@ -1,0 +1,336 @@
+"""SIMT kernel interpreter: per-thread kernels with warp-lockstep timing.
+
+The mining kernels in :mod:`repro.algos` execute functionally via
+vectorized NumPy (fast enough for the 393,019-character database) and
+are *timed* analytically.  This module closes the loop at the bottom:
+a genuine SIMT interpreter that runs **per-thread Python kernels**
+against the device's memory spaces, warp by warp, tracking the two
+quantities the CUDA execution model makes programmers care about
+(paper §2.1):
+
+* **divergence** — when a warp's threads disagree on a branch, every
+  taken path executes serially with the warp partially masked; the
+  interpreter counts the serialized passes exactly;
+* **lockstep memory traffic** — per-warp memory instructions and their
+  address patterns (broadcast vs divergent), the inputs to the texture
+  cache and coalescing models.
+
+Kernels are written as generator functions receiving a
+:class:`ThreadCtx` and yielding :class:`Op` markers at every memory
+access, branch point, and barrier::
+
+    def kernel(ctx):
+        tid = ctx.global_thread_id
+        c = yield Read("db", tid)         # warp-lockstep load
+        if (yield Branch(c == 0)):        # divergence tracked here
+            ctx.store_result(tid, 1)
+        yield Sync()                      # block barrier
+
+The interpreter is intended for small inputs — unit tests use it to
+validate the vectorized kernels' semantics and the divergence factors
+the calibration constants encode (see ``tests/test_simt.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable
+
+import numpy as np
+
+from repro.errors import LaunchError, ValidationError
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.memory import DeviceMemory, SharedMemory
+from repro.gpu.specs import DeviceSpecs
+
+
+# ---------------------------------------------------------------------------
+# ops yielded by kernels
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Read:
+    """Load one element from a named device buffer."""
+
+    buffer: str
+    index: int
+    space: str = "global"  # 'global' | 'texture' | 'shared' | 'constant'
+
+
+@dataclass(frozen=True)
+class Write:
+    """Store one element to a named device buffer."""
+
+    buffer: str
+    index: int
+    value: Any
+    space: str = "global"
+
+
+@dataclass(frozen=True)
+class Branch:
+    """Declare a divergent-capable branch; the kernel receives the
+    condition back and the interpreter records warp divergence."""
+
+    condition: bool
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Block-wide barrier (__syncthreads)."""
+
+
+@dataclass(frozen=True)
+class AtomicAdd:
+    """Atomic read-modify-write on a global buffer."""
+
+    buffer: str
+    index: int
+    value: Any
+
+
+KernelFn = Callable[["ThreadCtx"], Generator[Any, Any, None]]
+
+
+@dataclass
+class ThreadCtx:
+    """Per-thread view: indices plus scratch the kernel may use."""
+
+    block_id: int
+    thread_id: int
+    block_dim: int
+    grid_dim: int
+    shared: SharedMemory
+    #: free-form per-thread locals (registers)
+    regs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def global_thread_id(self) -> int:
+        return self.block_id * self.block_dim + self.thread_id
+
+
+@dataclass
+class SimtStats:
+    """Execution statistics the interpreter collects."""
+
+    warp_instructions: int = 0
+    memory_ops: int = 0
+    broadcast_loads: int = 0
+    divergent_loads: int = 0
+    branches: int = 0
+    divergent_branches: int = 0
+    serialized_passes: int = 0  # extra warp passes caused by divergence
+    barriers: int = 0
+    atomics: int = 0
+
+    @property
+    def divergence_rate(self) -> float:
+        return self.divergent_branches / self.branches if self.branches else 0.0
+
+
+class SimtInterpreter:
+    """Execute a kernel over a grid, warp by warp, in lockstep.
+
+    Threads of a warp advance together; at a :class:`Branch`, threads
+    are partitioned by condition and each non-empty side is charged one
+    serialized pass (the paper: "every instruction of every thread path
+    is executed", §2.1.1).  Reconvergence is immediate after the branch
+    op — sufficient for the structured kernels used here.
+    """
+
+    def __init__(self, device: DeviceSpecs, memory: DeviceMemory) -> None:
+        self.device = device
+        self.memory = memory
+        self.stats = SimtStats()
+
+    # -- memory plumbing -----------------------------------------------------
+    def _space(self, name: str, shared: SharedMemory):
+        if name == "global":
+            return self.memory.global_mem
+        if name == "texture":
+            return self.memory.texture_mem
+        if name == "constant":
+            return self.memory.constant_mem
+        if name == "shared":
+            return shared
+        raise ValidationError(f"unknown memory space {name!r}")
+
+    # -- execution ------------------------------------------------------------
+    def launch(self, kernel: KernelFn, config: LaunchConfig) -> SimtStats:
+        """Run ``kernel`` for every thread of ``config``'s grid."""
+        config.validate(self.device)
+        self.stats = SimtStats()
+        block_dim = config.threads_per_block
+        for block in range(config.total_blocks):
+            self._run_block(kernel, block, block_dim, config.total_blocks)
+        return self.stats
+
+    def _run_block(
+        self, kernel: KernelFn, block_id: int, block_dim: int, grid_dim: int
+    ) -> None:
+        shared = self.memory.new_shared()
+        warp = self.device.warp_size
+        # Build all thread generators up front (barriers span the block).
+        threads = []
+        for tid in range(block_dim):
+            ctx = ThreadCtx(
+                block_id=block_id,
+                thread_id=tid,
+                block_dim=block_dim,
+                grid_dim=grid_dim,
+                shared=shared,
+            )
+            threads.append(_ThreadState(gen=kernel(ctx), ctx=ctx))
+        warps = [threads[i : i + warp] for i in range(0, block_dim, warp)]
+        # advance warps round-robin until a barrier or completion
+        while any(not t.done for t in threads):
+            live = [t for t in threads if not t.done]
+            if live and all(t.at_barrier for t in live):
+                # CUDA semantics: a thread exiting before a barrier that
+                # others wait at deadlocks the block.
+                required = max(t.barriers_passed for t in live) + 1
+                if any(t.done and t.barriers_passed < required for t in threads):
+                    raise LaunchError(
+                        "SIMT deadlock: __syncthreads not reached by every "
+                        "thread of the block"
+                    )
+                self.stats.barriers += 1
+                for t in live:
+                    t.at_barrier = False
+                    t.barriers_passed += 1
+                continue
+            progressed = False
+            for w in warps:
+                if self._step_warp(w):
+                    progressed = True
+            if not progressed and any(not t.done for t in threads):
+                # every live thread is parked at a barrier handled above;
+                # reaching here means a lone thread never syncs — bug
+                raise LaunchError("SIMT deadlock: threads stalled outside barrier")
+
+    def _step_warp(self, warp: "list[_ThreadState]") -> bool:
+        """Advance each runnable thread of the warp by one op, lockstep."""
+        runnable = [t for t in warp if not t.done and not t.at_barrier]
+        if not runnable:
+            return False
+        # one warp instruction per lockstep op
+        self.stats.warp_instructions += 1
+        ops: list[tuple[_ThreadState, Any]] = []
+        for t in runnable:
+            op = t.advance()
+            if op is not None:
+                ops.append((t, op))
+        if not ops:
+            return True
+        kinds = {type(op) for (_, op) in ops}
+        if len(kinds) > 1:
+            # Structured kernels keep warps op-aligned; mixed op kinds mean
+            # earlier divergence reconverged unevenly — charge extra passes.
+            self.stats.serialized_passes += len(kinds) - 1
+        self._apply_ops(ops)
+        return True
+
+    def _apply_ops(self, ops: "list[tuple[_ThreadState, Any]]") -> None:
+        reads = [(t, op) for (t, op) in ops if isinstance(op, Read)]
+        if reads:
+            self.stats.memory_ops += 1
+            addresses = {op.index for (_, op) in reads}
+            if len(addresses) == 1 and len(reads) > 1:
+                self.stats.broadcast_loads += 1
+            elif len(addresses) > 1:
+                self.stats.divergent_loads += 1
+            for t, op in reads:
+                space = self._space(op.space, t.ctx.shared)
+                t.send_value = space.read(op.buffer, op.index)
+        for t, op in ops:
+            if isinstance(op, Write):
+                space = self._space(op.space, t.ctx.shared)
+                space.write(op.buffer, op.index, op.value)
+                self.stats.memory_ops += 1
+                t.send_value = None
+            elif isinstance(op, AtomicAdd):
+                buf = self._space("global", t.ctx.shared).get(op.buffer)
+                old = buf[op.index]
+                buf[op.index] = old + op.value
+                self.stats.atomics += 1
+                t.send_value = old
+            elif isinstance(op, Branch):
+                t.send_value = op.condition
+            elif isinstance(op, Sync):
+                t.at_barrier = True
+                t.send_value = None
+        branches = [(t, op) for (t, op) in ops if isinstance(op, Branch)]
+        if branches:
+            self.stats.branches += 1
+            outcomes = {op.condition for (_, op) in branches}
+            if len(outcomes) > 1:
+                self.stats.divergent_branches += 1
+                self.stats.serialized_passes += 1  # both arcs execute
+
+
+@dataclass
+class _ThreadState:
+    gen: Generator[Any, Any, None]
+    ctx: ThreadCtx
+    done: bool = False
+    at_barrier: bool = False
+    barriers_passed: int = 0
+    send_value: Any = None
+    _pending: Any = None
+    _started: bool = False
+
+    def advance(self) -> Any:
+        """Resume the generator with the last op's result; return next op."""
+        try:
+            if not self._started:
+                self._started = True
+                op = next(self.gen)
+            else:
+                op = self.gen.send(self.send_value)
+            self.send_value = None
+            return op
+        except StopIteration:
+            self.done = True
+            return None
+
+
+# ---------------------------------------------------------------------------
+# the paper's FSM search, written as a per-thread SIMT kernel
+# ---------------------------------------------------------------------------
+
+def make_episode_search_kernel(
+    n_chars: int, episode_len: int, n_episodes: int
+) -> KernelFn:
+    """Algorithm 1 as a true per-thread kernel (RESET policy).
+
+    One thread per episode; the episode table lives in constant memory
+    as an (E, L) matrix under ``"episodes"``, the database in texture
+    memory under ``"db"``, and counts are written to global ``"counts"``.
+    Used by tests to cross-validate the vectorized kernels and to
+    measure divergence empirically.
+    """
+
+    def kernel(ctx: ThreadCtx):
+        eid = ctx.global_thread_id % n_episodes
+        episode = []
+        for j in range(episode_len):
+            item = yield Read("episodes", (eid, j), space="constant")
+            episode.append(int(item))
+        state = 0
+        count = 0
+        for pos in range(n_chars):
+            c = int((yield Read("db", pos, space="texture")))
+            advance = yield Branch(c == episode[state])
+            if advance:
+                state += 1
+                if state == episode_len:
+                    count += 1
+                    state = 0
+            else:
+                restart = yield Branch(c == episode[0])
+                state = 1 if restart else 0
+        if ctx.global_thread_id < n_episodes:
+            yield Write("counts", eid, count)
+
+    return kernel

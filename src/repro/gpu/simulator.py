@@ -1,0 +1,76 @@
+"""Simulator facade: launch kernels, get results plus timing.
+
+:class:`GpuSimulator` ties the functional memory system, the block
+scheduler, and the analytic timing model together behind the one call
+experiments use::
+
+    sim = GpuSimulator(get_card("GTX280"))
+    counts, report = sim.launch(kernel)
+
+The measured quantity mirrors the paper's §5 definition: kernel
+invocation to kernel return (launch overhead included, host-side data
+preparation excluded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gpu.calibration import AlgoCostParams, CardTimingParams
+from repro.gpu.kernel import Kernel
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.report import TimingReport
+from repro.gpu.specs import DeviceSpecs
+from repro.gpu.timing import AnalyticTimingModel
+
+
+@dataclass(frozen=True)
+class LaunchResult:
+    """Functional output plus timing for one kernel launch."""
+
+    output: np.ndarray
+    report: TimingReport
+
+
+class GpuSimulator:
+    """One simulated CUDA device."""
+
+    def __init__(
+        self,
+        device: DeviceSpecs,
+        card_params: CardTimingParams | None = None,
+        algo_costs: AlgoCostParams | None = None,
+    ) -> None:
+        self.device = device
+        self.memory = DeviceMemory(device)
+        self.model = AnalyticTimingModel(device, card_params, algo_costs)
+
+    def launch(
+        self, kernel: Kernel, config: LaunchConfig | None = None
+    ) -> LaunchResult:
+        """Validate, execute functionally, and time ``kernel``."""
+        cfg = config or kernel.launch_config(self.device)
+        cfg.validate(self.device)
+        kernel.upload(self.memory)
+        output = kernel.execute(self.memory, cfg)
+        trace = kernel.build_trace(self.device, cfg)
+        report = self.model.time_kernel(trace, cfg)
+        return LaunchResult(output=output, report=report)
+
+    def time_only(
+        self, kernel: Kernel, config: LaunchConfig | None = None
+    ) -> TimingReport:
+        """Model timing without functional execution.
+
+        The characterization sweeps evaluate thousands of
+        (algorithm, level, card, thread-count) points whose functional
+        output is identical across thread counts; skipping re-execution
+        keeps the harness fast without changing any reported number.
+        """
+        cfg = config or kernel.launch_config(self.device)
+        cfg.validate(self.device)
+        trace = kernel.build_trace(self.device, cfg)
+        return self.model.time_kernel(trace, cfg)

@@ -1,0 +1,231 @@
+"""Device specifications for the three cards in the paper's Table 2.
+
+Each :class:`DeviceSpecs` instance carries the architectural parameters
+the paper tabulates (multiprocessors, cores, clocks, memory bandwidth,
+register file, occupancy ceilings) plus the micro-architectural
+constants the timing model needs (warp size, issue cycles, cache sizes,
+memory latencies).  The micro-architectural constants are taken from the
+CUDA 2.0 programming guide the paper cites [2] and from the paper's own
+prose (texture working set "between six and eight KB per
+multiprocessor", §4.2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.util.units import KIB, MIB, gbps_to_bytes_per_cycle
+from repro.util.validation import require_positive
+
+
+class ComputeCapability(enum.Enum):
+    """CUDA compute capability generations relevant to the paper.
+
+    CC 1.1 (G92): atomics on 32-bit global/shared words; strict
+    coalescing rules. CC 1.3 (GT200): relaxed coalescing, double
+    precision, larger register file and more active threads/warps.
+    """
+
+    CC_1_1 = (1, 1)
+    CC_1_3 = (1, 3)
+
+    @property
+    def major(self) -> int:
+        return self.value[0]
+
+    @property
+    def minor(self) -> int:
+        return self.value[1]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.major}.{self.minor}"
+
+    @property
+    def supports_atomics(self) -> bool:
+        """Global/shared 32-bit atomics (>= CC 1.1, paper §4.2.1)."""
+        return (self.major, self.minor) >= (1, 1)
+
+    @property
+    def supports_double(self) -> bool:
+        """Double precision floats (>= CC 1.3, paper §4.2.3)."""
+        return (self.major, self.minor) >= (1, 3)
+
+    @property
+    def relaxed_coalescing(self) -> bool:
+        """CC 1.2+ hardware coalesces any-order accesses within a segment.
+
+        On CC 1.0/1.1 a half-warp must access a contiguous, aligned,
+        in-order segment or every lane's access becomes a separate
+        transaction — the penalty that makes byte-granular buffer loads
+        expensive on the G92 cards.
+        """
+        return (self.major, self.minor) >= (1, 2)
+
+
+@dataclass(frozen=True)
+class DeviceSpecs:
+    """Architectural description of one CUDA-like device.
+
+    The first block of fields reproduces the paper's Table 2 verbatim;
+    the second block holds modelling constants (documented per field).
+    """
+
+    # ---- Table 2 fields -------------------------------------------------
+    name: str
+    gpu: str
+    memory_mb: int
+    memory_bandwidth_gbps: float
+    multiprocessors: int
+    cores: int
+    clock_mhz: float
+    compute_capability: ComputeCapability
+    registers_per_sm: int
+    max_threads_per_block: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    max_warps_per_sm: int
+
+    # ---- modelling constants --------------------------------------------
+    warp_size: int = 32
+    #: cycles for one warp to complete one instruction (paper §2.1.1)
+    cycles_per_warp_instruction: int = 4
+    #: per-SM shared memory (16 KB on all three cards, paper §4.2.1)
+    shared_mem_per_sm: int = 16 * KIB
+    #: per-SM texture cache working set ("six to eight KB", paper §4.2.1)
+    texture_cache_per_sm: int = 8 * KIB
+    #: device-memory transaction granularity in bytes (CUDA 2.0 segment)
+    transaction_bytes: int = 32
+    #: texture fetch latency on a cache hit, in shader cycles
+    texture_hit_latency: int = 260
+    #: global/texture-miss latency, in shader cycles
+    global_latency: int = 500
+    #: shared-memory access latency, in shader cycles
+    shared_latency: int = 6
+    #: kernel launch fixed overhead, in shader cycles (~10 us)
+    launch_overhead_cycles: int = 15_000
+    #: per-block scheduling overhead, in shader cycles
+    block_overhead_cycles: int = 40
+
+    def __post_init__(self) -> None:
+        require_positive(self.multiprocessors, "multiprocessors")
+        require_positive(self.clock_mhz, "clock_mhz")
+        require_positive(self.memory_bandwidth_gbps, "memory_bandwidth_gbps")
+        require_positive(self.max_threads_per_block, "max_threads_per_block")
+        if self.cores != self.multiprocessors * 8:
+            raise ConfigError(
+                f"{self.name}: cores ({self.cores}) must equal 8 per "
+                f"multiprocessor ({self.multiprocessors} SMs); the paper's "
+                "architecture has 8 scalar cores per SM"
+            )
+        if self.max_warps_per_sm * self.warp_size < self.max_threads_per_sm:
+            raise ConfigError(
+                f"{self.name}: warp ceiling ({self.max_warps_per_sm}) cannot "
+                f"cover max active threads ({self.max_threads_per_sm})"
+            )
+
+    # ---- derived quantities ----------------------------------------------
+    @property
+    def memory_bytes(self) -> int:
+        """Total device memory in bytes."""
+        return self.memory_mb * MIB
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate device-memory bandwidth in bytes per shader cycle."""
+        return gbps_to_bytes_per_cycle(self.memory_bandwidth_gbps, self.clock_mhz)
+
+    @property
+    def bytes_per_cycle_per_sm(self) -> float:
+        """Fair-share bandwidth of one SM, bytes per shader cycle."""
+        return self.bytes_per_cycle / self.multiprocessors
+
+    @property
+    def max_resident_threads(self) -> int:
+        """Device-wide active-thread ceiling (SMs x per-SM ceiling)."""
+        return self.multiprocessors * self.max_threads_per_sm
+
+    def with_overrides(self, **kwargs: object) -> "DeviceSpecs":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)  # type: ignore[arg-type]
+
+
+# ---------------------------------------------------------------------------
+# Table 2 registry
+# ---------------------------------------------------------------------------
+
+GEFORCE_8800_GTS_512 = DeviceSpecs(
+    name="GeForce 8800 GTS 512",
+    gpu="G92",
+    memory_mb=512,
+    memory_bandwidth_gbps=57.6,
+    multiprocessors=16,
+    cores=128,
+    clock_mhz=1625.0,
+    compute_capability=ComputeCapability.CC_1_1,
+    registers_per_sm=8192,  # Table 2 prints 8196; 8192 is the physical file
+    max_threads_per_block=512,
+    max_threads_per_sm=768,
+    max_blocks_per_sm=8,
+    max_warps_per_sm=24,
+)
+
+GEFORCE_9800_GX2 = DeviceSpecs(
+    # Modeled as the single G92 GPU the kernel runs on (one CUDA device of
+    # the pair), per DESIGN.md deviation 2.  Clock 1500 MHz, 64 GB/s per GPU.
+    name="GeForce 9800 GX2",
+    gpu="2xG92",
+    memory_mb=512,
+    memory_bandwidth_gbps=64.0,
+    multiprocessors=16,
+    cores=128,
+    clock_mhz=1500.0,
+    compute_capability=ComputeCapability.CC_1_1,
+    registers_per_sm=8192,
+    max_threads_per_block=512,
+    max_threads_per_sm=768,
+    max_blocks_per_sm=8,
+    max_warps_per_sm=24,
+)
+
+GEFORCE_GTX_280 = DeviceSpecs(
+    name="GeForce GTX 280",
+    gpu="GT200",
+    memory_mb=1024,
+    memory_bandwidth_gbps=141.7,
+    multiprocessors=30,
+    cores=240,
+    clock_mhz=1296.0,
+    compute_capability=ComputeCapability.CC_1_3,
+    registers_per_sm=16384,
+    max_threads_per_block=512,
+    max_threads_per_sm=1024,
+    max_blocks_per_sm=8,
+    max_warps_per_sm=32,
+)
+
+#: Registry keyed by the short names used throughout the experiments.
+CARD_REGISTRY: dict[str, DeviceSpecs] = {
+    "8800GTS512": GEFORCE_8800_GTS_512,
+    "9800GX2": GEFORCE_9800_GX2,
+    "GTX280": GEFORCE_GTX_280,
+}
+
+
+def get_card(name: str) -> DeviceSpecs:
+    """Look up a card by registry key or full marketing name."""
+    if name in CARD_REGISTRY:
+        return CARD_REGISTRY[name]
+    for spec in CARD_REGISTRY.values():
+        if spec.name == name:
+            return spec
+    raise ConfigError(
+        f"unknown card {name!r}; known: {sorted(CARD_REGISTRY)} "
+        f"or full names {[s.name for s in CARD_REGISTRY.values()]}"
+    )
+
+
+def list_cards() -> list[str]:
+    """Registry keys in the order the paper's Table 2 lists the cards."""
+    return list(CARD_REGISTRY)

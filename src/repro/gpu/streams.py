@@ -1,0 +1,96 @@
+"""CUDA-stream model: overlapping kernel timelines on one device.
+
+The paper's §6 proposes "pipelining multiple phases of the overall
+algorithm together as searching for candidates of episode length 3 can
+proceed while episode lengths of 2 and 4 are also computed".  CUDA
+exposes that through *streams*: kernels in different streams may
+overlap when resources allow.
+
+The model here is deliberately conservative and matches 2009 hardware:
+G80/GT200 devices had **no concurrent kernel execution** — kernels from
+different streams serialize on the device, and streams only overlap
+kernel execution with host work and copies.  What pipelining buys the
+mining loop on such hardware is *latency hiding of the host-side
+generation/elimination steps*, plus back-to-back kernel dispatch without
+host round-trips.  :class:`StreamTimeline` exposes both views:
+
+* ``serialized_ms`` — kernels queued on one engine (what the device does);
+* ``overlapped_ms`` — the idealized concurrent-kernel bound
+  (max over streams), the speedup ceiling Fermi-class hardware would
+  later unlock — useful as the ablation's upper bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.gpu.report import TimingReport
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One kernel completion on a stream's timeline."""
+
+    stream: int
+    kernel_name: str
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        return self.end_ms - self.start_ms
+
+
+@dataclass
+class StreamTimeline:
+    """Accumulates kernel launches across streams on one device."""
+
+    concurrent_kernels: bool = False  # 2009 hardware: False
+    _streams: dict[int, float] = field(default_factory=dict)
+    _device_cursor: float = 0.0
+    events: list[StreamEvent] = field(default_factory=list)
+
+    def launch(self, stream: int, report: TimingReport) -> StreamEvent:
+        """Queue a kernel on ``stream``; returns its scheduled event."""
+        if stream < 0:
+            raise ConfigError(f"stream id must be >= 0, got {stream}")
+        stream_ready = self._streams.get(stream, 0.0)
+        if self.concurrent_kernels:
+            start = stream_ready
+        else:
+            # single kernel engine: a kernel starts when both its stream
+            # and the device are free
+            start = max(stream_ready, self._device_cursor)
+        end = start + report.total_ms
+        self._streams[stream] = end
+        self._device_cursor = max(self._device_cursor, end)
+        event = StreamEvent(
+            stream=stream,
+            kernel_name=report.kernel_name,
+            start_ms=start,
+            end_ms=end,
+        )
+        self.events.append(event)
+        return event
+
+    def host_work(self, stream: int, duration_ms: float) -> None:
+        """Host-side work (candidate generation / elimination) bound to a
+        stream's ordering but off the device engine — overlappable."""
+        if duration_ms < 0:
+            raise ConfigError("host work duration must be >= 0")
+        self._streams[stream] = self._streams.get(stream, 0.0) + duration_ms
+
+    @property
+    def serialized_ms(self) -> float:
+        """Device-engine completion time (kernels serialized)."""
+        return self._device_cursor
+
+    @property
+    def overlapped_ms(self) -> float:
+        """Idealized concurrent-kernel completion (max stream timeline)."""
+        return max(self._streams.values(), default=0.0)
+
+    @property
+    def total_kernel_ms(self) -> float:
+        return sum(e.duration_ms for e in self.events)

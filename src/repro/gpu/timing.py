@@ -1,0 +1,278 @@
+"""Analytic SIMT timing model.
+
+For each phase of a kernel trace, the model computes three candidate
+bounds for the busiest multiprocessor of each scheduling wave and takes
+the maximum (the classic bottleneck formulation, in the spirit of the
+Hong-Kim analytical GPU model):
+
+``issue``
+    The SM issues one warp instruction per 4 cycles (paper §2.1.1).
+    With ``w`` resident warps each executing ``I`` instructions per
+    element, processing one element-step across all warps costs
+    ``w * I * 4`` cycles.  Dominates when many warps are resident —
+    the regime of Characterizations 1/6.
+
+``latency``
+    A single thread's dependent chain: each element costs the chain
+    latency of its memory space plus its own instructions.  Dominates
+    when too few warps are resident to hide memory latency — the
+    regime that makes thread-level algorithms clock-bound
+    (Characterization 7).
+
+``bandwidth``
+    Bytes moved through device memory divided by the SM's fair share of
+    bandwidth, with 32-byte transaction granularity and texture-cache
+    filtering (Characterization 8).
+
+Serial stitch work, per-thread epilogues, barrier costs and
+device-serialized atomics are added on top, and wave counts multiply
+per-wave time (Characterization 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.cache import streaming_hit_rate
+from repro.gpu.calibration import (
+    AlgoCostParams,
+    CardTimingParams,
+    DEFAULT_ALGO_COSTS,
+    timing_params_for,
+)
+from repro.gpu.launch import LaunchConfig
+from repro.gpu.report import PhaseTiming, TimingReport
+from repro.gpu.scheduler import BlockScheduler, SchedulePlan, Wave
+from repro.gpu.specs import DeviceSpecs
+from repro.gpu.trace import KernelTrace, Pattern, Phase, Space
+
+
+@dataclass(frozen=True)
+class _PhaseBounds:
+    issue: float
+    latency: float
+    bandwidth: float
+    texture_pipe: float
+    serial: float
+    fixed: float
+
+    @property
+    def parallel_max(self) -> float:
+        return max(self.issue, self.latency, self.bandwidth, self.texture_pipe)
+
+    @property
+    def total(self) -> float:
+        return self.parallel_max + self.serial + self.fixed
+
+    @property
+    def bound_name(self) -> str:
+        extras = self.serial + self.fixed
+        if extras > self.parallel_max:
+            return "serial" if self.serial >= self.fixed else "fixed"
+        if self.parallel_max == self.issue:
+            return "issue"
+        if self.parallel_max == self.texture_pipe:
+            return "texture-pipe"
+        if self.parallel_max == self.bandwidth:
+            return "bandwidth"
+        return "latency"
+
+
+class AnalyticTimingModel:
+    """Phase-bound timing model for a device."""
+
+    def __init__(
+        self,
+        device: DeviceSpecs,
+        card_params: CardTimingParams | None = None,
+        algo_costs: AlgoCostParams | None = None,
+    ) -> None:
+        self.device = device
+        self.card = card_params or timing_params_for(device)
+        self.costs = algo_costs or DEFAULT_ALGO_COSTS
+        self.scheduler = BlockScheduler(device)
+
+    # ------------------------------------------------------------------
+    def time_kernel(self, trace: KernelTrace, config: LaunchConfig) -> TimingReport:
+        """Model the wall-clock cycles of one kernel launch."""
+        plan = self.scheduler.plan(config)
+        d = self.device
+        warps_per_block = config.warps_per_block(d.warp_size)
+
+        phase_accum: dict[str, dict[str, float]] = {
+            p.name: dict(
+                cycles=0.0, issue=0.0, latency=0.0, bw=0.0,
+                pipe=0.0, serial=0.0, fixed=0.0,
+            )
+            for p in trace.phases
+        }
+        total = 0.0
+        for wave in plan.waves:
+            wave_cycles = 0.0
+            for phase in trace.phases:
+                b = self._phase_bounds(phase, config, wave, warps_per_block)
+                acc = phase_accum[phase.name]
+                acc["cycles"] += b.total
+                acc["issue"] += b.issue
+                acc["latency"] += b.latency
+                acc["bw"] += b.bandwidth
+                acc["pipe"] += b.texture_pipe
+                acc["serial"] += b.serial
+                acc["fixed"] += b.fixed
+                wave_cycles += b.total
+            total += wave_cycles
+
+        atomic_total = self._atomic_cycles(trace, config)
+        launch = (
+            d.launch_overhead_cycles + d.block_overhead_cycles * config.total_blocks
+        )
+        total += atomic_total + launch
+
+        phase_timings = []
+        for phase in trace.phases:
+            acc = phase_accum[phase.name]
+            bounds = _PhaseBounds(
+                issue=acc["issue"],
+                latency=acc["latency"],
+                bandwidth=acc["bw"],
+                texture_pipe=acc["pipe"],
+                serial=acc["serial"],
+                fixed=acc["fixed"],
+            )
+            phase_timings.append(
+                PhaseTiming(
+                    name=phase.name,
+                    cycles=acc["cycles"],
+                    bound=bounds.bound_name,
+                    issue_cycles=acc["issue"],
+                    latency_cycles=acc["latency"],
+                    bandwidth_cycles=acc["bw"],
+                    serial_cycles=acc["serial"],
+                    fixed_cycles=acc["fixed"],
+                )
+            )
+
+        return TimingReport(
+            kernel_name=trace.kernel_name,
+            device_name=d.name,
+            clock_mhz=d.clock_mhz,
+            total_cycles=total,
+            launch_cycles=launch,
+            atomic_cycles=atomic_total,
+            waves=plan.n_waves,
+            resident_blocks_per_sm=plan.resident_blocks_per_sm,
+            occupancy=plan.occupancy.occupancy,
+            phase_timings=tuple(phase_timings),
+            notes=trace.notes,
+        )
+
+    # ------------------------------------------------------------------
+    def _phase_bounds(
+        self,
+        phase: Phase,
+        config: LaunchConfig,
+        wave: Wave,
+        warps_per_block: int,
+    ) -> _PhaseBounds:
+        d = self.device
+        r = wave.blocks_per_sm  # busiest SM in this wave
+        t = config.threads_per_block
+        active_warps = warps_per_block
+        if phase.active_warps_cap is not None:
+            active_warps = min(active_warps, phase.active_warps_cap)
+        w = max(1, r * active_warps)
+
+        elements = phase.elements_per_thread * phase.repeats
+        cpi = d.cycles_per_warp_instruction
+
+        # -- issue bound: every active warp issues I instructions per element
+        issue = elements * w * phase.instructions_per_element * cpi
+
+        # -- latency bound: one thread's dependent chain.  The cache
+        # working set is one block's streams: inter-block scheduling is
+        # coarse enough that each block's lines burst through in turn.
+        chain = phase.chain_cycles_per_element
+        hit_rate = 1.0
+        if phase.space is Space.TEXTURE and phase.pattern is Pattern.STREAMED:
+            hit_rate = streaming_hit_rate(
+                concurrent_streams=t,
+                cache_bytes=d.texture_cache_per_sm,
+                line_bytes=d.transaction_bytes,
+                bytes_per_access=max(1, int(phase.bytes_per_element)),
+            )
+            chain = chain + (1.0 - hit_rate) * self.card.tex_miss_extra
+        latency = elements * (chain + phase.instructions_per_element * cpi)
+
+        # -- texture-pipe bound: the SM's texture unit serializes fetch
+        # processing — per divergent lane for streamed patterns, per warp
+        # for broadcast (one address serves all lanes).
+        texture_pipe = 0.0
+        if phase.space is Space.TEXTURE:
+            fetchers = r * t if phase.pattern is Pattern.STREAMED else w
+            texture_pipe = elements * fetchers * self.card.tex_lane_cycles
+
+        # -- bandwidth bound: off-chip bytes through the SM's fair share.
+        # The share divides among the SMs *active in this wave*: a grid
+        # using 26 of 30 SMs leaves no bandwidth stranded on idle ones.
+        bandwidth = 0.0
+        if phase.space.off_chip and phase.bytes_per_element > 0:
+            bytes_sm = self._device_bytes_per_sm(phase, config, r, hit_rate)
+            share = d.bytes_per_cycle / max(1, wave.sms_used)
+            bandwidth = bytes_sm / share
+
+        # -- serial work (boundary stitch, serial reductions): executed by
+        # one thread per block; blocks on the same SM serialize their
+        # serial sections only against themselves (independent warps), so
+        # the SM's serial time is one block's serial chain.
+        serial = (
+            phase.serial_elements * phase.serial_cycles_per_element * phase.repeats
+        )
+        # per-thread epilogue (result staging) serializes per block
+        serial += phase.tail_cycles_per_thread * t * phase.repeats
+
+        fixed = phase.fixed_cycles_per_repeat * phase.repeats
+        return _PhaseBounds(
+            issue=issue,
+            latency=latency,
+            bandwidth=bandwidth,
+            texture_pipe=texture_pipe,
+            serial=serial,
+            fixed=fixed,
+        )
+
+    def _device_bytes_per_sm(
+        self, phase: Phase, config: LaunchConfig, resident_blocks: int, hit_rate: float
+    ) -> float:
+        """Off-chip bytes the busiest SM moves during one wave of a phase."""
+        d = self.device
+        t = config.threads_per_block
+        elements = phase.elements_per_thread * phase.repeats
+        tx = d.transaction_bytes
+        if phase.pattern is Pattern.BROADCAST:
+            # Whole block shares one stream; each cache line of `tx` bytes
+            # serves tx/bytes_per_element elements.
+            per_block = elements * phase.bytes_per_element
+            return resident_blocks * per_block
+        if phase.pattern is Pattern.STREAMED:
+            # Each thread misses (1 - hit_rate) of its accesses; every miss
+            # is a full transaction.
+            accesses = resident_blocks * t * elements
+            return accesses * (1.0 - hit_rate) * tx
+        if phase.pattern is Pattern.COALESCED:
+            per_thread = elements * phase.bytes_per_element
+            raw = resident_blocks * t * per_thread
+            if not d.compute_capability.relaxed_coalescing and phase.bytes_per_element < 4:
+                # CC 1.1 cannot coalesce sub-word accesses: each lane pays a
+                # transaction per access.
+                return resident_blocks * t * elements * tx
+            return raw
+        if phase.pattern is Pattern.UNCOALESCED:
+            return resident_blocks * t * elements * tx
+        return 0.0
+
+    def _atomic_cycles(self, trace: KernelTrace, config: LaunchConfig) -> float:
+        """Device-serialized atomic cost across the whole grid."""
+        total_atomics = sum(
+            p.atomics * p.repeats for p in trace.phases
+        ) * config.total_blocks
+        return total_atomics * self.card.atomic_cycles

@@ -1,0 +1,130 @@
+"""Kernel execution traces: the contract between kernels and timing.
+
+A kernel (one of the paper's four mining algorithms) does not hand the
+timing model C code; it hands it a :class:`KernelTrace` — an ordered
+list of :class:`Phase` descriptors quantifying the work every block
+performs.  The analytic model (:mod:`repro.gpu.timing`) bounds each
+phase by issue rate, dependent-chain latency, and memory bandwidth; the
+micro-simulator (:mod:`repro.gpu.microsim`) expands the same phases into
+per-warp instruction streams and replays them cycle by cycle.
+
+Separating the *what happened* (trace) from the *how long* (model) is
+what lets the library time a 393,019-character scan without interpreting
+400 million simulated instructions in Python.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class Space(enum.Enum):
+    """Memory space a phase reads through (paper §2.1.1 hierarchy)."""
+
+    TEXTURE = "texture"
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+    NONE = "none"  # pure compute
+
+    @property
+    def off_chip(self) -> bool:
+        return self in (Space.TEXTURE, Space.GLOBAL)
+
+
+class Pattern(enum.Enum):
+    """Address pattern of a phase's memory accesses.
+
+    * ``BROADCAST`` — every thread reads the *same* address each step
+      (paper Algorithm 1/2: all threads scan from the same offset); one
+      transaction serves the warp, the texture cache sees a single
+      stream.
+    * ``STREAMED`` — each thread walks its *own* sequential region
+      (Algorithms 3/4 segment the database); the per-SM cache working
+      set is one line per concurrent thread.
+    * ``COALESCED`` — adjacent lanes read adjacent addresses (cooperative
+      buffer loads); one transaction per warp segment.
+    * ``UNCOALESCED`` — lanes hit unrelated addresses; every lane pays
+      its own transaction (the CC 1.1 worst case, paper §2/§4).
+    """
+
+    BROADCAST = "broadcast"
+    STREAMED = "streamed"
+    COALESCED = "coalesced"
+    UNCOALESCED = "uncoalesced"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One sequential stage of a block's execution.
+
+    Quantities are *per block* unless suffixed ``_per_thread``.  A phase
+    repeats ``repeats`` times (e.g. once per shared-memory chunk).
+    """
+
+    name: str
+    #: data elements each thread processes per repeat (0 for pure-serial phases)
+    elements_per_thread: float = 0.0
+    #: warp instructions issued per element (per warp)
+    instructions_per_element: float = 0.0
+    #: dependent-chain cycles per element per thread (latency floor);
+    #: includes the memory access the element performs
+    chain_cycles_per_element: float = 0.0
+    space: Space = Space.NONE
+    pattern: Pattern = Pattern.NONE
+    #: bytes each *thread* moves per element (before transaction rounding)
+    bytes_per_element: float = 0.0
+    repeats: float = 1.0
+    #: fixed cycles per repeat (barriers, loop setup)
+    fixed_cycles_per_repeat: float = 0.0
+    #: cap on warps per block that are active in this phase (guarded code);
+    #: None means every warp of the block participates
+    active_warps_cap: int | None = None
+    #: work executed by a single thread of the block (boundary stitching,
+    #: serial reductions): element count and per-element cycles
+    serial_elements: float = 0.0
+    serial_cycles_per_element: float = 0.0
+    #: device-serialized atomic operations issued per block per repeat
+    atomics: float = 0.0
+    #: per-thread epilogue cycles (staging partial results; fit to Fig. 8b)
+    tail_cycles_per_thread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.repeats < 0 or self.elements_per_thread < 0:
+            raise ConfigError(f"phase {self.name!r}: negative work quantities")
+        if self.space.off_chip and self.pattern is Pattern.NONE:
+            raise ConfigError(
+                f"phase {self.name!r}: off-chip space requires an access pattern"
+            )
+
+    @property
+    def total_elements_per_thread(self) -> float:
+        return self.elements_per_thread * self.repeats
+
+
+@dataclass(frozen=True)
+class KernelTrace:
+    """Ordered phases plus whole-kernel bookkeeping."""
+
+    kernel_name: str
+    phases: tuple[Phase, ...]
+    #: human-readable notes carried into TimingReport
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ConfigError(f"trace for {self.kernel_name!r} has no phases")
+
+    def phase(self, name: str) -> Phase:
+        for p in self.phases:
+            if p.name == name:
+                return p
+        raise ConfigError(f"trace {self.kernel_name!r} has no phase {name!r}")
+
+    @property
+    def phase_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.phases)

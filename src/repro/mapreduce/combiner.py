@@ -1,0 +1,33 @@
+"""Shuffle helpers: grouping and combining intermediate records."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Hashable, Iterable, TypeVar
+
+from repro.mapreduce.types import KeyValue
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def group_by_key(records: Iterable[KeyValue[K, V]]) -> dict[K, list[V]]:
+    """The shuffle: collect every value under its intermediate key.
+
+    Insertion order of keys is preserved (first occurrence), so engine
+    outputs are deterministic.
+    """
+    groups: dict[K, list[V]] = defaultdict(list)
+    for rec in records:
+        groups[rec.key].append(rec.value)
+    return dict(groups)
+
+
+def sum_combiner(records: Iterable[KeyValue[K, float]]) -> list[KeyValue[K, float]]:
+    """Map-side combiner for additive values: one record per key.
+
+    Cuts intermediate volume before the shuffle — the standard
+    optimization for counting jobs like episode mining.
+    """
+    groups = group_by_key(records)
+    return [KeyValue(k, sum(vs)) for k, vs in groups.items()]

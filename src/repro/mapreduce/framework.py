@@ -1,0 +1,44 @@
+"""Engine protocol and the generic job runner."""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable, TypeVar
+
+from repro.mapreduce.combiner import group_by_key
+from repro.mapreduce.types import KeyValue, MapReduceJob
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+K2 = TypeVar("K2", bound=Hashable)
+V2 = TypeVar("V2")
+R = TypeVar("R")
+
+
+class MapReduceEngine(abc.ABC):
+    """Executes MapReduce jobs; subclasses choose the parallelism."""
+
+    @abc.abstractmethod
+    def map_phase(
+        self, job: MapReduceJob[K, V, K2, V2, R]
+    ) -> list[KeyValue[K2, V2]]:
+        """Run the mapper over every input, concatenating outputs."""
+
+    def run(self, job: MapReduceJob[K, V, K2, V2, R]) -> dict[K2, R]:
+        """map -> (intermediate) -> shuffle -> reduce."""
+        intermediate = self.map_phase(job)
+        if job.intermediate is not None:
+            intermediate = job.intermediate(intermediate)
+        groups = group_by_key(intermediate)
+        return {k: job.reducer(k, vs) for k, vs in groups.items()}
+
+
+def run_job(
+    job: MapReduceJob[K, V, K2, V2, R], engine: "MapReduceEngine | None" = None
+) -> dict[K2, R]:
+    """Run a job on the given engine (default: serial CPU)."""
+    if engine is None:
+        from repro.mapreduce.cpu_engine import SerialEngine
+
+        engine = SerialEngine()
+    return engine.run(job)

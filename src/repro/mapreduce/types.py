@@ -1,0 +1,48 @@
+"""MapReduce job types.
+
+The general algorithm (paper §2.2): ``map`` turns input key/value pairs
+into intermediate key/value pairs; ``reduce`` folds all values sharing
+an intermediate key into outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Hashable, Iterable, Sequence, TypeVar
+
+from repro.errors import ConfigError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+K2 = TypeVar("K2", bound=Hashable)
+V2 = TypeVar("V2")
+R = TypeVar("R")
+
+
+@dataclass(frozen=True)
+class KeyValue(Generic[K, V]):
+    """One key/value record."""
+
+    key: K
+    value: V
+
+
+@dataclass(frozen=True)
+class MapReduceJob(Generic[K, V, K2, V2, R]):
+    """A map function, a reduce function, and the inputs.
+
+    ``mapper`` receives one input record and yields intermediate
+    records; ``reducer`` receives an intermediate key and all its values
+    and returns the output value for that key.  ``intermediate`` is the
+    paper's optional step between map and reduce (the span fix of
+    Fig. 5): it may rewrite the full intermediate record list.
+    """
+
+    inputs: Sequence[KeyValue[K, V]]
+    mapper: Callable[[KeyValue[K, V]], Iterable[KeyValue[K2, V2]]]
+    reducer: Callable[[K2, list[V2]], R]
+    intermediate: Callable[[list[KeyValue[K2, V2]]], list[KeyValue[K2, V2]]] | None = None
+
+    def __post_init__(self) -> None:
+        if not callable(self.mapper) or not callable(self.reducer):
+            raise ConfigError("mapper and reducer must be callable")

@@ -1,0 +1,96 @@
+"""Item alphabets.
+
+The paper's evaluation uses the 26 uppercase English letters (§5); the
+neuroscience motivation maps neuron identifiers onto such symbols.  An
+:class:`Alphabet` provides the bidirectional symbol <-> code mapping the
+vectorized counting kernels need (databases are stored as ``uint8``
+code arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An ordered set of distinct single-token symbols."""
+
+    symbols: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.symbols:
+            raise ValidationError("alphabet must not be empty")
+        if len(set(self.symbols)) != len(self.symbols):
+            raise ValidationError("alphabet symbols must be distinct")
+        if len(self.symbols) > 255:
+            raise ValidationError(
+                f"alphabet of {len(self.symbols)} symbols exceeds uint8 coding"
+            )
+
+    @classmethod
+    def from_string(cls, s: str) -> "Alphabet":
+        return cls(tuple(s))
+
+    @classmethod
+    def of_size(cls, n: int) -> "Alphabet":
+        """First ``n`` uppercase letters, then printable extensions."""
+        if n < 1:
+            raise ValidationError(f"alphabet size must be >= 1, got {n}")
+        base = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        if n > len(base):
+            raise ValidationError(f"alphabet size {n} exceeds {len(base)} symbols")
+        return cls(tuple(base[:n]))
+
+    @property
+    def size(self) -> int:
+        return len(self.symbols)
+
+    @cached_property
+    def _index(self) -> dict[str, int]:
+        return {s: i for i, s in enumerate(self.symbols)}
+
+    def code(self, symbol: str) -> int:
+        try:
+            return self._index[symbol]
+        except KeyError:
+            raise ValidationError(
+                f"symbol {symbol!r} not in alphabet of size {self.size}"
+            ) from None
+
+    def symbol(self, code: int) -> str:
+        if not 0 <= code < self.size:
+            raise ValidationError(f"code {code} out of range for alphabet")
+        return self.symbols[code]
+
+    def encode(self, text: "str | list[str]") -> np.ndarray:
+        """Encode a symbol sequence to a uint8 code array."""
+        return np.fromiter(
+            (self.code(ch) for ch in text), dtype=np.uint8, count=len(text)
+        )
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a code array back to a symbol string."""
+        return "".join(self.symbol(int(c)) for c in np.asarray(codes).ravel())
+
+    def validate_database(self, db: np.ndarray) -> np.ndarray:
+        """Check a database array is uint8 codes within this alphabet."""
+        db = np.asarray(db)
+        if db.ndim != 1:
+            raise ValidationError(f"database must be 1-D, got shape {db.shape}")
+        if db.dtype != np.uint8:
+            raise ValidationError(f"database must be uint8, got {db.dtype}")
+        if db.size and int(db.max()) >= self.size:
+            raise ValidationError(
+                f"database contains code {int(db.max())} >= alphabet size {self.size}"
+            )
+        return db
+
+
+#: The paper's alphabet: uppercase A-Z (§5).
+UPPERCASE = Alphabet.from_string("ABCDEFGHIJKLMNOPQRSTUVWXYZ")

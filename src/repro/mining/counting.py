@@ -1,0 +1,203 @@
+"""Episode occurrence counting — the paper's "counting step".
+
+This module is the computational heart of the reproduction, in three
+tiers (following the HPC guides' profile-then-vectorize discipline):
+
+* :func:`ngram_counts` / :func:`count_batch` under ``RESET`` — a single
+  O(n) pass over the database counts *every* length-L episode at once
+  via base-N n-gram encoding and ``bincount`` (RESET counting equals
+  substring counting; see :mod:`repro.mining.policies`).
+* vectorized state-machine sweeps for ``SUBSEQUENCE``/``EXPIRING`` —
+  one pass over the database advancing all episodes' FSM states as
+  NumPy vectors.
+* :func:`count_batch_reference` — the scalar FSM oracle used by
+  property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.episode import Episode, episodes_to_matrix
+from repro.mining.fsm import EpisodeFSM
+from repro.mining.policies import MatchPolicy, validate_window
+
+#: n-gram encoding uses int64; N**L must stay below 2**62.
+_MAX_ENCODED = 2**62
+
+
+def _check_db(db: np.ndarray) -> np.ndarray:
+    db = np.asarray(db)
+    if db.ndim != 1:
+        raise ValidationError(f"database must be 1-D, got shape {db.shape}")
+    return db
+
+
+def ngram_counts(db: np.ndarray, level: int, alphabet_size: int) -> np.ndarray:
+    """Counts of every length-``level`` gram, indexed by base-N encoding.
+
+    Returns an array of length ``alphabet_size ** level`` where entry
+    ``sum(code[j] * N**(L-1-j))`` is the number of (possibly not
+    distinct-item) contiguous occurrences of that gram.
+    """
+    db = _check_db(db)
+    if level < 1:
+        raise ValidationError(f"level must be >= 1, got {level}")
+    if alphabet_size < 1:
+        raise ValidationError("alphabet_size must be >= 1")
+    if alphabet_size**level >= _MAX_ENCODED:
+        raise ValidationError(
+            f"alphabet {alphabet_size} at level {level} overflows n-gram encoding"
+        )
+    n = db.size
+    if n < level:
+        return np.zeros(alphabet_size**level, dtype=np.int64)
+    code = db[: n - level + 1].astype(np.int64)
+    for j in range(1, level):
+        code = code * alphabet_size + db[j : n - level + 1 + j]
+    return np.bincount(code, minlength=alphabet_size**level)
+
+
+def encode_episodes(matrix: np.ndarray, alphabet_size: int) -> np.ndarray:
+    """Base-N encode an (E, L) episode matrix to gram indices."""
+    enc = matrix[:, 0].astype(np.int64)
+    for j in range(1, matrix.shape[1]):
+        enc = enc * alphabet_size + matrix[:, j]
+    return enc
+
+
+def count_batch(
+    db: np.ndarray,
+    episodes: "list[Episode] | np.ndarray",
+    alphabet_size: int,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+) -> np.ndarray:
+    """Occurrence counts for a batch of same-length episodes.
+
+    Dispatches to the fastest exact implementation for the policy.
+    """
+    matrix = (
+        episodes
+        if isinstance(episodes, np.ndarray)
+        else episodes_to_matrix(list(episodes))
+    )
+    if matrix.ndim != 2:
+        raise ValidationError(f"episode matrix must be 2-D, got {matrix.shape}")
+    db = _check_db(db)
+    validate_window(policy, window)
+    if policy is MatchPolicy.RESET:
+        grams = ngram_counts(db, matrix.shape[1], alphabet_size)
+        return grams[encode_episodes(matrix, alphabet_size)]
+    if policy is MatchPolicy.SUBSEQUENCE:
+        return _count_subsequence_batch(db, matrix)
+    return _count_expiring_batch(db, matrix, int(window))  # type: ignore[arg-type]
+
+
+def count_episode(
+    db: np.ndarray,
+    episode: Episode,
+    alphabet_size: int,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+) -> int:
+    """Occurrence count for one episode (thin wrapper over the batch path)."""
+    if policy is MatchPolicy.SUBSEQUENCE:
+        # Position-hopping is much faster than the vector sweep for one
+        # episode: greedily jump through per-symbol position lists.
+        return _count_subsequence_hopping(_check_db(db), episode)
+    return int(
+        count_batch(db, [episode], alphabet_size, policy, window)[0]
+    )
+
+
+# ---------------------------------------------------------------------------
+# SUBSEQUENCE / EXPIRING vector sweeps
+# ---------------------------------------------------------------------------
+
+def _count_subsequence_batch(db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Greedy non-overlapped counting, all episodes advanced per character."""
+    n_eps, length = matrix.shape
+    state = np.zeros(n_eps, dtype=np.int64)
+    counts = np.zeros(n_eps, dtype=np.int64)
+    # needed[e] = matrix[e, state[e]]; gather once per character
+    rows = np.arange(n_eps)
+    mat = matrix.astype(np.int64)
+    for c in np.asarray(db, dtype=np.int64):
+        advance = mat[rows, state] == c
+        state[advance] += 1
+        done = state == length
+        if done.any():
+            counts[done] += 1
+            state[done] = 0
+    return counts
+
+
+def _count_expiring_batch(
+    db: np.ndarray, matrix: np.ndarray, window: int
+) -> np.ndarray:
+    """Windowed counting with per-state latest-timestamp tracking.
+
+    ``times[e, s]`` holds the latest index at which episode ``e``'s
+    length-``s`` prefix completed within the window chain.  States are
+    updated high-to-low per character so one symbol can both extend an
+    existing prefix and re-anchor a fresher one — matching
+    :class:`~repro.mining.fsm.EpisodeFSM`'s EXPIRING semantics exactly
+    (property-tested in ``tests/test_counting.py``).
+    """
+    n_eps, length = matrix.shape
+    neg = -(1 << 60)
+    times = np.full((n_eps, length + 1), neg, dtype=np.int64)
+    times[:, 0] = 0  # the empty prefix never expires
+    counts = np.zeros(n_eps, dtype=np.int64)
+    mat = matrix.astype(np.int64)
+    state_cols = np.arange(1, length + 1)
+    for t, c in enumerate(np.asarray(db, dtype=np.int64)):
+        for s in range(length, 0, -1):
+            ok = mat[:, s - 1] == c
+            if s > 1:
+                ok &= (t - times[:, s - 1]) <= window
+            times[ok, s] = t
+        done = times[:, length] == t
+        if done.any():
+            counts[done] += 1
+            times[np.ix_(done, state_cols)] = neg  # non-overlap
+    return counts
+
+
+def _count_subsequence_hopping(db: np.ndarray, episode: Episode) -> int:
+    """Greedy subsequence count via per-symbol sorted position lists."""
+    positions = {item: np.flatnonzero(db == item) for item in set(episode.items)}
+    if any(p.size == 0 for p in positions.values()):
+        return 0
+    count = 0
+    cursor = -1
+    items = episode.items
+    while True:
+        for item in items:
+            pos = positions[item]
+            idx = np.searchsorted(pos, cursor + 1)
+            if idx >= pos.size:
+                return count
+            cursor = int(pos[idx])
+        count += 1
+
+
+# ---------------------------------------------------------------------------
+# Scalar oracle
+# ---------------------------------------------------------------------------
+
+def count_batch_reference(
+    db: np.ndarray,
+    episodes: list[Episode],
+    alphabet_size: int,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+) -> np.ndarray:
+    """Per-character scalar FSM counting — the ground-truth oracle."""
+    out = np.zeros(len(episodes), dtype=np.int64)
+    for i, ep in enumerate(episodes):
+        fsm = EpisodeFSM(ep, alphabet_size, policy, window)
+        out[i] = fsm.run(db)
+    return out

@@ -1,0 +1,103 @@
+"""Episodes: ordered item sequences (paper §3.1).
+
+An episode ``A = <i1, i2, ..., iL>`` is an *ordered* sequence — the
+paper stresses that temporal mining distinguishes
+``{peanut butter, bread} -> {jelly}`` from
+``{bread, peanut butter} -> {jelly}``.  Items within one episode are
+distinct, consistent with Table 1's count N!/(N-L)! of length-L
+episodes over an N-symbol alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.alphabet import Alphabet
+
+
+@dataclass(frozen=True)
+class Episode:
+    """An ordered sequence of distinct item codes."""
+
+    items: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.items:
+            raise ValidationError("episode must contain at least one item")
+        if len(set(self.items)) != len(self.items):
+            raise ValidationError(
+                f"episode items must be distinct (Table 1 semantics), got {self.items}"
+            )
+        if any(i < 0 for i in self.items):
+            raise ValidationError(f"episode items must be non-negative: {self.items}")
+
+    @classmethod
+    def from_symbols(cls, symbols: str, alphabet: Alphabet) -> "Episode":
+        return cls(tuple(alphabet.code(s) for s in symbols))
+
+    @property
+    def length(self) -> int:
+        """The episode's level L."""
+        return len(self.items)
+
+    @cached_property
+    def array(self) -> np.ndarray:
+        a = np.array(self.items, dtype=np.uint8)
+        a.setflags(write=False)
+        return a
+
+    def to_symbols(self, alphabet: Alphabet) -> str:
+        return alphabet.decode(self.array)
+
+    def prefix(self) -> "Episode":
+        """The length L-1 prefix (used by A-priori candidate generation)."""
+        if self.length == 1:
+            raise ValidationError("a length-1 episode has no prefix episode")
+        return Episode(self.items[:-1])
+
+    def suffix(self) -> "Episode":
+        """The length L-1 suffix."""
+        if self.length == 1:
+            raise ValidationError("a length-1 episode has no suffix episode")
+        return Episode(self.items[1:])
+
+    def subepisodes(self) -> list["Episode"]:
+        """All length L-1 order-preserving sub-episodes."""
+        if self.length == 1:
+            return []
+        out = []
+        for drop in range(self.length):
+            items = self.items[:drop] + self.items[drop + 1 :]
+            out.append(Episode(items))
+        return out
+
+    def extend(self, item: int) -> "Episode":
+        """Append a (distinct) item, producing a level L+1 candidate."""
+        if item in self.items:
+            raise ValidationError(
+                f"cannot extend {self.items} with duplicate item {item}"
+            )
+        return Episode(self.items + (item,))
+
+    def __str__(self) -> str:
+        return "<" + ",".join(map(str, self.items)) + ">"
+
+
+def episodes_to_matrix(episodes: list[Episode]) -> np.ndarray:
+    """Stack same-length episodes into an (E, L) uint8 matrix.
+
+    The vectorized counting kernels operate on this matrix form.
+    """
+    if not episodes:
+        raise ValidationError("need at least one episode")
+    length = episodes[0].length
+    for e in episodes:
+        if e.length != length:
+            raise ValidationError(
+                f"episodes_to_matrix requires uniform length; got {e.length} != {length}"
+            )
+    return np.stack([e.array for e in episodes]).astype(np.uint8)

@@ -1,0 +1,81 @@
+"""Serial reference miner — the "GMiner-like" single-CPU baseline.
+
+The paper motivates GPU mining by contrast with GMiner, "limited to a
+single CPU running a Java virtual machine, forcing output to be
+processed post-mortem" (§1).  :class:`SerialMiner` plays that role: one
+scalar FSM pass per candidate, no vectorization, no parallelism.  It is
+deliberately naive — it is both the correctness oracle for integration
+tests and the CPU baseline the benchmark harness compares simulated-GPU
+configurations against.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mining.alphabet import Alphabet
+from repro.mining.counting import count_batch_reference
+from repro.mining.episode import Episode
+from repro.mining.miner import FrequentEpisodeMiner, MiningResult
+from repro.mining.policies import MatchPolicy
+
+
+@dataclass(frozen=True)
+class SerialTiming:
+    """Wall-clock record of a serial counting pass."""
+
+    episodes: int
+    db_length: int
+    seconds: float
+
+    @property
+    def chars_per_second(self) -> float:
+        total = self.episodes * self.db_length
+        return total / self.seconds if self.seconds > 0 else float("inf")
+
+
+class SerialMiner:
+    """Single-threaded scalar miner."""
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        threshold: float,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        max_level: int = 8,
+    ) -> None:
+        self.alphabet = alphabet
+        self.policy = policy
+        self.window = window
+        self.last_timing: SerialTiming | None = None
+        self._miner = FrequentEpisodeMiner(
+            alphabet,
+            threshold,
+            policy=policy,
+            window=window,
+            engine=self._count,
+            max_level=max_level,
+        )
+
+    def _count(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
+        start = time.perf_counter()
+        counts = count_batch_reference(
+            db, episodes, self.alphabet.size, self.policy, self.window
+        )
+        self.last_timing = SerialTiming(
+            episodes=len(episodes),
+            db_length=int(np.asarray(db).size),
+            seconds=time.perf_counter() - start,
+        )
+        return counts
+
+    def mine(self, db: np.ndarray) -> MiningResult:
+        return self._miner.mine(db)
+
+    def count(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
+        """Expose the raw counting pass for baseline benchmarks."""
+        return self._count(np.asarray(db), episodes)

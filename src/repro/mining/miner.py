@@ -1,0 +1,164 @@
+"""The level-wise frequent-episode mining driver (paper Algorithm 1).
+
+``generate candidates -> count -> eliminate -> generate next level``,
+with the counting step delegated to a pluggable engine (serial CPU,
+vectorized CPU, MapReduce, or a simulated-GPU algorithm) — the paper's
+whole point being that the counting step dominates and parallelizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+import numpy as np
+
+from repro.errors import MiningError, ValidationError
+from repro.mining.alphabet import Alphabet
+from repro.mining.candidates import generate_level, generate_next_level
+from repro.mining.counting import count_batch
+from repro.mining.episode import Episode
+from repro.mining.policies import MatchPolicy, validate_window
+
+
+class CountingEngine(Protocol):
+    """Anything that can count a batch of same-length episodes."""
+
+    def __call__(
+        self, db: np.ndarray, episodes: list[Episode]
+    ) -> np.ndarray: ...
+
+
+@dataclass(frozen=True)
+class LevelResult:
+    """Outcome of one level of the mining loop."""
+
+    level: int
+    n_candidates: int
+    n_frequent: int
+    frequent: tuple[Episode, ...]
+    counts: tuple[int, ...]
+
+    def as_dict(self) -> dict[Episode, int]:
+        return dict(zip(self.frequent, self.counts))
+
+
+@dataclass(frozen=True)
+class MiningResult:
+    """Full mining outcome: per-level results plus the union set S_A."""
+
+    threshold: float
+    levels: tuple[LevelResult, ...]
+
+    @property
+    def all_frequent(self) -> dict[Episode, int]:
+        out: dict[Episode, int] = {}
+        for lvl in self.levels:
+            out.update(lvl.as_dict())
+        return out
+
+    @property
+    def max_level(self) -> int:
+        return self.levels[-1].level if self.levels else 0
+
+    def level(self, k: int) -> LevelResult:
+        for lvl in self.levels:
+            if lvl.level == k:
+                return lvl
+        raise MiningError(f"mining stopped before level {k}")
+
+
+class FrequentEpisodeMiner:
+    """Level-wise miner with a pluggable counting engine.
+
+    Parameters
+    ----------
+    alphabet:
+        The item alphabet.
+    threshold:
+        The support threshold alpha: an episode is frequent when
+        ``count / n > alpha`` (paper §3.1).
+    policy, window:
+        Matching semantics (see :mod:`repro.mining.policies`).
+    engine:
+        Counting engine; defaults to the vectorized CPU batch counter.
+    max_level:
+        Safety cap on the level loop (the paper's evaluation stops at
+        L=3; mining real data can run deeper).
+    exhaustive_candidates:
+        If True, each level counts the *full* Table-1 candidate space —
+        the paper's characterization workload.  If False (default), the
+        A-priori generation step builds level L+1 only from level-L
+        survivors — Algorithm 1 as written.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        threshold: float,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        engine: CountingEngine | None = None,
+        max_level: int = 8,
+        exhaustive_candidates: bool = False,
+    ) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValidationError(
+                f"threshold alpha must be in [0, 1), got {threshold}"
+            )
+        if max_level < 1:
+            raise ValidationError(f"max_level must be >= 1, got {max_level}")
+        validate_window(policy, window)
+        self.alphabet = alphabet
+        self.threshold = threshold
+        self.policy = policy
+        self.window = window
+        self.max_level = max_level
+        self.exhaustive_candidates = exhaustive_candidates
+        self._engine = engine or self._default_engine
+
+    def _default_engine(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
+        return count_batch(
+            db, episodes, self.alphabet.size, self.policy, self.window
+        )
+
+    def mine(self, db: np.ndarray) -> MiningResult:
+        """Run Algorithm 1 over ``db`` and return all frequent episodes."""
+        db = self.alphabet.validate_database(np.asarray(db))
+        n = db.size
+        if n == 0:
+            raise ValidationError("cannot mine an empty database")
+        levels: list[LevelResult] = []
+        candidates = generate_level(self.alphabet, 1)
+        level = 1
+        while candidates and level <= self.max_level:
+            counts = np.asarray(self._engine(db, candidates), dtype=np.int64)
+            if counts.shape != (len(candidates),):
+                raise MiningError(
+                    f"engine returned shape {counts.shape} for "
+                    f"{len(candidates)} candidates"
+                )
+            keep = counts / n > self.threshold
+            frequent = [c for c, k in zip(candidates, keep) if k]
+            kept_counts = [int(c) for c, k in zip(counts, keep) if k]
+            levels.append(
+                LevelResult(
+                    level=level,
+                    n_candidates=len(candidates),
+                    n_frequent=len(frequent),
+                    frequent=tuple(frequent),
+                    counts=tuple(kept_counts),
+                )
+            )
+            if not frequent:
+                break
+            level += 1
+            if self.exhaustive_candidates:
+                candidates = generate_level(self.alphabet, level)
+            else:
+                candidates = generate_next_level(
+                    frequent,
+                    self.alphabet,
+                    contiguous=self.policy.is_contiguous,
+                )
+        return MiningResult(threshold=self.threshold, levels=tuple(levels))

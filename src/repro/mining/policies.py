@@ -1,0 +1,65 @@
+"""Episode matching policies.
+
+The paper is ambiguous about the exact automaton semantics (DESIGN.md
+§2): §3.1 defines occurrence as a *subsequence*, while Fig. 3's FSM has
+restart/reset arcs implying contiguous matching.  The library makes the
+choice explicit; every counting routine takes a :class:`MatchPolicy`.
+
+``RESET``
+    Fig. 3 literal: at state ``s`` on character ``c`` — advance if
+    ``c == ep[s]``; else restart at state 1 if ``c == ep[0]``; else
+    reset to start.  Because episode items are distinct (Table 1),
+    restart-at-a1 is exactly the KMP failure function, so RESET counting
+    equals exact substring occurrence counting — which is what makes the
+    O(n) n-gram counting path in :mod:`repro.mining.counting` exact.
+
+``SUBSEQUENCE``
+    §3.1's definition operationalized the standard way: greedy
+    non-overlapped serial-episode counting (self-loop on non-advancing
+    symbols; on completion, reset and continue).
+
+``EXPIRING``
+    ``SUBSEQUENCE`` plus the episode-expiration constraint from the
+    paper's §6 future work: a partial match expires when the gap since
+    its last advance exceeds a window (``B.time() - A.time() <
+    Threshold``).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ValidationError
+
+
+class MatchPolicy(enum.Enum):
+    RESET = "reset"
+    SUBSEQUENCE = "subsequence"
+    EXPIRING = "expiring"
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self is MatchPolicy.RESET
+
+    @property
+    def needs_window(self) -> bool:
+        return self is MatchPolicy.EXPIRING
+
+
+def validate_window(policy: MatchPolicy, window: int | None) -> int:
+    """Validate the expiry window argument against the policy.
+
+    Returns the effective window (0 = unused) and raises on misuse, so
+    callers cannot silently pass a window to a policy that ignores it.
+    """
+    if policy.needs_window:
+        if window is None or window < 1:
+            raise ValidationError(
+                f"policy {policy.value} requires a window >= 1, got {window}"
+            )
+        return window
+    if window is not None:
+        raise ValidationError(
+            f"policy {policy.value} does not take a window (got {window})"
+        )
+    return 0

@@ -1,0 +1,161 @@
+"""Segmented counting with boundary-span correction (paper Fig. 5).
+
+The block-level algorithms split the database into per-thread segments.
+An occurrence that *spans* a segment boundary is seen by neither thread;
+the paper inserts "an intermediate step to check for this possibility
+... between the map and reduce functions" (§3.3.3).
+
+Under the ``RESET`` policy an occurrence is a contiguous match of
+length L, so it spans a boundary at offset ``b`` iff it starts in
+``[b-L+1, b-1]``.  :func:`count_segmented` therefore counts each
+segment independently (the map), counts matches that *start* inside
+each boundary window (the span fix), and sums (the reduce) — provably
+equal to the whole-database count, which ``tests/test_spanning.py``
+asserts exhaustively and property-based.
+
+For ``SUBSEQUENCE``/``EXPIRING`` policies, segment-local counting is
+not exactly decomposable (a partial match can straddle any number of
+segments); :func:`count_segmented` supports them via sequential state
+carry — exact, but the parallel span-fix shortcut is unavailable, which
+is precisely why the paper's block-level kernels get more expensive as
+spanning likelihood grows (Characterization 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.counting import count_batch
+from repro.mining.episode import Episode, episodes_to_matrix
+from repro.mining.fsm import EpisodeFSM
+from repro.mining.policies import MatchPolicy, validate_window
+
+
+@dataclass(frozen=True)
+class SegmentedCount:
+    """Decomposed counting result for one episode batch."""
+
+    segment_counts: np.ndarray  # (n_segments, n_episodes)
+    boundary_counts: np.ndarray  # (n_boundaries, n_episodes)
+
+    @property
+    def totals(self) -> np.ndarray:
+        return self.segment_counts.sum(axis=0) + self.boundary_counts.sum(axis=0)
+
+    @property
+    def spanning_total(self) -> int:
+        return int(self.boundary_counts.sum())
+
+
+def segment_bounds(n: int, n_segments: int) -> list[tuple[int, int]]:
+    """Split ``[0, n)`` into ``n_segments`` near-equal contiguous ranges.
+
+    Mirrors how the block-level kernels assign offsets: thread ``i``
+    owns ``[i*ceil(n/t), ...)`` with the final thread taking the tail.
+    """
+    if n_segments < 1:
+        raise ValidationError(f"need >= 1 segment, got {n_segments}")
+    if n < 0:
+        raise ValidationError(f"database length must be >= 0, got {n}")
+    size = -(-n // n_segments) if n else 0
+    bounds = []
+    for i in range(n_segments):
+        lo = min(n, i * size)
+        hi = min(n, (i + 1) * size)
+        bounds.append((lo, hi))
+    return bounds
+
+
+def count_segmented(
+    db: np.ndarray,
+    episodes: list[Episode],
+    alphabet_size: int,
+    n_segments: int,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+    fix_spanning: bool = True,
+) -> SegmentedCount:
+    """Count episodes over per-segment scans plus boundary fix-up.
+
+    ``fix_spanning=False`` reproduces Fig. 5(a)'s *wrong* answer — the
+    ablation benchmarks use it to quantify how many occurrences the
+    span check recovers.
+    """
+    db = np.asarray(db)
+    if not episodes:
+        raise ValidationError("need at least one episode")
+    validate_window(policy, window)
+    bounds = segment_bounds(db.size, n_segments)
+
+    if policy is not MatchPolicy.RESET:
+        # Carry mode supports mixed-length batches (no matrix needed).
+        return _count_segmented_carry(db, episodes, alphabet_size, bounds, policy, window)
+
+    matrix = episodes_to_matrix(episodes)
+    length = matrix.shape[1]
+
+    seg_counts = np.zeros((len(bounds), len(episodes)), dtype=np.int64)
+    for i, (lo, hi) in enumerate(bounds):
+        seg_counts[i] = count_batch(db[lo:hi], matrix, alphabet_size, policy)
+
+    bnd_counts = np.zeros((max(0, len(bounds) - 1), len(episodes)), dtype=np.int64)
+    if fix_spanning and length > 1:
+        for i, (seg_lo, b) in enumerate(bounds[:-1]):
+            # Attribute each spanning occurrence to the FIRST boundary it
+            # crosses: its start must lie inside the segment ending at
+            # ``b`` (otherwise an occurrence spanning several short
+            # segments would be counted once per boundary).
+            start_lo = max(seg_lo, b - length + 1)
+            hi = min(db.size, b + length - 1)
+            window_db = db[start_lo:hi]
+            bnd_counts[i] = _count_starts_in(
+                window_db, matrix, alphabet_size, start_lo=0, start_hi=b - start_lo
+            )
+    return SegmentedCount(segment_counts=seg_counts, boundary_counts=bnd_counts)
+
+
+def _count_starts_in(
+    window_db: np.ndarray,
+    matrix: np.ndarray,
+    alphabet_size: int,
+    start_lo: int,
+    start_hi: int,
+) -> np.ndarray:
+    """Matches of each episode starting in ``[start_lo, start_hi)``.
+
+    The window is at most ``2L-2`` characters, so a direct vectorized
+    comparison is cheap.
+    """
+    length = matrix.shape[1]
+    n = window_db.size
+    counts = np.zeros(matrix.shape[0], dtype=np.int64)
+    for start in range(start_lo, min(start_hi, n - length + 1)):
+        seg = window_db[start : start + length]
+        counts += (matrix == seg[np.newaxis, :]).all(axis=1)
+    return counts
+
+
+def _count_segmented_carry(
+    db: np.ndarray,
+    episodes: list[Episode],
+    alphabet_size: int,
+    bounds: list[tuple[int, int]],
+    policy: MatchPolicy,
+    window: int | None,
+) -> SegmentedCount:
+    """Exact segmented counting via sequential FSM state carry."""
+    seg_counts = np.zeros((len(bounds), len(episodes)), dtype=np.int64)
+    for j, ep in enumerate(episodes):
+        fsm = EpisodeFSM(ep, alphabet_size, policy, window)
+        offset = 0
+        for i, (lo, hi) in enumerate(bounds):
+            before = fsm.count
+            for t in range(lo, hi):
+                fsm.step(int(db[t]), t)
+            seg_counts[i, j] = fsm.count - before
+            offset = hi
+    boundary = np.zeros((max(0, len(bounds) - 1), len(episodes)), dtype=np.int64)
+    return SegmentedCount(segment_counts=seg_counts, boundary_counts=boundary)

@@ -1,0 +1,39 @@
+"""Shared utilities: unit conversions, RNG plumbing, ASCII rendering."""
+
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    cycles_to_ms,
+    cycles_to_seconds,
+    ghz,
+    mhz_to_hz,
+    ms_to_cycles,
+)
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table, format_series
+from repro.util.validation import (
+    require,
+    require_positive,
+    require_in_range,
+    require_power_of_two,
+)
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "cycles_to_ms",
+    "cycles_to_seconds",
+    "ghz",
+    "mhz_to_hz",
+    "ms_to_cycles",
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "require",
+    "require_positive",
+    "require_in_range",
+    "require_power_of_two",
+]

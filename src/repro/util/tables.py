@@ -1,0 +1,91 @@
+"""ASCII table and series rendering for the experiment harness.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; these helpers keep that formatting in one place (no
+plotting dependency is available offline, so figures are rendered as
+aligned numeric series plus ASCII sparklines).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width ASCII table.
+
+    Floats are formatted with ``float_fmt``; everything else via ``str``.
+    """
+    str_rows = []
+    for row in rows:
+        str_rows.append(
+            [float_fmt.format(v) if isinstance(v, float) else str(v) for v in row]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a numeric series as a unicode sparkline (min→max scaled)."""
+    vals = list(values)
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi == lo:
+        return _SPARK_LEVELS[0] * len(vals)
+    span = hi - lo
+    out = []
+    for v in vals:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    y_fmt: str = "{:.3f}",
+    with_spark: bool = True,
+) -> str:
+    """Render one figure series: name, sparkline, then x→y pairs."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    parts = [f"{name}:"]
+    if with_spark and ys:
+        parts.append(f"  shape {sparkline(list(ys))}")
+    pair_strs = [f"{x}={y_fmt.format(y)}" for x, y in zip(xs, ys)]
+    # wrap pairs at ~100 chars per line for terminal readability
+    line: list[str] = []
+    used = 4
+    for p in pair_strs:
+        if used + len(p) + 2 > 100 and line:
+            parts.append("    " + "  ".join(line))
+            line, used = [], 4
+        line.append(p)
+        used += len(p) + 2
+    if line:
+        parts.append("    " + "  ".join(line))
+    return "\n".join(parts)

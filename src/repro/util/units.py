@@ -1,0 +1,57 @@
+"""Unit conversions used throughout the GPU model.
+
+The timing model works internally in *shader cycles* (the unit the CUDA
+programming guide quotes instruction costs in — e.g. "a single
+instruction is completed by the entire warp in 4 cycles", paper §2.1.1)
+and converts to milliseconds only at reporting boundaries, using each
+card's shader clock.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+KIB: int = 1024
+MIB: int = 1024 * 1024
+GIB: int = 1024 * 1024 * 1024
+
+
+def mhz_to_hz(mhz: float) -> float:
+    """Convert a clock in MHz to Hz."""
+    if mhz <= 0:
+        raise ConfigError(f"clock must be positive, got {mhz} MHz")
+    return mhz * 1e6
+
+
+def ghz(mhz: float) -> float:
+    """Convert a clock in MHz to GHz (convenience for reporting)."""
+    return mhz / 1e3
+
+
+def cycles_to_seconds(cycles: float, clock_mhz: float) -> float:
+    """Convert a shader-cycle count to wall seconds at ``clock_mhz``."""
+    return cycles / mhz_to_hz(clock_mhz)
+
+
+def cycles_to_ms(cycles: float, clock_mhz: float) -> float:
+    """Convert a shader-cycle count to milliseconds at ``clock_mhz``."""
+    return cycles_to_seconds(cycles, clock_mhz) * 1e3
+
+
+def ms_to_cycles(ms: float, clock_mhz: float) -> float:
+    """Convert milliseconds back to shader cycles at ``clock_mhz``."""
+    if ms < 0:
+        raise ConfigError(f"time must be non-negative, got {ms} ms")
+    return ms * 1e-3 * mhz_to_hz(clock_mhz)
+
+
+def gbps_to_bytes_per_cycle(gbps: float, clock_mhz: float) -> float:
+    """Convert device-memory bandwidth (GB/s) to bytes per shader cycle.
+
+    Expressing bandwidth in bytes/cycle lets the analytic model compare
+    the bandwidth bound directly against issue/latency bounds which are
+    naturally in cycles.
+    """
+    if gbps <= 0:
+        raise ConfigError(f"bandwidth must be positive, got {gbps} GB/s")
+    return gbps * 1e9 / mhz_to_hz(clock_mhz)

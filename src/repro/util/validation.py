@@ -1,0 +1,36 @@
+"""Small validation helpers shared by configuration dataclasses."""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T", int, float)
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigError(message)
+
+
+def require_positive(value: T, name: str) -> T:
+    """Return ``value`` if strictly positive, else raise."""
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def require_in_range(value: T, lo: T, hi: T, name: str) -> T:
+    """Return ``value`` if ``lo <= value <= hi``, else raise."""
+    if not (lo <= value <= hi):
+        raise ConfigError(f"{name} must be in [{lo}, {hi}], got {value}")
+    return value
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    """Return ``value`` if it is a power of two, else raise."""
+    if value <= 0 or value & (value - 1):
+        raise ConfigError(f"{name} must be a power of two, got {value}")
+    return value

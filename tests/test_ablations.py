@@ -1,0 +1,91 @@
+"""Tests for the §6-motivated ablation experiments."""
+
+import numpy as np
+import pytest
+
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.algos import MiningProblem
+from repro.data.synthetic import random_database
+from repro.experiments.ablations import (
+    buffer_size_ablation,
+    expiration_ablation,
+    span_fix_ablation,
+    texture_cache_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    db = random_database(50_021, seed=55)
+    eps = tuple(generate_level(UPPERCASE, 2))
+    return MiningProblem(db, eps, 26)
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    db = random_database(4001, seed=56)
+    eps = generate_level(UPPERCASE, 2)[:25]
+    return db, eps
+
+
+class TestTextureCacheAblation:
+    def test_larger_cache_never_slower(self, problem):
+        points = texture_cache_ablation(problem, threads=512)
+        times = [p.ms for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_knobs_recorded(self, problem):
+        points = texture_cache_ablation(problem, cache_sizes=(4096, 8192))
+        assert [p.knob for p in points] == [4096.0, 8192.0]
+
+
+class TestBufferSizeAblation:
+    def test_runs_and_reports_waves(self, problem):
+        points = buffer_size_ablation(problem, buffer_sizes=(2048, 10_240))
+        assert len(points) == 2
+        assert all(p.ms > 0 for p in points)
+        assert all("waves=" in p.detail for p in points)
+
+    def test_small_buffer_means_more_chunk_overhead(self, problem):
+        """At level 2 the per-chunk span fix makes tiny buffers pay."""
+        points = buffer_size_ablation(problem, threads=512, buffer_sizes=(512, 10_240))
+        assert points[0].ms > points[1].ms
+
+
+class TestSpanFixAblation:
+    def test_fix_recovers_exactly_the_spanning_losses(self, small_workload):
+        db, eps = small_workload
+        outcomes = span_fix_ablation(db, eps, 26, segment_counts=(4, 64, 256))
+        for o in outcomes:
+            assert o.unfixed_total + o.recovered == o.exact_total
+
+    def test_losses_grow_with_segmentation(self, small_workload):
+        """More boundaries -> more spanning occurrences lost (C3's driver)."""
+        db, eps = small_workload
+        outcomes = span_fix_ablation(db, eps, 26, segment_counts=(2, 32, 512))
+        recovered = [o.recovered for o in outcomes]
+        assert recovered[0] <= recovered[1] <= recovered[2]
+        assert recovered[2] > 0
+
+    def test_loss_fraction(self, small_workload):
+        db, eps = small_workload
+        (outcome,) = span_fix_ablation(db, eps, 26, segment_counts=(128,))
+        assert 0.0 <= outcome.loss_fraction <= 1.0
+
+
+class TestExpirationAblation:
+    def test_counts_monotone_in_window(self, small_workload):
+        """Wider expiry window -> monotonically more occurrences (§6)."""
+        db, eps = small_workload
+        results = expiration_ablation(db, eps[:10], 26, windows=(1, 2, 8, 32))
+        totals = [t for (_, t) in results]
+        assert all(a <= b for a, b in zip(totals, totals[1:]))
+
+    def test_window_one_close_to_contiguous(self, small_workload):
+        from repro.mining.counting import count_batch
+
+        db, eps = small_workload
+        ((_, w1_total),) = expiration_ablation(db, eps[:10], 26, windows=(1,))
+        reset_total = int(count_batch(db, eps[:10], 26).sum())
+        assert w1_total == reset_total

@@ -1,0 +1,216 @@
+"""Tests for the four GPU mining kernels: launch plans, functional
+correctness against the CPU counter, and trace structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MiningError, ValidationError
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280, get_card
+from repro.gpu.trace import Pattern, Space
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch
+from repro.mining.policies import MatchPolicy
+from repro.algos import (
+    ALGORITHMS,
+    BlockBufKernel,
+    BlockTexKernel,
+    MiningProblem,
+    ThreadBufKernel,
+    ThreadTexKernel,
+    get_algorithm,
+    algorithm_names,
+)
+
+ALL_KERNELS = [ThreadTexKernel, ThreadBufKernel, BlockTexKernel, BlockBufKernel]
+
+
+@pytest.fixture(scope="module")
+def problem(small_db=None):
+    rng = np.random.default_rng(31)
+    db = rng.integers(0, 26, 4001).astype(np.uint8)
+    eps = tuple(generate_level(UPPERCASE, 2)[:40])
+    return MiningProblem(db, eps, 26)
+
+
+class TestRegistry:
+    def test_numbers_map_to_classes(self):
+        assert get_algorithm(1) is ThreadTexKernel
+        assert get_algorithm(4) is BlockBufKernel
+
+    def test_names_map_to_classes(self):
+        assert get_algorithm("algo3-block-tex") is BlockTexKernel
+
+    def test_unknown_raises(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            get_algorithm(9)
+        with pytest.raises(ConfigError):
+            get_algorithm("nope")
+
+    def test_algorithm_names(self):
+        assert len(algorithm_names()) == 4
+
+    def test_paper_attributes(self):
+        assert not ThreadTexKernel.block_level and not ThreadTexKernel.buffered
+        assert not ThreadBufKernel.block_level and ThreadBufKernel.buffered
+        assert BlockTexKernel.block_level and not BlockTexKernel.buffered
+        assert BlockBufKernel.block_level and BlockBufKernel.buffered
+
+
+class TestLaunchPlans:
+    def test_thread_level_grid(self, problem):
+        k = ThreadTexKernel(problem, threads_per_block=16)
+        cfg = k.launch_config(GEFORCE_GTX_280)
+        # 40 episodes / 16 threads -> 3 blocks
+        assert cfg.total_blocks == 3
+        assert cfg.threads_per_block == 16
+
+    def test_block_level_grid_one_block_per_episode(self, problem):
+        k = BlockTexKernel(problem, threads_per_block=64)
+        cfg = k.launch_config(GEFORCE_GTX_280)
+        assert cfg.total_blocks == problem.n_episodes
+
+    def test_buffered_kernels_request_shared_memory(self, problem):
+        assert ThreadBufKernel(problem, 128).launch_config(
+            GEFORCE_GTX_280
+        ).shared_mem_bytes > 0
+        assert BlockBufKernel(problem, 128).launch_config(
+            GEFORCE_GTX_280
+        ).shared_mem_bytes == 10_240
+        assert ThreadTexKernel(problem, 128).launch_config(
+            GEFORCE_GTX_280
+        ).shared_mem_bytes == 0
+
+    def test_a2_buffer_scales_with_threads(self, problem):
+        small = ThreadBufKernel(problem, 16).launch_config(GEFORCE_GTX_280)
+        big = ThreadBufKernel(problem, 512).launch_config(GEFORCE_GTX_280)
+        assert small.shared_mem_bytes < big.shared_mem_bytes
+        assert big.shared_mem_bytes <= 14_336
+
+    def test_grid_folds_into_2d_beyond_65535(self):
+        rng = np.random.default_rng(1)
+        db = rng.integers(0, 26, 100).astype(np.uint8)
+        eps = tuple(generate_level(UPPERCASE, 3))  # 15,600 episodes
+        prob = MiningProblem(db, eps, 26)
+        cfg = BlockTexKernel(prob, 32).launch_config(GEFORCE_GTX_280)
+        assert cfg.total_blocks == 15_600
+
+    def test_invalid_thread_count(self, problem):
+        with pytest.raises(ValidationError):
+            ThreadTexKernel(problem, threads_per_block=0)
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    @pytest.mark.parametrize("threads", [16, 64, 256, 512])
+    def test_counts_match_cpu(self, problem, cls, threads):
+        sim = GpuSimulator(GEFORCE_GTX_280)
+        expected = count_batch(problem.db, problem.matrix, 26)
+        result = sim.launch(cls(problem, threads_per_block=threads))
+        assert np.array_equal(result.output, expected), (cls.name, threads)
+
+    @pytest.mark.parametrize("cls", ALL_KERNELS)
+    def test_level3_counts_match(self, cls):
+        rng = np.random.default_rng(5)
+        db = rng.integers(0, 26, 3000).astype(np.uint8)
+        eps = tuple(generate_level(UPPERCASE, 3)[:25])
+        prob = MiningProblem(db, eps, 26)
+        sim = GpuSimulator(GEFORCE_GTX_280)
+        expected = count_batch(db, prob.matrix, 26)
+        result = sim.launch(cls(prob, threads_per_block=96))
+        assert np.array_equal(result.output, expected)
+
+    def test_thread_level_supports_subsequence(self):
+        rng = np.random.default_rng(6)
+        db = rng.integers(0, 26, 1000).astype(np.uint8)
+        eps = tuple(generate_level(UPPERCASE, 2)[:10])
+        prob = MiningProblem(db, eps, 26, policy=MatchPolicy.SUBSEQUENCE)
+        sim = GpuSimulator(GEFORCE_GTX_280)
+        expected = count_batch(db, prob.matrix, 26, MatchPolicy.SUBSEQUENCE)
+        for cls in (ThreadTexKernel, ThreadBufKernel):
+            result = sim.launch(cls(prob, threads_per_block=64))
+            assert np.array_equal(result.output, expected)
+
+    def test_block_level_rejects_subsequence(self):
+        db = np.zeros(100, dtype=np.uint8)
+        eps = tuple(generate_level(UPPERCASE, 2)[:5])
+        prob = MiningProblem(db, eps, 26, policy=MatchPolicy.SUBSEQUENCE)
+        with pytest.raises(MiningError, match="RESET"):
+            BlockTexKernel(prob, 64)
+
+    def test_relaunch_with_new_problem_not_stale(self):
+        """The simulator must not serve stale device buffers when the
+        same kernel name re-uploads a different database (level-wise
+        mining does exactly this)."""
+        sim = GpuSimulator(GEFORCE_GTX_280)
+        eps = tuple(generate_level(UPPERCASE, 2)[:5])
+        db1 = np.zeros(500, dtype=np.uint8)
+        db2 = UPPERCASE.encode("AB" * 250)
+        out1 = sim.launch(ThreadTexKernel(MiningProblem(db1, eps, 26), 32)).output
+        out2 = sim.launch(ThreadTexKernel(MiningProblem(db2, eps, 26), 32)).output
+        assert out1[0] == 0  # db1 has no 'AB'
+        assert out2[0] == count_batch(db2, [eps[0]], 26)[0] == 250
+
+
+class TestTraces:
+    def test_algo1_trace_is_broadcast_texture(self, problem):
+        k = ThreadTexKernel(problem, 128)
+        trace = k.build_trace(GEFORCE_GTX_280, k.launch_config(GEFORCE_GTX_280))
+        scan = trace.phase("scan")
+        assert scan.space is Space.TEXTURE
+        assert scan.pattern is Pattern.BROADCAST
+        assert scan.elements_per_thread == problem.n
+
+    def test_algo2_trace_has_load_then_scan(self, problem):
+        k = ThreadBufKernel(problem, 128)
+        trace = k.build_trace(GEFORCE_GTX_280, k.launch_config(GEFORCE_GTX_280))
+        assert trace.phase_names == ("load", "scan")
+        assert trace.phase("load").space is Space.GLOBAL
+        assert trace.phase("scan").space is Space.SHARED
+
+    def test_algo3_trace_has_span_fix_and_atomics(self, problem):
+        k = BlockTexKernel(problem, 128)
+        trace = k.build_trace(GEFORCE_GTX_280, k.launch_config(GEFORCE_GTX_280))
+        assert trace.phase_names == ("scan", "span-fix", "reduce")
+        assert trace.phase("scan").pattern is Pattern.STREAMED
+        assert trace.phase("reduce").atomics == 128  # per-thread atomics
+        # level 2 -> one boundary char per thread
+        assert trace.phase("span-fix").serial_elements == 128
+
+    def test_algo4_span_fix_repeats_per_chunk(self, problem):
+        k = BlockBufKernel(problem, 128)
+        trace = k.build_trace(GEFORCE_GTX_280, k.launch_config(GEFORCE_GTX_280))
+        assert trace.phase("span-fix").repeats == k.n_chunks
+        assert trace.phase("reduce").atomics == 1.0
+
+    def test_level1_has_no_span_work(self):
+        db = np.zeros(1000, dtype=np.uint8)
+        eps = tuple(generate_level(UPPERCASE, 1))
+        prob = MiningProblem(db, eps, 26)
+        k = BlockTexKernel(prob, 64)
+        trace = k.build_trace(GEFORCE_GTX_280, k.launch_config(GEFORCE_GTX_280))
+        assert trace.phase("span-fix").serial_elements == 0
+
+    def test_describe(self, problem):
+        d = BlockBufKernel(problem, 64).describe()
+        assert d["algorithm"] == 4
+        assert d["block_level"] is True
+        assert d["threads_per_block"] == 64
+
+
+class TestCardDifferences:
+    def test_same_functional_output_on_all_cards(self, problem):
+        expected = count_batch(problem.db, problem.matrix, 26)
+        for card in ("8800GTS512", "9800GX2", "GTX280"):
+            sim = GpuSimulator(get_card(card))
+            out = sim.launch(ThreadTexKernel(problem, 64)).output
+            assert np.array_equal(out, expected), card
+
+    def test_timing_differs_between_cards(self, problem):
+        k = lambda: ThreadTexKernel(problem, 64)
+        gtx = GpuSimulator(GEFORCE_GTX_280).time_only(k())
+        g92 = GpuSimulator(GEFORCE_8800_GTS_512).time_only(k())
+        assert gtx.total_ms != g92.total_ms

@@ -1,0 +1,109 @@
+"""Tests for the texture-cache model and the streaming hit-rate estimator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.cache import CacheStats, TextureCache, streaming_hit_rate
+
+
+class TestTextureCacheBasics:
+    def test_geometry(self):
+        c = TextureCache(capacity_bytes=8192, line_bytes=32, ways=8)
+        assert c.n_sets == 32
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            TextureCache(capacity_bytes=1000, line_bytes=32, ways=8)
+
+    def test_line_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            TextureCache(capacity_bytes=8192, line_bytes=24, ways=8)
+
+    def test_cold_miss_then_hit(self):
+        c = TextureCache()
+        assert c.access(0) is False
+        assert c.access(1) is True  # same 32-byte line
+        assert c.access(31) is True
+        assert c.access(32) is False  # next line
+
+    def test_negative_address_rejected(self):
+        c = TextureCache()
+        with pytest.raises(ConfigError):
+            c.access(-1)
+
+    def test_reset(self):
+        c = TextureCache()
+        c.access(0)
+        c.reset()
+        assert c.stats.accesses == 0
+        assert c.access(0) is False  # cold again
+
+
+class TestLru:
+    def test_eviction_order_is_lru(self):
+        # capacity 2 lines per set: 2 ways, 1 set => 64 bytes total
+        c = TextureCache(capacity_bytes=64, line_bytes=32, ways=2)
+        c.access(0)      # line 0
+        c.access(32)     # line 1
+        c.access(0)      # touch line 0 (now MRU)
+        c.access(64)     # evicts line 1 (LRU)
+        assert c.access(0) is True
+        assert c.access(32) is False  # was evicted
+
+    def test_sequential_stream_hit_rate(self):
+        c = TextureCache()
+        stats = c.access_stream(np.arange(3200))
+        # one miss per 32-byte line
+        assert stats.misses == 100
+        assert stats.hit_rate == pytest.approx(1 - 100 / 3200)
+
+
+class TestStreamingHitRateEstimator:
+    def test_matches_functional_cache_when_fitting(self):
+        """N interleaved streams that fit: estimator == functional replay."""
+        n_streams, length = 16, 64
+        c = TextureCache(capacity_bytes=8192)
+        # round-robin interleave: stream i reads base + step
+        addresses = []
+        bases = [i * 10_000 for i in range(n_streams)]
+        for step in range(length):
+            for b in bases:
+                addresses.append(b + step)
+        stats = c.access_stream(np.array(addresses))
+        predicted = streaming_hit_rate(n_streams, 8192)
+        assert stats.hit_rate == pytest.approx(predicted, abs=0.02)
+
+    def test_thrashing_replay_degrades(self):
+        """More streams than lines: functional cache hit rate collapses."""
+        n_streams, length = 900, 8  # 900 lines needed vs 256 available
+        c = TextureCache(capacity_bytes=8192)
+        addresses = []
+        bases = [i * 10_000 for i in range(n_streams)]
+        for step in range(length):
+            for b in bases:
+                addresses.append(b + step)
+        stats = c.access_stream(np.array(addresses))
+        predicted = streaming_hit_rate(n_streams, 8192)
+        # both should report heavy degradation vs the 0.969 ideal
+        assert stats.hit_rate < 0.5
+        assert predicted < 0.5
+
+    def test_estimator_monotone_in_streams(self):
+        rates = [streaming_hit_rate(s, 8192) for s in (1, 64, 256, 512, 1024, 4096)]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_ideal_rate_is_31_of_32(self):
+        assert streaming_hit_rate(1, 8192) == pytest.approx(31 / 32)
+
+    def test_zero_streams(self):
+        assert streaming_hit_rate(0, 8192) == 0.0
+
+    def test_full_thrash_floor(self):
+        assert streaming_hit_rate(100_000, 8192) == 0.0
+
+    def test_wider_access_lowers_ceiling(self):
+        narrow = streaming_hit_rate(4, 8192, bytes_per_access=1)
+        wide = streaming_hit_rate(4, 8192, bytes_per_access=16)
+        assert narrow > wide
+        assert wide == pytest.approx(0.5)

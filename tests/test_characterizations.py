@@ -1,0 +1,86 @@
+"""Integration tests: the paper's eight characterizations and every
+figure-level expectation must hold on the full-size sweep.
+
+This is the reproduction's headline test — it runs the complete
+experiment grid (3 cards x 4 algorithms x 3 levels x 32 thread counts
+at the paper's database size) through the timing model and asserts the
+paper's qualitative claims.
+"""
+
+import pytest
+
+from repro.experiments import Harness, SweepConfig, run_characterizations
+from repro.experiments.expectations import check_all
+
+
+@pytest.fixture(scope="module")
+def full_results():
+    config = SweepConfig(threads=tuple(range(16, 513, 16)))
+    return Harness(config).run()
+
+
+class TestCharacterizations:
+    def test_all_eight_pass(self, full_results):
+        results = run_characterizations(full_results)
+        assert len(results) == 8
+        failures = [
+            f"C{c.cid} {c.title}: {c.evidence}" for c in results if not c.passed
+        ]
+        assert not failures, "\n".join(failures)
+
+    @pytest.mark.parametrize("cid", range(1, 9))
+    def test_each_characterization(self, full_results, cid):
+        results = {c.cid: c for c in run_characterizations(full_results)}
+        c = results[cid]
+        assert c.passed, f"C{cid} {c.title}: {c.evidence}"
+
+
+class TestFigureExpectations:
+    def test_all_expectations_pass(self, full_results):
+        expectations = check_all(full_results)
+        assert len(expectations) >= 15
+        failures = [
+            f"{e.source} {e.name}: {e.detail}" for e in expectations if not e.passed
+        ]
+        assert not failures, "\n".join(failures)
+
+
+class TestHeadlineNumbers:
+    """Spot checks of the headline conclusions (paper §7)."""
+
+    def test_best_l1_config_is_buffered_block_level(self, full_results):
+        best = full_results.best("GTX280", 1)
+        assert best.algorithm == 4
+        assert best.ms < 1.0
+
+    def test_best_l2_config_is_unbuffered_block_level_small_blocks(
+        self, full_results
+    ):
+        best = full_results.best("GTX280", 2)
+        assert best.algorithm == 3
+        assert best.threads <= 96
+
+    def test_best_l3_config_is_thread_level(self, full_results):
+        best = full_results.best("GTX280", 3)
+        assert best.algorithm in (1, 2)
+
+    def test_oldest_card_wins_smallest_problem(self, full_results):
+        per_card = {
+            card: full_results.best(card, 1).ms
+            for card in ("8800GTS512", "9800GX2", "GTX280")
+        }
+        assert min(per_card, key=per_card.get) == "8800GTS512"
+
+    def test_newest_card_wins_largest_problem(self, full_results):
+        per_card = {
+            card: full_results.best(card, 3).ms
+            for card in ("8800GTS512", "9800GX2", "GTX280")
+        }
+        assert min(per_card, key=per_card.get) == "GTX280"
+
+    def test_algorithm1_constant_time_per_level_pair(self, full_results):
+        """C1's strongest form: L1 and L2 curves essentially identical."""
+        s1 = full_results.series("a", "GTX280", 1, 1)
+        s2 = full_results.series("b", "GTX280", 1, 2)
+        for y1, y2 in zip(s1.ys, s2.ys):
+            assert y2 / y1 == pytest.approx(1.0, rel=0.05)

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTables:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "15,600" in out
+        assert "GeForce GTX 280" in out
+
+
+class TestAdvise:
+    def test_advise_single_card(self, capsys):
+        assert main(["advise", "--level", "1", "--card", "GTX280"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm 4" in out
+
+    def test_advise_all_cards(self, capsys):
+        assert main(["advise", "--level", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Algorithm") == 3
+
+    def test_unknown_card_is_clean_error(self, capsys):
+        assert main(["advise", "--card", "RTX9000"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_fig8_coarse(self, capsys):
+        assert main(["figure", "--id", "fig8", "--step", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "Algorithm1 on Level2" in out
+        assert "8800GTS512" in out
+
+
+class TestCharacterize:
+    def test_characterize_exits_zero_when_all_pass(self, capsys):
+        # the coarse 64-step sweep still satisfies every expectation
+        rc = main(["characterize", "--step", "32"])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert out.count("[PASS]") >= 8
+        assert "[FAIL]" not in out
+
+
+class TestMine:
+    def test_mine_small(self, capsys):
+        assert main(["mine", "--events", "4000", "--threshold", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "frequent" in out
+        assert "simulated kernel time" in out
+
+
+class TestProbe:
+    def test_probe(self, capsys):
+        assert main(["probe", "--card", "8800GTS512"]) == 0
+        out = capsys.readouterr().out
+        assert "latency-hiding" in out
+        assert "issue-ceiling" in out
+
+
+class TestParser:
+    def test_missing_command_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_figure_id(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "--id", "fig99"])

@@ -1,0 +1,197 @@
+"""Tests for the experiment harness: sweeps, results, figures, tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    FAST_THREAD_SWEEP,
+    Harness,
+    ResultSet,
+    Series,
+    SweepConfig,
+    fig6_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    render_table1,
+    render_table2,
+    run_figure,
+    table1_rows,
+    table2_rows,
+)
+from repro.experiments.results import SweepRow
+
+
+@pytest.fixture(scope="module")
+def fast_results():
+    config = SweepConfig(threads=(64, 128, 256), db_length=10_007, levels=(1, 2))
+    return Harness(config).run()
+
+
+class TestSweepConfig:
+    def test_point_count(self):
+        config = SweepConfig(threads=(64, 128), levels=(1,), algorithms=(1, 3))
+        assert config.n_points == 3 * 2 * 1 * 2
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            SweepConfig(cards=("RTX4090",))
+        with pytest.raises(ExperimentError):
+            SweepConfig(algorithms=(5,))
+        with pytest.raises(ExperimentError):
+            SweepConfig(threads=())
+        with pytest.raises(ExperimentError):
+            SweepConfig(db_length=0)
+
+
+class TestHarness:
+    def test_run_produces_full_grid(self, fast_results):
+        assert len(fast_results) == 3 * 4 * 2 * 3
+
+    def test_rows_have_positive_times(self, fast_results):
+        assert all(r.ms > 0 for r in fast_results)
+
+    def test_functional_verification(self):
+        config = SweepConfig(threads=(64,), db_length=3001, levels=(2,))
+        harness = Harness(config)
+        assert harness.verify_functional(level=2) is True
+
+    def test_problem_cached(self):
+        harness = Harness(SweepConfig(threads=(64,), db_length=1009))
+        assert harness.problem(2) is harness.problem(2)
+
+    def test_level_beyond_alphabet_raises(self):
+        harness = Harness(SweepConfig(threads=(64,), db_length=1009))
+        with pytest.raises(ExperimentError):
+            harness.problem(27)
+
+
+class TestResultSet:
+    def test_filter_chain(self, fast_results):
+        sub = fast_results.filter(card="GTX280", algorithm=3)
+        assert all(r.card == "GTX280" and r.algorithm == 3 for r in sub)
+        assert len(sub) == 2 * 3  # levels x threads
+
+    def test_series_extraction(self, fast_results):
+        s = fast_results.series("x", "GTX280", 1, 1)
+        assert s.xs == (64, 128, 256)
+        assert len(s.ys) == 3
+
+    def test_series_missing_raises(self, fast_results):
+        with pytest.raises(ExperimentError):
+            fast_results.series("x", "GTX280", 1, 3)  # level 3 not swept
+
+    def test_best(self, fast_results):
+        best = fast_results.best("GTX280", 1)
+        assert best.ms == min(
+            r.ms for r in fast_results.filter(card="GTX280", level=1)
+        )
+
+    def test_csv_roundtrip(self, fast_results):
+        text = fast_results.to_csv()
+        back = ResultSet.from_csv(text)
+        assert len(back) == len(fast_results)
+        first_orig = next(iter(fast_results))
+        first_back = next(iter(back))
+        assert first_back == first_orig
+
+    def test_empty_csv(self):
+        assert ResultSet().to_csv() == ""
+
+
+class TestSeries:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ExperimentError):
+            Series("s", (1, 2), (1.0,))
+
+    def test_argmin(self):
+        s = Series("s", (10, 20, 30), (3.0, 1.0, 2.0))
+        assert s.argmin_x == 20
+        assert s.y_min == 1.0
+        assert s.y_max == 3.0
+
+    def test_at(self):
+        s = Series("s", (10, 20), (3.0, 1.0))
+        assert s.at(20) == 1.0
+        with pytest.raises(ExperimentError):
+            s.at(99)
+
+    def test_relative_to(self):
+        a = Series("a", (1, 2), (4.0, 9.0))
+        b = Series("b", (1, 2), (2.0, 3.0))
+        assert a.relative_to(b).ys == (2.0, 3.0)
+
+    def test_relative_to_mismatched_axes(self):
+        a = Series("a", (1,), (4.0,))
+        b = Series("b", (2,), (2.0,))
+        with pytest.raises(ExperimentError):
+            a.relative_to(b)
+
+
+class TestFigureSpecs:
+    def test_fig6_structure(self):
+        spec = fig6_spec()
+        assert len(spec.panels) == 4
+        assert all(len(p.series) == 3 for p in spec.panels)
+
+    def test_fig7_structure(self):
+        spec = fig7_spec()
+        assert len(spec.panels) == 3
+        assert all(len(p.series) == 4 for p in spec.panels)
+
+    def test_fig8_structure(self):
+        spec = fig8_spec()
+        assert [p.panel_id for p in spec.panels] == ["a", "b"]
+
+    def test_fig9_structure(self):
+        spec = fig9_spec()
+        assert len(spec.panels) == 12
+        assert spec.panel("l").title == "Algorithm4 on Level3 across cards"
+
+    def test_unknown_panel(self):
+        with pytest.raises(ExperimentError):
+            fig8_spec().panel("z")
+
+    def test_run_figure_fig7_panels(self, fast_results):
+        # restrict fig7 to the swept levels
+        spec = fig7_spec()
+        rendered_panels = []
+        for panel in spec.panels[:2]:  # levels 1 and 2
+            sub_spec = type(spec)(spec.figure_id, spec.title, (panel,))
+            rendered = run_figure(sub_spec, fast_results)
+            rendered_panels.append(rendered.panels[0])
+        assert len(rendered_panels[0].series) == 4
+
+    def test_render_text(self, fast_results):
+        spec = fig7_spec()
+        sub = type(spec)(spec.figure_id, spec.title, (spec.panels[0],))
+        text = run_figure(sub, fast_results).render_text()
+        assert "Algorithm1" in text
+        assert "Level1" in text
+
+
+class TestTables:
+    def test_table1_rows_match_paper(self):
+        rows = table1_rows()
+        assert rows[0] == (1, 26)
+        assert rows[1] == (2, 650)
+        assert rows[2] == (3, 15_600)
+
+    def test_render_table1(self):
+        text = render_table1()
+        assert "15,600" in text
+        assert "Episode Length" in text
+
+    def test_table2_rows_cover_cards(self):
+        rows = table2_rows()
+        labels = [r[0] for r in rows]
+        assert "Memory Bandwidth (GBps)" in labels
+        assert "Multiprocessors" in labels
+        bw_row = next(r for r in rows if r[0] == "Memory Bandwidth (GBps)")
+        assert bw_row[1:] == ("57.6", "64.0", "141.7")
+
+    def test_render_table2(self):
+        text = render_table2()
+        assert "GeForce GTX 280" in text
+        assert "141.7" in text

@@ -1,0 +1,88 @@
+"""Tests for the L >> 3 extension experiment (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.gpu.specs import GEFORCE_GTX_280
+from repro.mining.alphabet import Alphabet, UPPERCASE
+from repro.mining.candidates import count_candidates
+from repro.data.synthetic import random_database
+from repro.experiments.extension_levels import (
+    count_full_level,
+    level_scaling_experiment,
+    sample_episodes,
+    verify_sampled_counts,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return random_database(30_011, seed=61)
+
+
+class TestSampling:
+    def test_sample_distinct_and_valid(self):
+        eps = sample_episodes(UPPERCASE, 4, 20, seed=1)
+        assert len(eps) == 20
+        assert len({e.items for e in eps}) == 20
+        assert all(e.length == 4 for e in eps)
+
+    def test_sample_capped_by_space(self):
+        alpha = Alphabet.of_size(3)
+        eps = sample_episodes(alpha, 2, 100, seed=2)
+        assert len(eps) == count_candidates(3, 2)
+
+    def test_level_beyond_alphabet(self):
+        with pytest.raises(ExperimentError):
+            sample_episodes(Alphabet.of_size(3), 4, 5)
+
+
+class TestFullLevelCounting:
+    def test_total_grams_at_level4(self, db):
+        grams = count_full_level(db, 4)
+        assert grams.shape == (26**4,)
+        assert grams.sum() == db.size - 3
+
+    @pytest.mark.parametrize("level", [4, 5])
+    def test_sampled_counts_match_oracle(self, db, level):
+        assert verify_sampled_counts(db[:3000], level) is True
+
+
+class TestLevelScaling:
+    @pytest.fixture(scope="class")
+    def points(self, db):
+        return level_scaling_experiment(
+            db, GEFORCE_GTX_280, levels=(1, 2, 3, 4), threads=96
+        )
+
+    def test_grid_covers_levels_and_algorithms(self, points):
+        assert {p.level for p in points} == {1, 2, 3, 4}
+        assert {p.algorithm for p in points} == {1, 2, 3, 4}
+
+    def test_episode_counts_follow_table1(self, points):
+        by_level = {p.level: p.episodes for p in points}
+        assert by_level[4] == 358_800
+
+    def test_block_level_scales_linearly_in_episodes(self, points):
+        """Block-level kernels launch one block per episode: total time
+        grows ~linearly with the candidate count beyond saturation."""
+        a3 = {p.level: p for p in points if p.algorithm == 3}
+        growth = a3[4].total_ms / a3[3].total_ms
+        episode_growth = a3[4].episodes / a3[3].episodes  # 23x
+        assert growth == pytest.approx(episode_growth, rel=0.3)
+
+    def test_thread_level_per_episode_time_keeps_falling(self, points):
+        """§6's question answered: thread-level stays 'constant time per
+        episode' — in fact per-episode cost falls as L grows because the
+        device finally saturates."""
+        a1 = {p.level: p for p in points if p.algorithm == 1}
+        assert a1[4].us_per_episode < a1[3].us_per_episode
+        assert a1[3].us_per_episode < a1[1].us_per_episode
+
+    def test_thread_level_beats_block_level_ever_more_at_l4(self, points):
+        a1 = {p.level: p for p in points if p.algorithm == 1}
+        a3 = {p.level: p for p in points if p.algorithm == 3}
+        ratio_l3 = a3[3].total_ms / a1[3].total_ms
+        ratio_l4 = a3[4].total_ms / a1[4].total_ms
+        assert ratio_l4 > ratio_l3 > 1.0

@@ -1,0 +1,109 @@
+"""Tests for Dim3 and launch-configuration validation."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.launch import Dim3, LaunchConfig, flat_thread_id
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280
+
+
+class TestDim3:
+    def test_defaults(self):
+        d = Dim3(4)
+        assert (d.x, d.y, d.z) == (4, 1, 1)
+        assert d.count == 4
+
+    def test_three_dims(self):
+        assert Dim3(2, 3, 4).count == 24
+
+    def test_of_int(self):
+        assert Dim3.of(7) == Dim3(7)
+
+    def test_of_tuple(self):
+        assert Dim3.of((2, 5)) == Dim3(2, 5)
+
+    def test_of_dim3_passthrough(self):
+        d = Dim3(3)
+        assert Dim3.of(d) is d
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive(self, bad):
+        with pytest.raises(LaunchError):
+            Dim3(bad)
+
+    def test_of_rejects_long_tuple(self):
+        with pytest.raises(LaunchError):
+            Dim3.of((1, 2, 3, 4))
+
+    def test_of_rejects_garbage(self):
+        with pytest.raises(LaunchError):
+            Dim3.of("128")  # type: ignore[arg-type]
+
+
+class TestFlatThreadId:
+    def test_x_fastest(self):
+        block = Dim3(4, 2, 2)
+        assert flat_thread_id(block, 0, 0, 0) == 0
+        assert flat_thread_id(block, 3, 0, 0) == 3
+        assert flat_thread_id(block, 0, 1, 0) == 4
+        assert flat_thread_id(block, 0, 0, 1) == 8
+
+    def test_bijective_over_block(self):
+        block = Dim3(3, 2, 2)
+        seen = {
+            flat_thread_id(block, x, y, z)
+            for z in range(2)
+            for y in range(2)
+            for x in range(3)
+        }
+        assert seen == set(range(block.count))
+
+
+class TestLaunchConfig:
+    def test_totals(self):
+        cfg = LaunchConfig(grid=Dim3(10), block=Dim3(128))
+        assert cfg.threads_per_block == 128
+        assert cfg.total_blocks == 10
+        assert cfg.total_threads == 1280
+
+    def test_warps_per_block_rounds_up(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(33))
+        assert cfg.warps_per_block() == 2
+
+    def test_validate_ok(self):
+        cfg = LaunchConfig(grid=Dim3(100), block=Dim3(512))
+        assert cfg.validate(GEFORCE_GTX_280) is cfg
+
+    def test_too_many_threads_per_block(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(513))
+        with pytest.raises(LaunchError, match="exceeds"):
+            cfg.validate(GEFORCE_GTX_280)
+
+    def test_shared_memory_over_limit(self):
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(64), shared_mem_bytes=20_000)
+        with pytest.raises(LaunchError, match="shared memory"):
+            cfg.validate(GEFORCE_GTX_280)
+
+    def test_register_pressure_over_limit(self):
+        # 64 regs x 512 threads = 32768 > 16384 on GT200
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(512), registers_per_thread=64)
+        with pytest.raises(LaunchError, match="registers"):
+            cfg.validate(GEFORCE_GTX_280)
+
+    def test_register_boundary_exact_fit_g92(self):
+        # 16 regs x 512 threads = 8192 exactly fills the G92 register file
+        cfg = LaunchConfig(grid=Dim3(1), block=Dim3(512), registers_per_thread=16)
+        cfg.validate(GEFORCE_8800_GTS_512)
+
+    def test_grid_axis_limit(self):
+        cfg = LaunchConfig(grid=Dim3(65536), block=Dim3(32))
+        with pytest.raises(LaunchError, match="65535"):
+            cfg.validate(GEFORCE_GTX_280)
+
+    def test_negative_shared_mem_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=Dim3(1), block=Dim3(32), shared_mem_bytes=-1)
+
+    def test_zero_registers_rejected(self):
+        with pytest.raises(LaunchError):
+            LaunchConfig(grid=Dim3(1), block=Dim3(32), registers_per_thread=0)

@@ -1,0 +1,146 @@
+"""Tests for the MapReduce framework and engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.specs import GEFORCE_GTX_280
+from repro.mapreduce import (
+    GpuCountingEngine,
+    KeyValue,
+    MapReduceJob,
+    SerialEngine,
+    ThreadPoolEngine,
+    group_by_key,
+    run_job,
+    sum_combiner,
+)
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch
+from repro.mining.policies import MatchPolicy
+
+
+def word_count_job(texts):
+    """The canonical MapReduce example, used to test the generic engine."""
+    inputs = [KeyValue(i, t) for i, t in enumerate(texts)]
+
+    def mapper(rec):
+        for word in rec.value.split():
+            yield KeyValue(word, 1)
+
+    def reducer(word, ones):
+        return sum(ones)
+
+    return MapReduceJob(inputs=inputs, mapper=mapper, reducer=reducer)
+
+
+class TestGenericFramework:
+    def test_word_count_serial(self):
+        job = word_count_job(["a b a", "b c", "a"])
+        out = run_job(job, SerialEngine())
+        assert out == {"a": 3, "b": 2, "c": 1}
+
+    def test_default_engine_is_serial(self):
+        job = word_count_job(["x y x"])
+        assert run_job(job) == {"x": 2, "y": 1}
+
+    def test_threadpool_matches_serial(self):
+        texts = [f"w{i % 7} w{i % 3}" for i in range(100)]
+        job = word_count_job(texts)
+        assert run_job(job, SerialEngine()) == run_job(job, ThreadPoolEngine(4))
+
+    def test_intermediate_step_applied(self):
+        """The paper's between-map-and-reduce hook (the span fix slot)."""
+        job = word_count_job(["a a b"])
+        boosted = MapReduceJob(
+            inputs=job.inputs,
+            mapper=job.mapper,
+            reducer=job.reducer,
+            intermediate=lambda recs: recs + [KeyValue("a", 10)],
+        )
+        out = run_job(boosted)
+        assert out["a"] == 12
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(ConfigError):
+            MapReduceJob(inputs=[], mapper=None, reducer=lambda k, v: 0)  # type: ignore
+
+    def test_threadpool_worker_validation(self):
+        with pytest.raises(ConfigError):
+            ThreadPoolEngine(0)
+
+
+class TestShuffleHelpers:
+    def test_group_by_key_preserves_first_seen_order(self):
+        recs = [KeyValue("b", 1), KeyValue("a", 2), KeyValue("b", 3)]
+        groups = group_by_key(recs)
+        assert list(groups) == ["b", "a"]
+        assert groups["b"] == [1, 3]
+
+    def test_sum_combiner(self):
+        recs = [KeyValue("x", 1.0), KeyValue("y", 2.0), KeyValue("x", 4.0)]
+        combined = {kv.key: kv.value for kv in sum_combiner(recs)}
+        assert combined == {"x": 5.0, "y": 2.0}
+
+
+class TestGpuCountingEngine:
+    @pytest.fixture()
+    def workload(self):
+        rng = np.random.default_rng(17)
+        db = rng.integers(0, 26, 2000).astype(np.uint8)
+        eps = generate_level(UPPERCASE, 2)[:12]
+        return db, eps
+
+    def test_counts_match_cpu(self, workload):
+        db, eps = workload
+        engine = GpuCountingEngine(
+            device=GEFORCE_GTX_280, alphabet_size=26, algorithm=3,
+            threads_per_block=64,
+        )
+        out = engine(db, eps)
+        assert np.array_equal(out, count_batch(db, eps, 26))
+
+    def test_auto_mode_selects_and_counts(self, workload):
+        db, eps = workload
+        engine = GpuCountingEngine(
+            device=GEFORCE_GTX_280, alphabet_size=26, algorithm="auto"
+        )
+        out = engine(db, eps)
+        assert np.array_equal(out, count_batch(db, eps, 26))
+
+    def test_reports_accumulate(self, workload):
+        db, eps = workload
+        engine = GpuCountingEngine(
+            device=GEFORCE_GTX_280, alphabet_size=26, algorithm=1,
+            threads_per_block=64,
+        )
+        engine(db, eps)
+        engine(db, eps)
+        assert len(engine.reports) == 2
+        assert engine.total_kernel_ms > 0
+
+    def test_policy_passthrough(self, workload):
+        db, eps = workload
+        engine = GpuCountingEngine(
+            device=GEFORCE_GTX_280,
+            alphabet_size=26,
+            algorithm=2,
+            threads_per_block=64,
+            policy=MatchPolicy.SUBSEQUENCE,
+        )
+        out = engine(db, eps)
+        assert np.array_equal(
+            out, count_batch(db, eps, 26, MatchPolicy.SUBSEQUENCE)
+        )
+
+    def test_invalid_algorithm_eager(self):
+        with pytest.raises(ConfigError):
+            GpuCountingEngine(device=GEFORCE_GTX_280, alphabet_size=26, algorithm=8)
+
+    def test_invalid_threads(self):
+        with pytest.raises(ConfigError):
+            GpuCountingEngine(
+                device=GEFORCE_GTX_280, alphabet_size=26, algorithm=1,
+                threads_per_block=0,
+            )

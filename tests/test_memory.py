@@ -1,0 +1,114 @@
+"""Tests for the functional device memory spaces."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.gpu.memory import (
+    ConstantMemory,
+    DeviceMemory,
+    GlobalMemory,
+    SharedMemory,
+    TextureMemory,
+)
+from repro.gpu.specs import GEFORCE_GTX_280
+
+
+@pytest.fixture()
+def mem():
+    return DeviceMemory(GEFORCE_GTX_280)
+
+
+class TestAllocation:
+    def test_alloc_and_get_roundtrip(self, mem):
+        data = np.arange(100, dtype=np.uint8)
+        mem.global_mem.alloc("db", data)
+        out = mem.global_mem.get("db")
+        assert np.array_equal(out, data)
+
+    def test_alloc_copies(self, mem):
+        data = np.arange(10, dtype=np.uint8)
+        mem.global_mem.alloc("db", data)
+        data[0] = 99
+        assert mem.global_mem.get("db")[0] == 0
+
+    def test_double_alloc_raises(self, mem):
+        mem.global_mem.alloc("x", np.zeros(4, dtype=np.uint8))
+        with pytest.raises(DeviceMemoryError, match="already allocated"):
+            mem.global_mem.alloc("x", np.zeros(4, dtype=np.uint8))
+
+    def test_free_releases_capacity(self, mem):
+        mem.global_mem.alloc("x", np.zeros(1000, dtype=np.uint8))
+        used = mem.global_mem.used_bytes
+        assert used == 1000
+        mem.global_mem.free("x")
+        assert mem.global_mem.used_bytes == 0
+
+    def test_free_unknown_raises(self, mem):
+        with pytest.raises(DeviceMemoryError, match="no buffer"):
+            mem.global_mem.free("nope")
+
+    def test_get_unknown_raises(self, mem):
+        with pytest.raises(DeviceMemoryError, match="no buffer"):
+            mem.global_mem.get("nope")
+
+    def test_capacity_enforced(self):
+        gm = GlobalMemory(GEFORCE_GTX_280)
+        with pytest.raises(DeviceMemoryError, match="exceeds"):
+            gm.alloc("huge", np.zeros(gm.capacity_bytes + 1, dtype=np.uint8))
+
+    def test_constant_memory_is_64kb(self, mem):
+        assert mem.constant_mem.capacity_bytes == 64 * 1024
+        with pytest.raises(DeviceMemoryError):
+            mem.constant_mem.alloc("big", np.zeros(70_000, dtype=np.uint8))
+
+
+class TestReadOnlySpaces:
+    def test_texture_not_writable_via_api(self, mem):
+        mem.texture_mem.alloc("db", np.zeros(8, dtype=np.uint8))
+        with pytest.raises(DeviceMemoryError, match="read-only"):
+            mem.texture_mem.write("db", 0, np.uint8(1))
+
+    def test_texture_buffer_flag_readonly(self, mem):
+        mem.texture_mem.alloc("db", np.zeros(8, dtype=np.uint8))
+        buf = mem.texture_mem.get("db")
+        with pytest.raises(ValueError):
+            buf[0] = 1  # numpy-level write protection
+
+    def test_global_is_writable(self, mem):
+        mem.global_mem.alloc("db", np.zeros(8, dtype=np.uint8))
+        mem.global_mem.write("db", 2, np.uint8(7))
+        assert mem.global_mem.get("db")[2] == 7
+
+
+class TestCounters:
+    def test_reads_counted_elementwise(self, mem):
+        mem.global_mem.alloc("db", np.arange(50, dtype=np.uint8))
+        mem.global_mem.read("db", np.arange(10))
+        assert mem.global_mem.counters.reads == 10
+        mem.global_mem.read("db", 3)
+        assert mem.global_mem.counters.reads == 11
+
+    def test_writes_counted(self, mem):
+        mem.global_mem.alloc("db", np.zeros(50, dtype=np.uint8))
+        mem.global_mem.write("db", np.arange(5), np.ones(5, dtype=np.uint8))
+        assert mem.global_mem.counters.writes == 5
+
+    def test_reset_counters(self, mem):
+        mem.global_mem.alloc("db", np.zeros(10, dtype=np.uint8))
+        mem.global_mem.read("db", 0)
+        mem.reset_counters()
+        assert mem.global_mem.counters.total == 0
+
+
+class TestSharedMemory:
+    def test_capacity_is_16kb(self):
+        sm = SharedMemory(GEFORCE_GTX_280)
+        assert sm.capacity_bytes == 16 * 1024
+
+    def test_new_shared_fresh_instance(self, mem):
+        a = mem.new_shared()
+        b = mem.new_shared()
+        a.alloc("buf", np.zeros(100, dtype=np.uint8))
+        with pytest.raises(DeviceMemoryError):
+            b.get("buf")

@@ -1,0 +1,81 @@
+"""Tests for the §6 micro-benchmark suite: every probe must agree with
+the analytic model's closed forms (substrate self-consistency)."""
+
+import pytest
+
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280
+from repro.experiments.microbench import (
+    barrier_cost_probe,
+    issue_ceiling_probe,
+    latency_hiding_probe,
+    memory_divergence_probe,
+    run_all_probes,
+)
+
+
+class TestLatencyHiding:
+    def test_ipc_monotone_until_ceiling(self):
+        probe = latency_hiding_probe(GEFORCE_GTX_280)
+        ys = probe.ys
+        # non-decreasing up to the ceiling (tolerate scheduler noise)
+        assert ys[0] < ys[-1]
+        assert max(ys) <= probe.derived["issue_ceiling_ipc"] + 1e-9
+
+    def test_saturation_near_analytic_knee(self):
+        probe = latency_hiding_probe(GEFORCE_GTX_280)
+        knee = probe.derived["analytic_knee_warps"]
+        observed = probe.derived["observed_saturation_warps"]
+        # the bursty round-robin schedule saturates within ~2x of the
+        # ideal knee — close enough to validate the analytic crossover
+        assert observed <= 2.5 * knee
+
+    def test_longer_latency_needs_more_warps(self):
+        short = latency_hiding_probe(GEFORCE_GTX_280, latency=100)
+        long = latency_hiding_probe(GEFORCE_GTX_280, latency=800)
+        assert (
+            long.derived["observed_saturation_warps"]
+            >= short.derived["observed_saturation_warps"]
+        )
+
+
+class TestIssueCeiling:
+    def test_pure_compute_hits_exact_ceiling(self):
+        probe = issue_ceiling_probe(GEFORCE_GTX_280)
+        assert probe.derived["ipc"] == pytest.approx(
+            probe.derived["expected_ipc"], rel=0.01
+        )
+
+    def test_same_on_g92(self):
+        probe = issue_ceiling_probe(GEFORCE_8800_GTS_512)
+        assert probe.derived["ipc"] == pytest.approx(0.25, rel=0.01)
+
+
+class TestBarrierCost:
+    def test_barrier_cost_bounded(self):
+        probe = barrier_cost_probe(GEFORCE_GTX_280)
+        # a barrier in balanced code costs at most a few issue slots/warp
+        assert probe.derived["max_extra_cycles"] <= 16 * 4 * 2
+
+    def test_barrier_cost_nonnegative(self):
+        probe = barrier_cost_probe(GEFORCE_GTX_280)
+        assert all(y >= 0 for y in probe.ys)
+
+
+class TestMemoryLatencyProbe:
+    def test_slope_recovers_element_count(self):
+        probe = memory_divergence_probe(GEFORCE_GTX_280, elements=20)
+        assert probe.derived["slope_elements"] == pytest.approx(
+            probe.derived["expected_slope"], rel=0.01
+        )
+
+
+class TestRunAll:
+    def test_all_probes_run(self):
+        probes = run_all_probes(GEFORCE_GTX_280)
+        assert {p.name for p in probes} == {
+            "latency-hiding",
+            "barrier-cost",
+            "issue-ceiling",
+            "memory-latency",
+        }
+        assert all(p.ys for p in probes)

@@ -1,0 +1,161 @@
+"""Tests for the cycle-level micro-simulator, including cross-validation
+of the analytic model's issue/latency regimes."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.microsim import (
+    Instruction,
+    Op,
+    SmMicrosim,
+    programs_from_phase,
+    simulate_phase,
+)
+from repro.gpu.specs import GEFORCE_GTX_280
+from repro.gpu.trace import Pattern, Phase, Space
+
+
+def mem_program(n_ops, latency):
+    return [Instruction(Op.MEMORY, latency=latency) for _ in range(n_ops)]
+
+
+def compute_program(n_ops):
+    return [Instruction(Op.COMPUTE) for _ in range(n_ops)]
+
+
+@pytest.fixture()
+def sim():
+    return SmMicrosim(GEFORCE_GTX_280)
+
+
+class TestBasics:
+    def test_empty_raises(self, sim):
+        with pytest.raises(ConfigError):
+            sim.run([])
+
+    def test_single_compute_warp(self, sim):
+        res = sim.run([compute_program(100)])
+        # 100 instructions x 4 cycles
+        assert res.cycles == 400
+        assert res.instructions_issued == 100
+
+    def test_memory_latency_exposed_single_warp(self, sim):
+        res = sim.run([mem_program(10, latency=200)])
+        # each op: 4 issue + 200 stall; the final op's stall is not waited
+        # for (the kernel completes at last issue), hence 9 full stalls
+        assert res.cycles == 10 * 4 + 9 * 200
+        assert res.memory_stall_cycles > 0
+
+    def test_two_warps_overlap_latency(self, sim):
+        one = sim.run([mem_program(20, latency=200)])
+        two = sim.run([mem_program(20, latency=200) for _ in range(2)])
+        # the second warp hides inside the first's stalls: far less than 2x
+        assert two.cycles < one.cycles * 1.2
+
+
+class TestLatencyHiding:
+    def test_throughput_grows_until_issue_saturated(self, sim):
+        """More warps increase IPC until issue bandwidth saturates —
+        the mechanism behind the analytic model's max(issue, latency)."""
+        ipcs = []
+        for warps in (1, 2, 4, 8, 16, 32):
+            res = sim.run([mem_program(30, latency=400) for _ in range(warps)])
+            ipcs.append(res.ipc)
+        assert ipcs[0] < ipcs[2] < ipcs[4]  # rising while latency-bound
+        assert ipcs[-1] <= 0.25 + 1e-9  # 1 instruction / 4 cycles ceiling
+
+    def test_analytic_crossover_matches_microsim(self, sim):
+        """Analytic predicts latency-bound until w*I*4 > chain + I*4; the
+        microsim's cycle counts must agree on which side dominates."""
+        latency, instr = 400, 5
+        elements = 40
+
+        def program():
+            prog = []
+            for _ in range(elements):
+                prog.append(Instruction(Op.MEMORY, latency=latency))
+                prog.extend(compute_program(instr - 1))
+            return prog
+
+        # latency-bound case: 2 warps
+        res2 = sim.run([program() for _ in range(2)])
+        analytic_latency = elements * (latency + instr * 4)
+        assert res2.cycles == pytest.approx(analytic_latency, rel=0.2)
+        # issue-bound case: 32 warps.  The round-robin schedule is bursty
+        # (all mem ops issue together, then a bubble), so the microsim
+        # lands above the ideal issue bound but far below serial latency.
+        res32 = sim.run([program() for _ in range(32)])
+        analytic_issue = elements * 32 * instr * 4
+        assert analytic_issue <= res32.cycles <= analytic_issue * 1.6
+        serial_all = 32 * elements * (latency + instr * 4)
+        assert res32.cycles < serial_all / 4
+
+
+class TestBarriers:
+    def test_barrier_synchronizes_warps(self, sim):
+        fast = compute_program(2) + [Instruction(Op.BARRIER)] + compute_program(2)
+        slow = compute_program(50) + [Instruction(Op.BARRIER)] + compute_program(2)
+        res = sim.run([fast, slow])
+        assert res.barrier_waits == 1
+        # the fast warp waits for the slow one: total >= slow warp alone
+        assert res.cycles >= 52 * 4
+
+    def test_all_warps_at_barrier_releases(self, sim):
+        progs = [
+            compute_program(1) + [Instruction(Op.BARRIER)] + compute_program(1)
+            for _ in range(4)
+        ]
+        res = sim.run(progs)
+        assert res.barrier_waits == 1
+        assert res.instructions_issued == 4 * 3
+
+
+class TestPhaseExpansion:
+    def test_programs_from_phase_shapes(self):
+        phase = Phase(
+            name="scan",
+            elements_per_thread=10,
+            instructions_per_element=3,
+            chain_cycles_per_element=100,
+            space=Space.TEXTURE,
+            pattern=Pattern.BROADCAST,
+            bytes_per_element=1.0,
+        )
+        progs = programs_from_phase(phase, GEFORCE_GTX_280, n_warps=4)
+        assert len(progs) == 4
+        # per element: 1 memory + 2 compute
+        assert len(progs[0]) == 30
+        assert progs[0][0].op is Op.MEMORY
+        assert progs[0][0].latency == 100
+
+    def test_elements_override(self):
+        phase = Phase(
+            name="scan",
+            elements_per_thread=1_000_000,
+            instructions_per_element=2,
+            chain_cycles_per_element=50,
+            space=Space.SHARED,
+        )
+        progs = programs_from_phase(phase, GEFORCE_GTX_280, 1, elements_override=5)
+        assert len(progs[0]) == 10
+
+    def test_pure_compute_phase_never_empty(self):
+        phase = Phase(name="noop")
+        progs = programs_from_phase(phase, GEFORCE_GTX_280, 1)
+        assert len(progs[0]) == 1
+
+    def test_simulate_phase_runs(self):
+        phase = Phase(
+            name="scan",
+            elements_per_thread=100,
+            instructions_per_element=2,
+            chain_cycles_per_element=60,
+            space=Space.SHARED,
+        )
+        res = simulate_phase(phase, GEFORCE_GTX_280, n_warps=2, elements=20)
+        assert res.cycles > 0
+
+    def test_zero_warps_rejected(self):
+        phase = Phase(name="noop")
+        with pytest.raises(ConfigError):
+            programs_from_phase(phase, GEFORCE_GTX_280, 0)

@@ -1,0 +1,71 @@
+"""Tests for the dual-GPU (9800 GX2) extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.multi import MultiGpu, dual_gx2
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import GEFORCE_9800_GX2, GEFORCE_GTX_280
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch
+from repro.algos import MiningProblem
+from repro.algos.registry import get_algorithm
+from repro.data.synthetic import random_database
+
+
+@pytest.fixture(scope="module")
+def problem():
+    db = random_database(20_011, seed=91)
+    eps = tuple(generate_level(UPPERCASE, 2))
+    return MiningProblem(db, eps, 26)
+
+
+class TestFunctional:
+    def test_partitioned_counts_equal_single_device(self, problem):
+        multi = dual_gx2()
+        result = multi.launch(problem, algorithm=1, threads_per_block=128)
+        expected = count_batch(problem.db, problem.matrix, 26)
+        assert np.array_equal(result.output, expected)
+
+    def test_three_devices_also_exact(self, problem):
+        multi = MultiGpu(GEFORCE_GTX_280, n_devices=3)
+        result = multi.launch(problem, algorithm=3, threads_per_block=64)
+        expected = count_batch(problem.db, problem.matrix, 26)
+        assert np.array_equal(result.output, expected)
+
+    def test_too_few_episodes_rejected(self):
+        db = random_database(500, seed=1)
+        eps = tuple(generate_level(UPPERCASE, 1)[:1])
+        prob = MiningProblem(db, eps, 26)
+        with pytest.raises(ConfigError):
+            MultiGpu(GEFORCE_GTX_280, n_devices=2).launch(prob, 1, 64)
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ConfigError):
+            MultiGpu(GEFORCE_GTX_280, n_devices=0)
+
+
+class TestTiming:
+    def test_dual_gx2_faster_than_single_gx2(self, problem):
+        """Splitting 650 episodes halves the per-device block count."""
+        single = GpuSimulator(GEFORCE_9800_GX2)
+        kernel = get_algorithm(3)(problem, threads_per_block=64)
+        single_ms = single.time_only(kernel).total_ms
+        dual = dual_gx2().launch(problem, algorithm=3, threads_per_block=64)
+        assert dual.total_ms < single_ms
+
+    def test_total_is_slowest_device_plus_merge(self, problem):
+        result = dual_gx2().launch(problem, algorithm=3, threads_per_block=64)
+        assert result.total_ms >= result.slowest_device_ms
+        assert result.total_ms < result.slowest_device_ms + 1.0
+
+    def test_speedup_metric(self, problem):
+        result = dual_gx2().launch(problem, algorithm=3, threads_per_block=64)
+        assert 1.0 < result.speedup_vs_serial <= 2.0
+
+    def test_reports_per_device(self, problem):
+        result = dual_gx2().launch(problem, algorithm=1, threads_per_block=128)
+        assert len(result.per_device_reports) == 2
+        assert all(r.device_name == "GeForce 9800 GX2" for r in result.per_device_reports)

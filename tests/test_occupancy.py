@@ -1,0 +1,100 @@
+"""Tests for the occupancy calculator against CUDA 2.0 ground truths."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.occupancy import OccupancyCalculator
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280
+
+
+def cfg(threads, blocks=1000, smem=0, regs=10):
+    return LaunchConfig(
+        grid=Dim3(min(blocks, 65535)),
+        block=Dim3(threads),
+        shared_mem_bytes=smem,
+        registers_per_thread=regs,
+    )
+
+
+class TestBlocksPerSm:
+    def test_paper_example_two_512_blocks_cannot_coexist_on_g92(self):
+        """Paper §4.2.1: 'two blocks of 512 threads can not be active
+        simultaneously on the same multiprocessor' (768 thread ceiling)."""
+        calc = OccupancyCalculator(GEFORCE_8800_GTS_512)
+        res = calc.blocks_per_sm(cfg(512))
+        assert res.blocks_per_sm == 1
+        assert res.limiter == "threads"
+
+    def test_gt200_also_one_512_block(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        res = calc.blocks_per_sm(cfg(512, regs=10))
+        assert res.blocks_per_sm == 2  # 1024 threads / 512
+
+    def test_block_ceiling_of_eight(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        res = calc.blocks_per_sm(cfg(32))
+        assert res.blocks_per_sm == 8
+        assert res.limiter == "blocks"
+
+    def test_shared_memory_limits_residency(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        res = calc.blocks_per_sm(cfg(32, smem=10_240))
+        assert res.blocks_per_sm == 1
+        assert res.limiter == "shared_mem"
+
+    def test_register_limits_residency(self):
+        calc = OccupancyCalculator(GEFORCE_8800_GTS_512)
+        # 32 regs x 256 threads = 8192 -> exactly 1 block on G92
+        res = calc.blocks_per_sm(cfg(256, regs=32))
+        assert res.blocks_per_sm == 1
+        assert res.limiter == "registers"
+
+    def test_warp_granularity(self):
+        """A 48-thread block consumes 2 warps; 24-warp G92 fits 12, capped at 8."""
+        calc = OccupancyCalculator(GEFORCE_8800_GTS_512)
+        res = calc.blocks_per_sm(cfg(48))
+        assert res.blocks_per_sm == 8
+        assert res.warps_per_sm == 16
+
+    def test_impossible_launch_raises(self):
+        calc = OccupancyCalculator(GEFORCE_8800_GTS_512)
+        with pytest.raises(LaunchError):
+            # 17 KB of shared memory can never fit
+            calc.blocks_per_sm(cfg(32, smem=17_000))
+
+
+class TestOccupancyFraction:
+    def test_full_occupancy_gtx280(self):
+        """4 blocks x 256 threads = 1024 threads = 32 warps = 100% on GT200."""
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        res = calc.blocks_per_sm(cfg(256, regs=16))
+        assert res.blocks_per_sm == 4
+        assert res.occupancy == pytest.approx(1.0)
+        assert res.is_full
+
+    def test_single_warp_low_occupancy(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        res = calc.blocks_per_sm(cfg(32, blocks=1))
+        assert res.occupancy == pytest.approx(8 / 32)
+
+
+class TestDeviceUtilization:
+    """The §6 view the stock occupancy calculator lacks."""
+
+    def test_26_single_warp_blocks_underuse_gtx280(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        config = cfg(32, blocks=26)
+        assert calc.active_sms(config) == 26
+        util = calc.device_utilization(config)
+        assert util < 0.05  # 26 warps of 960 possible
+
+    def test_large_grid_fills_device(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        config = cfg(256, blocks=2000, regs=16)
+        assert calc.active_sms(config) == 30
+        assert calc.device_utilization(config) == pytest.approx(1.0)
+
+    def test_max_resident_blocks(self):
+        calc = OccupancyCalculator(GEFORCE_GTX_280)
+        assert calc.max_resident_blocks(cfg(32)) == 8 * 30

@@ -1,0 +1,69 @@
+"""Tests for block->SM wave scheduling."""
+
+import pytest
+
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.scheduler import BlockScheduler
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280
+
+
+def plan_for(device, blocks, threads, smem=0):
+    sched = BlockScheduler(device)
+    return sched.plan(
+        LaunchConfig(grid=Dim3(blocks), block=Dim3(threads), shared_mem_bytes=smem)
+    )
+
+
+class TestWaveDecomposition:
+    def test_small_grid_single_wave_spread(self):
+        """26 blocks on 30 SMs: one wave, one block per SM (spread-first)."""
+        plan = plan_for(GEFORCE_GTX_280, 26, 128)
+        assert plan.n_waves == 1
+        wave = plan.waves[0]
+        assert wave.blocks == 26
+        assert wave.sms_used == 26
+        assert wave.blocks_per_sm == 1
+
+    def test_grid_exactly_fills_capacity(self):
+        # 30 SMs x 8 blocks = 240 capacity at 32 threads
+        plan = plan_for(GEFORCE_GTX_280, 240, 32)
+        assert plan.n_waves == 1
+        assert plan.waves[0].blocks_per_sm == 8
+
+    def test_grid_one_over_capacity_two_waves(self):
+        plan = plan_for(GEFORCE_GTX_280, 241, 32)
+        assert plan.n_waves == 2
+        assert plan.waves[1].blocks == 1
+        assert plan.waves[1].blocks_per_sm == 1
+
+    def test_level3_paper_case(self):
+        """15,600 blocks of 64 threads on GTX280: 8 resident -> 65 waves."""
+        plan = plan_for(GEFORCE_GTX_280, 15_600, 64)
+        assert plan.resident_blocks_per_sm == 8
+        assert plan.n_waves == 65
+
+    def test_single_resident_buffered_block(self):
+        """A 10 KB shared-memory block is alone on its SM (C2)."""
+        plan = plan_for(GEFORCE_GTX_280, 120, 64, smem=10_240)
+        assert plan.resident_blocks_per_sm == 1
+        assert plan.n_waves == 4  # 120 / 30 SMs
+
+    def test_fewer_sms_more_waves_on_g92(self):
+        gtx = plan_for(GEFORCE_GTX_280, 650, 64)
+        g92 = plan_for(GEFORCE_8800_GTS_512, 650, 64)
+        assert g92.n_waves > gtx.n_waves
+
+    def test_wave_blocks_sum_to_grid(self):
+        plan = plan_for(GEFORCE_GTX_280, 1234, 96)
+        assert sum(w.blocks for w in plan.waves) == 1234
+
+    def test_busiest_sm_ceiling(self):
+        """31 blocks on 30 SMs: busiest SM gets 2 in wave 0."""
+        plan = plan_for(GEFORCE_GTX_280, 31, 512)
+        # 512 threads -> 2 resident/SM on GT200, capacity 60 -> 1 wave
+        assert plan.n_waves == 1
+        assert plan.waves[0].blocks_per_sm == 2
+
+    def test_full_capacity_property(self):
+        plan = plan_for(GEFORCE_GTX_280, 1000, 32)
+        assert plan.full_capacity == 240

@@ -1,0 +1,90 @@
+"""Tests for the adaptive algorithm selector (paper §7's dynamic adaptation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.specs import GEFORCE_GTX_280, get_card
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.algos import AdaptiveSelector, MiningProblem
+from repro.data.synthetic import paper_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return paper_database(seed=77)
+
+
+def problem_for(db, level):
+    return MiningProblem(db, tuple(generate_level(UPPERCASE, level)), 26)
+
+
+class TestSelection:
+    def test_level1_prefers_block_level(self, db):
+        """C4: at L=1 block-level parallelism wins."""
+        selector = AdaptiveSelector(GEFORCE_GTX_280)
+        choice = selector.select(problem_for(db, 1))
+        assert choice.algorithm_id in (3, 4)
+
+    def test_level1_best_is_buffered_block(self, db):
+        """§7: 'episodes of length 1 ... blocks ... and buffering to
+        shared memory achieves the best performance'."""
+        selector = AdaptiveSelector(GEFORCE_GTX_280)
+        choice = selector.select(problem_for(db, 1))
+        assert choice.algorithm_id == 4
+        assert choice.best_ms < 1.0  # sub-millisecond (C4)
+
+    def test_level2_prefers_unbuffered_block(self, db):
+        """§7: 'episodes of length 2 require block sizes of 64 without
+        buffering'."""
+        selector = AdaptiveSelector(GEFORCE_GTX_280)
+        choice = selector.select(problem_for(db, 2))
+        assert choice.algorithm_id == 3
+        assert choice.threads_per_block <= 96
+
+    def test_level3_prefers_thread_level(self, db):
+        """§7: length 3 wants thread-level parallelism."""
+        selector = AdaptiveSelector(GEFORCE_GTX_280)
+        choice = selector.select(problem_for(db, 3))
+        assert choice.algorithm_id in (1, 2)
+
+    def test_ranking_sorted(self, db):
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64, 128))
+        choice = selector.select(problem_for(db, 1))
+        times = [ms for (_, _, ms) in choice.ranking]
+        assert times == sorted(times)
+        assert choice.ranking[0][2] == choice.best_ms
+
+    def test_best_for_algorithm(self, db):
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64, 128, 256))
+        choice = selector.select(problem_for(db, 2))
+        threads, ms = choice.best_for_algorithm(1)
+        assert threads in (64, 128, 256)
+        assert ms > 0
+
+    def test_best_for_unknown_algorithm_raises(self, db):
+        selector = AdaptiveSelector(
+            GEFORCE_GTX_280, thread_sweep=(64,), algorithms=(1, 2)
+        )
+        choice = selector.select(problem_for(db, 1))
+        with pytest.raises(ConfigError):
+            choice.best_for_algorithm(3)
+
+
+class TestConfiguration:
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=())
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSelector(GEFORCE_GTX_280, algorithms=(1, 7))
+
+    def test_oversized_threads_skipped(self, db):
+        """Thread counts beyond the card limit are silently skipped."""
+        selector = AdaptiveSelector(
+            GEFORCE_GTX_280, thread_sweep=(128, 1024), algorithms=(1,)
+        )
+        choice = selector.select(problem_for(db, 1))
+        assert all(t == 128 for (_, t, _) in choice.ranking)

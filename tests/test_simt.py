@@ -1,0 +1,198 @@
+"""Tests for the SIMT kernel interpreter, including cross-validation of
+the vectorized mining kernels against a true per-thread execution."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.simt import (
+    AtomicAdd,
+    Branch,
+    Read,
+    SimtInterpreter,
+    Sync,
+    Write,
+    make_episode_search_kernel,
+)
+from repro.gpu.specs import GEFORCE_GTX_280
+from repro.mining.alphabet import Alphabet
+from repro.mining.candidates import generate_level
+from repro.mining.counting import count_batch
+from repro.mining.episode import episodes_to_matrix
+
+
+@pytest.fixture()
+def interp():
+    return SimtInterpreter(GEFORCE_GTX_280, DeviceMemory(GEFORCE_GTX_280))
+
+
+def launch_cfg(blocks, threads):
+    return LaunchConfig(grid=Dim3(blocks), block=Dim3(threads))
+
+
+class TestBasicExecution:
+    def test_write_from_every_thread(self, interp):
+        interp.memory.global_mem.alloc("out", np.zeros(8, dtype=np.int64))
+
+        def kernel(ctx):
+            yield Write("out", ctx.global_thread_id, ctx.global_thread_id * 2)
+
+        interp.launch(kernel, launch_cfg(2, 4))
+        assert list(interp.memory.global_mem.get("out")) == [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def test_read_roundtrip(self, interp):
+        interp.memory.global_mem.alloc("in", np.arange(4, dtype=np.int64))
+        interp.memory.global_mem.alloc("out", np.zeros(4, dtype=np.int64))
+
+        def kernel(ctx):
+            v = yield Read("in", ctx.thread_id)
+            yield Write("out", ctx.thread_id, v + 10)
+
+        interp.launch(kernel, launch_cfg(1, 4))
+        assert list(interp.memory.global_mem.get("out")) == [10, 11, 12, 13]
+
+    def test_shared_memory_is_per_block(self, interp):
+        interp.memory.global_mem.alloc("out", np.zeros(2, dtype=np.int64))
+
+        def kernel(ctx):
+            if ctx.thread_id == 0:
+                ctx.shared.alloc("buf", np.array([ctx.block_id], dtype=np.int64))
+            yield Sync()
+            v = yield Read("buf", 0, space="shared")
+            if ctx.thread_id == 0:
+                yield Write("out", ctx.block_id, v)
+
+        interp.launch(kernel, launch_cfg(2, 2))
+        assert list(interp.memory.global_mem.get("out")) == [0, 1]
+
+    def test_atomic_add_no_lost_updates(self, interp):
+        interp.memory.global_mem.alloc("acc", np.zeros(1, dtype=np.int64))
+
+        def kernel(ctx):
+            yield AtomicAdd("acc", 0, 1)
+
+        interp.launch(kernel, launch_cfg(4, 32))
+        assert interp.memory.global_mem.get("acc")[0] == 128
+        assert interp.stats.atomics == 128
+
+
+class TestDivergenceAccounting:
+    def test_uniform_branch_not_divergent(self, interp):
+        def kernel(ctx):
+            taken = yield Branch(True)
+            assert taken
+
+        interp.launch(kernel, launch_cfg(1, 32))
+        assert interp.stats.branches >= 1
+        assert interp.stats.divergent_branches == 0
+
+    def test_split_warp_is_divergent(self, interp):
+        def kernel(ctx):
+            yield Branch(ctx.thread_id % 2 == 0)
+
+        interp.launch(kernel, launch_cfg(1, 32))
+        assert interp.stats.divergent_branches >= 1
+        assert interp.stats.serialized_passes >= 1
+
+    def test_warp_granularity_divergence(self, interp):
+        """Threads disagreeing only across warps do not diverge."""
+
+        def kernel(ctx):
+            yield Branch(ctx.thread_id < 32)
+
+        interp.launch(kernel, launch_cfg(1, 64))
+        assert interp.stats.divergent_branches == 0
+
+    def test_broadcast_vs_divergent_loads(self, interp):
+        interp.memory.global_mem.alloc("in", np.arange(64, dtype=np.int64))
+
+        def broadcast(ctx):
+            yield Read("in", 0)
+
+        def divergent(ctx):
+            yield Read("in", ctx.thread_id)
+
+        interp.launch(broadcast, launch_cfg(1, 32))
+        assert interp.stats.broadcast_loads == 1
+        assert interp.stats.divergent_loads == 0
+        interp2 = SimtInterpreter(GEFORCE_GTX_280, interp.memory)
+        interp2.memory = interp.memory
+        interp2.launch(divergent, launch_cfg(1, 32))
+        assert interp2.stats.divergent_loads == 1
+
+
+class TestBarriers:
+    def test_barrier_orders_producer_consumer(self, interp):
+        interp.memory.global_mem.alloc("out", np.zeros(32, dtype=np.int64))
+
+        def kernel(ctx):
+            if ctx.thread_id == 0:
+                ctx.shared.alloc("flag", np.array([7], dtype=np.int64))
+            yield Sync()
+            v = yield Read("flag", 0, space="shared")
+            yield Write("out", ctx.global_thread_id, v)
+
+        interp.launch(kernel, launch_cfg(1, 32))
+        assert all(v == 7 for v in interp.memory.global_mem.get("out"))
+        assert interp.stats.barriers == 1
+
+
+class TestEpisodeSearchKernel:
+    """The SIMT FSM kernel must agree with the vectorized counter."""
+
+    @pytest.mark.parametrize("level", [1, 2, 3])
+    def test_matches_vectorized_counts(self, level):
+        alpha = Alphabet.of_size(5)
+        rng = np.random.default_rng(13 + level)
+        db = rng.integers(0, 5, 120).astype(np.uint8)
+        episodes = generate_level(alpha, level)[:8]
+        matrix = episodes_to_matrix(episodes)
+
+        memory = DeviceMemory(GEFORCE_GTX_280)
+        memory.texture_mem.alloc("db", db)
+        memory.constant_mem.alloc("episodes", matrix)
+        memory.global_mem.alloc("counts", np.zeros(len(episodes), dtype=np.int64))
+        interp = SimtInterpreter(GEFORCE_GTX_280, memory)
+
+        kernel = make_episode_search_kernel(db.size, level, len(episodes))
+        interp.launch(kernel, launch_cfg(1, len(episodes)))
+
+        expected = count_batch(db, episodes, alpha.size)
+        got = memory.global_mem.get("counts")
+        assert np.array_equal(got, expected)
+
+    def test_divergence_observed_on_real_fsm(self):
+        """The FSM's advance/restart split is the divergence source the
+        calibration's instruction counts encode — it must actually
+        occur when a warp searches different episodes."""
+        alpha = Alphabet.of_size(4)
+        rng = np.random.default_rng(3)
+        db = rng.integers(0, 4, 60).astype(np.uint8)
+        episodes = generate_level(alpha, 2)[:12]
+        matrix = episodes_to_matrix(episodes)
+        memory = DeviceMemory(GEFORCE_GTX_280)
+        memory.texture_mem.alloc("db", db)
+        memory.constant_mem.alloc("episodes", matrix)
+        memory.global_mem.alloc("counts", np.zeros(len(episodes), dtype=np.int64))
+        interp = SimtInterpreter(GEFORCE_GTX_280, memory)
+        interp.launch(
+            make_episode_search_kernel(db.size, 2, len(episodes)),
+            launch_cfg(1, len(episodes)),
+        )
+        assert interp.stats.divergence_rate > 0.1
+        assert interp.stats.broadcast_loads > 0  # db reads are broadcast
+
+
+class TestDeadlockDetection:
+    def test_partial_barrier_deadlocks(self, interp):
+        def kernel(ctx):
+            if ctx.thread_id == 0:
+                yield Sync()  # only thread 0 syncs: classic CUDA bug
+            else:
+                yield Write("out", ctx.thread_id, 1)
+
+        interp.memory.global_mem.alloc("out", np.zeros(32, dtype=np.int64))
+        with pytest.raises(LaunchError, match="deadlock"):
+            interp.launch(kernel, launch_cfg(1, 32))

@@ -1,0 +1,153 @@
+"""Tests for the device spec registry (paper Table 2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.specs import (
+    CARD_REGISTRY,
+    ComputeCapability,
+    DeviceSpecs,
+    GEFORCE_8800_GTS_512,
+    GEFORCE_9800_GX2,
+    GEFORCE_GTX_280,
+    get_card,
+    list_cards,
+)
+
+
+class TestTable2Values:
+    """Every number the paper's Table 2 prints must be in the registry."""
+
+    def test_8800_gts_512(self):
+        c = GEFORCE_8800_GTS_512
+        assert c.gpu == "G92"
+        assert c.memory_mb == 512
+        assert c.memory_bandwidth_gbps == 57.6
+        assert c.multiprocessors == 16
+        assert c.cores == 128
+        assert c.clock_mhz == 1625.0
+        assert c.compute_capability is ComputeCapability.CC_1_1
+        assert c.max_threads_per_block == 512
+        assert c.max_threads_per_sm == 768
+        assert c.max_blocks_per_sm == 8
+        assert c.max_warps_per_sm == 24
+
+    def test_9800_gx2(self):
+        c = GEFORCE_9800_GX2
+        assert c.clock_mhz == 1500.0
+        assert c.memory_bandwidth_gbps == 64.0
+        assert c.multiprocessors == 16
+        assert c.compute_capability is ComputeCapability.CC_1_1
+
+    def test_gtx_280(self):
+        c = GEFORCE_GTX_280
+        assert c.gpu == "GT200"
+        assert c.memory_mb == 1024
+        assert c.memory_bandwidth_gbps == 141.7
+        assert c.multiprocessors == 30
+        assert c.cores == 240
+        assert c.clock_mhz == 1296.0
+        assert c.compute_capability is ComputeCapability.CC_1_3
+        assert c.registers_per_sm == 16384
+        assert c.max_threads_per_sm == 1024
+        assert c.max_warps_per_sm == 32
+
+    def test_warp_size_and_issue_rate_uniform(self):
+        for c in CARD_REGISTRY.values():
+            assert c.warp_size == 32
+            assert c.cycles_per_warp_instruction == 4
+            assert c.shared_mem_per_sm == 16 * 1024
+
+
+class TestComputeCapability:
+    def test_atomics_supported_from_1_1(self):
+        assert ComputeCapability.CC_1_1.supports_atomics
+        assert ComputeCapability.CC_1_3.supports_atomics
+
+    def test_double_precision_only_1_3(self):
+        assert not ComputeCapability.CC_1_1.supports_double
+        assert ComputeCapability.CC_1_3.supports_double
+
+    def test_relaxed_coalescing_only_1_2_plus(self):
+        assert not ComputeCapability.CC_1_1.relaxed_coalescing
+        assert ComputeCapability.CC_1_3.relaxed_coalescing
+
+    def test_str(self):
+        assert str(ComputeCapability.CC_1_3) == "1.3"
+
+
+class TestDerivedQuantities:
+    def test_bytes_per_cycle_positive_and_ordered(self):
+        # GTX280 has the most bandwidth per cycle (141.7 GB/s at 1296 MHz)
+        bpc = {k: v.bytes_per_cycle for k, v in CARD_REGISTRY.items()}
+        assert bpc["GTX280"] > bpc["9800GX2"] > bpc["8800GTS512"]
+
+    def test_memory_bytes(self):
+        assert GEFORCE_GTX_280.memory_bytes == 1024 * 1024 * 1024
+
+    def test_max_resident_threads(self):
+        assert GEFORCE_GTX_280.max_resident_threads == 30 * 1024
+        assert GEFORCE_8800_GTS_512.max_resident_threads == 16 * 768
+
+    def test_with_overrides_returns_copy(self):
+        modified = GEFORCE_GTX_280.with_overrides(texture_cache_per_sm=4096)
+        assert modified.texture_cache_per_sm == 4096
+        assert GEFORCE_GTX_280.texture_cache_per_sm == 8192
+        assert modified.name == GEFORCE_GTX_280.name
+
+
+class TestRegistry:
+    def test_list_cards_order(self):
+        assert list_cards() == ["8800GTS512", "9800GX2", "GTX280"]
+
+    def test_get_card_by_key(self):
+        assert get_card("GTX280") is GEFORCE_GTX_280
+
+    def test_get_card_by_full_name(self):
+        assert get_card("GeForce 8800 GTS 512") is GEFORCE_8800_GTS_512
+
+    def test_get_card_unknown_raises(self):
+        with pytest.raises(ConfigError, match="unknown card"):
+            get_card("RTX4090")
+
+
+class TestValidation:
+    def test_cores_must_be_8_per_sm(self):
+        with pytest.raises(ConfigError, match="8 per"):
+            DeviceSpecs(
+                name="bad",
+                gpu="X",
+                memory_mb=256,
+                memory_bandwidth_gbps=10.0,
+                multiprocessors=4,
+                cores=33,
+                clock_mhz=1000.0,
+                compute_capability=ComputeCapability.CC_1_1,
+                registers_per_sm=8192,
+                max_threads_per_block=512,
+                max_threads_per_sm=768,
+                max_blocks_per_sm=8,
+                max_warps_per_sm=24,
+            )
+
+    def test_warp_ceiling_must_cover_threads(self):
+        with pytest.raises(ConfigError, match="warp ceiling"):
+            DeviceSpecs(
+                name="bad",
+                gpu="X",
+                memory_mb=256,
+                memory_bandwidth_gbps=10.0,
+                multiprocessors=4,
+                cores=32,
+                clock_mhz=1000.0,
+                compute_capability=ComputeCapability.CC_1_1,
+                registers_per_sm=8192,
+                max_threads_per_block=512,
+                max_threads_per_sm=768,
+                max_blocks_per_sm=8,
+                max_warps_per_sm=8,  # 8*32 = 256 < 768
+            )
+
+    def test_positive_clock_required(self):
+        with pytest.raises(ConfigError):
+            GEFORCE_GTX_280.with_overrides(clock_mhz=0.0)

@@ -1,0 +1,95 @@
+"""Tests for the CUDA-stream timeline model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gpu.report import TimingReport
+from repro.gpu.streams import StreamTimeline
+
+
+def fake_report(name, ms):
+    cycles = ms * 1e3 * 1000.0  # at 1000 MHz: 1 ms = 1e6 cycles
+    return TimingReport(
+        kernel_name=name,
+        device_name="fake",
+        clock_mhz=1000.0,
+        total_cycles=cycles,
+        launch_cycles=0.0,
+        atomic_cycles=0.0,
+        waves=1,
+        resident_blocks_per_sm=1,
+        occupancy=1.0,
+        phase_timings=(),
+    )
+
+
+class TestSerializedEngine:
+    """2009 hardware: kernels from any stream serialize on the device."""
+
+    def test_two_streams_serialize(self):
+        tl = StreamTimeline(concurrent_kernels=False)
+        tl.launch(0, fake_report("a", 10.0))
+        tl.launch(1, fake_report("b", 5.0))
+        assert tl.serialized_ms == pytest.approx(15.0)
+        assert tl.events[1].start_ms == pytest.approx(10.0)
+
+    def test_same_stream_orders(self):
+        tl = StreamTimeline()
+        tl.launch(0, fake_report("a", 3.0))
+        tl.launch(0, fake_report("b", 3.0))
+        assert tl.events[1].start_ms == pytest.approx(3.0)
+
+    def test_host_work_overlaps_device(self):
+        tl = StreamTimeline()
+        tl.launch(0, fake_report("a", 10.0))
+        tl.host_work(1, 8.0)  # runs while the kernel runs
+        tl.launch(1, fake_report("b", 2.0))
+        # kernel b waits for the device (10.0), not for host work (8.0)
+        assert tl.events[1].start_ms == pytest.approx(10.0)
+        assert tl.serialized_ms == pytest.approx(12.0)
+
+    def test_host_work_can_be_critical_path(self):
+        tl = StreamTimeline()
+        tl.launch(0, fake_report("a", 2.0))
+        tl.host_work(1, 50.0)
+        tl.launch(1, fake_report("b", 1.0))
+        assert tl.events[1].start_ms == pytest.approx(50.0)
+
+
+class TestConcurrentKernels:
+    def test_streams_overlap(self):
+        tl = StreamTimeline(concurrent_kernels=True)
+        tl.launch(0, fake_report("a", 10.0))
+        tl.launch(1, fake_report("b", 6.0))
+        assert tl.overlapped_ms == pytest.approx(10.0)
+        assert tl.events[1].start_ms == pytest.approx(0.0)
+
+    def test_overlapped_never_exceeds_serialized(self):
+        durations = [3.0, 7.0, 2.0, 9.0]
+        serial = StreamTimeline(concurrent_kernels=False)
+        overlap = StreamTimeline(concurrent_kernels=True)
+        for i, d in enumerate(durations):
+            serial.launch(i % 2, fake_report(f"k{i}", d))
+            overlap.launch(i % 2, fake_report(f"k{i}", d))
+        assert overlap.overlapped_ms <= serial.serialized_ms
+
+
+class TestAccounting:
+    def test_total_kernel_ms(self):
+        tl = StreamTimeline()
+        tl.launch(0, fake_report("a", 4.0))
+        tl.launch(0, fake_report("b", 6.0))
+        assert tl.total_kernel_ms == pytest.approx(10.0)
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamTimeline().launch(-1, fake_report("a", 1.0))
+
+    def test_negative_host_work_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamTimeline().host_work(0, -1.0)
+
+    def test_empty_timeline(self):
+        tl = StreamTimeline()
+        assert tl.serialized_ms == 0.0
+        assert tl.overlapped_ms == 0.0

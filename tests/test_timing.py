@@ -1,0 +1,197 @@
+"""Tests for the analytic timing model's bound logic."""
+
+import pytest
+
+from repro.gpu.launch import Dim3, LaunchConfig
+from repro.gpu.timing import AnalyticTimingModel
+from repro.gpu.trace import KernelTrace, Pattern, Phase, Space
+from repro.gpu.specs import GEFORCE_8800_GTS_512, GEFORCE_GTX_280
+from repro.util.units import cycles_to_ms
+
+
+def compute_phase(elements=1000.0, instructions=10.0, chain=100.0, **kw):
+    return Phase(
+        name=kw.pop("name", "work"),
+        elements_per_thread=elements,
+        instructions_per_element=instructions,
+        chain_cycles_per_element=chain,
+        space=kw.pop("space", Space.SHARED),
+        pattern=kw.pop("pattern", Pattern.NONE),
+        **kw,
+    )
+
+
+def trace_of(*phases):
+    return KernelTrace(kernel_name="test", phases=tuple(phases))
+
+
+def config_of(blocks=1, threads=32, smem=0):
+    return LaunchConfig(grid=Dim3(blocks), block=Dim3(threads), shared_mem_bytes=smem)
+
+
+@pytest.fixture()
+def model():
+    return AnalyticTimingModel(GEFORCE_GTX_280)
+
+
+class TestBoundSelection:
+    def test_single_warp_is_latency_bound(self, model):
+        """One warp cannot hide a 100-cycle chain behind 40 issue cycles."""
+        report = model.time_kernel(trace_of(compute_phase()), config_of())
+        assert report.phase_timings[0].bound == "latency"
+
+    def test_many_warps_become_issue_bound(self, model):
+        """16 warps x 10 instr x 4 cycles = 640 > 140 chain."""
+        report = model.time_kernel(trace_of(compute_phase()), config_of(threads=512))
+        assert report.phase_timings[0].bound == "issue"
+
+    def test_issue_latency_crossover_point(self, model):
+        """The regime flips where w*I*cpi exceeds chain + I*cpi."""
+        # chain=100, I=10: issue per warp = 40; crossover at w ~ 3.5
+        for threads, expected in ((32, "latency"), (64, "latency"), (128, "issue")):
+            report = model.time_kernel(
+                trace_of(compute_phase()), config_of(threads=threads)
+            )
+            assert report.phase_timings[0].bound == expected, threads
+
+    def test_bandwidth_bound_for_streamed_misses(self, model):
+        """Massive uncached streaming exposes the bandwidth term."""
+        phase = compute_phase(
+            elements=10_000,
+            instructions=1.0,
+            chain=50.0,
+            space=Space.TEXTURE,
+            pattern=Pattern.STREAMED,
+            bytes_per_element=1.0,
+        )
+        report = model.time_kernel(trace_of(phase), config_of(blocks=240, threads=512))
+        pt = report.phase_timings[0]
+        assert pt.bandwidth_cycles > 0
+        assert pt.bound in ("bandwidth", "issue")  # thrash-driven
+
+    def test_serial_work_added_on_top(self, model):
+        phase = Phase(
+            name="stitch",
+            serial_elements=1000.0,
+            serial_cycles_per_element=50.0,
+        )
+        report = model.time_kernel(trace_of(phase), config_of())
+        assert report.phase_timings[0].bound == "serial"
+        assert report.phase_timings[0].serial_cycles == pytest.approx(50_000.0)
+
+
+class TestWaves:
+    def test_waves_multiply_time(self, model):
+        one_wave = model.time_kernel(
+            trace_of(compute_phase()), config_of(blocks=240, threads=32)
+        )
+        two_waves = model.time_kernel(
+            trace_of(compute_phase()), config_of(blocks=480, threads=32)
+        )
+        assert two_waves.waves == 2
+        work_1 = one_wave.total_cycles - one_wave.launch_cycles
+        work_2 = two_waves.total_cycles - two_waves.launch_cycles
+        assert work_2 == pytest.approx(2 * work_1, rel=0.01)
+
+    def test_partial_tail_wave_costs_a_full_pass_when_latency_bound(self, model):
+        """241 blocks at 1 warp each: the single-block tail wave still pays
+        the full latency-bound scan — the quantization behind the paper's
+        96-thread optimum at level 3."""
+        # chain=2000 keeps even the 8-blocks/SM wave latency-bound, so
+        # both waves cost one full scan
+        slow = compute_phase(chain=2000.0)
+        full = model.time_kernel(trace_of(slow), config_of(blocks=240, threads=32))
+        overflow = model.time_kernel(trace_of(slow), config_of(blocks=241, threads=32))
+        ratio = (overflow.total_cycles - overflow.launch_cycles) / (
+            full.total_cycles - full.launch_cycles
+        )
+        assert ratio > 1.9
+
+
+class TestAtomics:
+    def test_atomics_scale_with_blocks(self, model):
+        phase = Phase(name="reduce", atomics=4.0)
+        r10 = model.time_kernel(trace_of(phase), config_of(blocks=10))
+        r100 = model.time_kernel(trace_of(phase), config_of(blocks=100))
+        assert r100.atomic_cycles == pytest.approx(10 * r10.atomic_cycles)
+
+    def test_atomic_cost_higher_on_g92(self):
+        phase = Phase(name="reduce", atomics=10.0)
+        g92 = AnalyticTimingModel(GEFORCE_8800_GTS_512).time_kernel(
+            trace_of(phase), config_of(blocks=10)
+        )
+        gt200 = AnalyticTimingModel(GEFORCE_GTX_280).time_kernel(
+            trace_of(phase), config_of(blocks=10)
+        )
+        assert g92.atomic_cycles > gt200.atomic_cycles
+
+
+class TestClockScaling:
+    def test_same_cycles_faster_wall_time_on_higher_clock(self):
+        """A purely latency-bound trace runs the same cycles everywhere;
+        wall time orders by shader clock (Characterization 7's mechanism)."""
+        phase = compute_phase(elements=100_000, instructions=2.0, chain=500.0)
+        g92 = AnalyticTimingModel(GEFORCE_8800_GTS_512).time_kernel(
+            trace_of(phase), config_of()
+        )
+        gt200 = AnalyticTimingModel(GEFORCE_GTX_280).time_kernel(
+            trace_of(phase), config_of()
+        )
+        work_g92 = g92.total_cycles - g92.launch_cycles
+        work_gt = gt200.total_cycles - gt200.launch_cycles
+        assert work_g92 == pytest.approx(work_gt)
+        assert cycles_to_ms(work_g92, 1625.0) < cycles_to_ms(work_gt, 1296.0)
+
+
+class TestTexturePipe:
+    def test_divergent_fetches_pay_per_lane_on_g92(self):
+        phase = compute_phase(
+            elements=10_000,
+            instructions=1.0,
+            chain=10.0,
+            space=Space.TEXTURE,
+            pattern=Pattern.STREAMED,
+            bytes_per_element=1.0,
+        )
+        g92 = AnalyticTimingModel(GEFORCE_8800_GTS_512)
+        report = g92.time_kernel(trace_of(phase), config_of(threads=256))
+        assert report.phase_timings[0].bound == "texture-pipe"
+
+    def test_broadcast_cheaper_than_streamed_on_g92(self):
+        common = dict(
+            elements=10_000, instructions=1.0, chain=10.0,
+            space=Space.TEXTURE, bytes_per_element=1.0,
+        )
+        g92 = AnalyticTimingModel(GEFORCE_8800_GTS_512)
+        bcast = g92.time_kernel(
+            trace_of(compute_phase(pattern=Pattern.BROADCAST, **common)),
+            config_of(threads=256),
+        )
+        stream = g92.time_kernel(
+            trace_of(compute_phase(pattern=Pattern.STREAMED, **common)),
+            config_of(threads=256),
+        )
+        assert bcast.total_cycles < stream.total_cycles
+
+
+class TestReportShape:
+    def test_report_fields(self, model):
+        report = model.time_kernel(trace_of(compute_phase()), config_of())
+        assert report.device_name == "GeForce GTX 280"
+        assert report.total_ms > 0
+        assert report.waves == 1
+        assert report.dominant_phase == "work"
+        assert "work" in report.breakdown()
+        assert "launch" in report.breakdown()
+
+    def test_phase_lookup(self, model):
+        report = model.time_kernel(trace_of(compute_phase()), config_of())
+        assert report.phase("work").name == "work"
+        with pytest.raises(KeyError):
+            report.phase("nope")
+
+    def test_summary_renders(self, model):
+        report = model.time_kernel(trace_of(compute_phase()), config_of())
+        text = report.summary()
+        assert "GTX 280" in text
+        assert "work" in text

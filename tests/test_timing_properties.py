@@ -1,0 +1,122 @@
+"""Property-based tests for the analytic timing model.
+
+These encode physical sanity invariants the model must satisfy for any
+workload — the guards that keep calibration tweaks from silently
+breaking the simulator's physics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu.simulator import GpuSimulator
+from repro.gpu.specs import GEFORCE_GTX_280
+from repro.mining.alphabet import UPPERCASE
+from repro.mining.candidates import generate_level
+from repro.algos import MiningProblem
+from repro.algos.registry import ALGORITHMS, get_algorithm
+
+# A fixed small database: the model only reads its length.
+_DB = np.zeros(50_021, dtype=np.uint8)
+_EPISODES = {
+    1: tuple(generate_level(UPPERCASE, 1)),
+    2: tuple(generate_level(UPPERCASE, 2)),
+}
+
+algo_ids = st.sampled_from([1, 2, 3, 4])
+thread_counts = st.sampled_from([16, 32, 64, 96, 128, 192, 256, 384, 512])
+levels = st.sampled_from([1, 2])
+
+
+def time_on(device, algo, level, threads, db=None):
+    problem = MiningProblem(
+        db if db is not None else _DB, _EPISODES[level], UPPERCASE.size
+    )
+    kernel = get_algorithm(algo)(problem, threads_per_block=threads)
+    return GpuSimulator(device).time_only(kernel)
+
+
+class TestPhysicalInvariants:
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=40, deadline=None)
+    def test_time_positive_and_finite(self, algo, threads, level):
+        report = time_on(GEFORCE_GTX_280, algo, level, threads)
+        assert 0 < report.total_ms < 1e7
+        assert np.isfinite(report.total_cycles)
+
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=30, deadline=None)
+    def test_more_sms_never_slower(self, algo, threads, level):
+        """A device with strictly more multiprocessors (all else equal)
+        can never be slower."""
+        base = GEFORCE_GTX_280
+        bigger = base.with_overrides(multiprocessors=60, cores=480)
+        t_base = time_on(base, algo, level, threads).total_cycles
+        t_big = time_on(bigger, algo, level, threads).total_cycles
+        assert t_big <= t_base * 1.0001
+
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=30, deadline=None)
+    def test_more_bandwidth_never_slower(self, algo, threads, level):
+        base = GEFORCE_GTX_280
+        fatter = base.with_overrides(memory_bandwidth_gbps=500.0)
+        t_base = time_on(base, algo, level, threads).total_cycles
+        t_fat = time_on(fatter, algo, level, threads).total_cycles
+        assert t_fat <= t_base * 1.0001
+
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_texture_cache_never_slower(self, algo, threads, level):
+        base = GEFORCE_GTX_280
+        cached = base.with_overrides(texture_cache_per_sm=64 * 1024)
+        t_base = time_on(base, algo, level, threads).total_cycles
+        t_cached = time_on(cached, algo, level, threads).total_cycles
+        assert t_cached <= t_base * 1.0001
+
+    @given(algo=algo_ids, threads=thread_counts)
+    @settings(max_examples=30, deadline=None)
+    def test_longer_database_never_faster(self, algo, threads):
+        short = np.zeros(20_000, dtype=np.uint8)
+        long = np.zeros(80_000, dtype=np.uint8)
+        t_short = time_on(GEFORCE_GTX_280, algo, 2, threads, db=short).total_cycles
+        t_long = time_on(GEFORCE_GTX_280, algo, 2, threads, db=long).total_cycles
+        assert t_long >= t_short
+
+    @given(threads=thread_counts)
+    @settings(max_examples=20, deadline=None)
+    def test_more_episodes_never_faster(self, threads):
+        """Growing the candidate batch (more blocks/threads of work)
+        cannot reduce kernel time, for every algorithm."""
+        few = MiningProblem(_DB, _EPISODES[2][:100], UPPERCASE.size)
+        many = MiningProblem(_DB, _EPISODES[2], UPPERCASE.size)
+        for algo in ALGORITHMS:
+            t_few = (
+                GpuSimulator(GEFORCE_GTX_280)
+                .time_only(get_algorithm(algo)(few, threads_per_block=threads))
+                .total_cycles
+            )
+            t_many = (
+                GpuSimulator(GEFORCE_GTX_280)
+                .time_only(get_algorithm(algo)(many, threads_per_block=threads))
+                .total_cycles
+            )
+            assert t_many >= t_few * 0.9999, algo
+
+
+class TestReportConsistency:
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=30, deadline=None)
+    def test_phases_sum_to_total(self, algo, threads, level):
+        report = time_on(GEFORCE_GTX_280, algo, level, threads)
+        phase_sum = sum(p.cycles for p in report.phase_timings)
+        reconstructed = phase_sum + report.launch_cycles + report.atomic_cycles
+        assert reconstructed == pytest.approx(report.total_cycles, rel=1e-9)
+
+    @given(algo=algo_ids, threads=thread_counts, level=levels)
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_in_unit_range(self, algo, threads, level):
+        report = time_on(GEFORCE_GTX_280, algo, level, threads)
+        assert 0.0 < report.occupancy <= 1.0
+        assert report.waves >= 1
+        assert report.resident_blocks_per_sm >= 1

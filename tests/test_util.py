@@ -1,0 +1,138 @@
+"""Tests for the util layer: units, rng, tables, validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_series, format_table, sparkline
+from repro.util.units import (
+    cycles_to_ms,
+    cycles_to_seconds,
+    gbps_to_bytes_per_cycle,
+    ghz,
+    mhz_to_hz,
+    ms_to_cycles,
+)
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_positive,
+    require_power_of_two,
+)
+
+
+class TestUnits:
+    def test_mhz_to_hz(self):
+        assert mhz_to_hz(1296.0) == pytest.approx(1.296e9)
+
+    def test_ghz(self):
+        assert ghz(1500.0) == 1.5
+
+    def test_cycles_roundtrip(self):
+        cycles = 1_000_000.0
+        ms = cycles_to_ms(cycles, 1296.0)
+        assert ms_to_cycles(ms, 1296.0) == pytest.approx(cycles)
+
+    def test_cycles_to_seconds(self):
+        assert cycles_to_seconds(1.296e9, 1296.0) == pytest.approx(1.0)
+
+    def test_bandwidth_conversion(self):
+        # 141.7 GB/s at 1296 MHz = ~109 bytes/cycle
+        bpc = gbps_to_bytes_per_cycle(141.7, 1296.0)
+        assert bpc == pytest.approx(141.7e9 / 1.296e9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigError):
+            mhz_to_hz(0)
+        with pytest.raises(ConfigError):
+            ms_to_cycles(-1, 1000)
+        with pytest.raises(ConfigError):
+            gbps_to_bytes_per_cycle(0, 1000)
+
+
+class TestRng:
+    def test_default_is_deterministic(self):
+        assert make_rng().integers(0, 100) == make_rng().integers(0, 100)
+
+    def test_passthrough(self):
+        g = np.random.default_rng(1)
+        assert make_rng(g) is g
+
+    def test_seeded(self):
+        assert make_rng(42).integers(0, 1000) == make_rng(42).integers(0, 1000)
+
+    def test_spawn_independent(self):
+        children = spawn_rngs(7, 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestTables:
+    def test_format_table_basic(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (33, 4.0)])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.500" in text
+
+    def test_format_table_title(self):
+        text = format_table(["x"], [(1,)], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [(1, 2)])
+
+    def test_sparkline_shape(self):
+        s = sparkline([1.0, 2.0, 3.0])
+        assert len(s) == 3
+        assert s[0] != s[-1]
+
+    def test_sparkline_flat(self):
+        assert sparkline([2.0, 2.0]) == "▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""
+
+    def test_format_series(self):
+        text = format_series("s", [1, 2], [3.0, 4.0])
+        assert "s:" in text
+        assert "1=3.000" in text
+
+    def test_format_series_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+    def test_format_series_wraps_long(self):
+        xs = list(range(40))
+        ys = [float(x) for x in xs]
+        text = format_series("s", xs, ys)
+        assert len(text.splitlines()) > 3
+
+
+class TestValidation:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ConfigError, match="broken"):
+            require(False, "broken")
+
+    def test_require_positive(self):
+        assert require_positive(3, "x") == 3
+        with pytest.raises(ConfigError):
+            require_positive(0, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(5, 1, 10, "x") == 5
+        with pytest.raises(ConfigError):
+            require_in_range(11, 1, 10, "x")
+
+    def test_require_power_of_two(self):
+        assert require_power_of_two(64, "x") == 64
+        for bad in (0, 3, -4):
+            with pytest.raises(ConfigError):
+                require_power_of_two(bad, "x")
