@@ -1,0 +1,157 @@
+"""Throughput-regression gate over the committed engine trajectory.
+
+Compares a fresh engine benchmark against the committed
+``benchmarks/BENCH_engines.json`` and fails (exit 1) when any
+policy x engine x size cell lost more than ``--tolerance`` (default
+30%) of its recorded throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_regression.py            # quick fresh run
+    PYTHONPATH=src python benchmarks/check_regression.py --full
+    PYTHONPATH=src python benchmarks/check_regression.py --fresh FILE
+    PYTHONPATH=src python benchmarks/check_regression.py --warn-only
+
+Absolute throughput is hardware-dependent, so CI on different machines
+should either maintain its own reference file or run with
+``--warn-only`` (which is how the tier-1 ``bench_smoke`` test wires
+this in: a non-blocking warning).  Relative invariants are checked
+unconditionally: ``position-hop`` must still beat ``vector-sweep`` on
+the SUBSEQUENCE/EXPIRING cells the rewrite targeted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+REFERENCE = HERE / "BENCH_engines.json"
+DEFAULT_TOLERANCE = 0.30
+#: the rewrite's acceptance floor on its target cells (n=100k, E=500);
+#: smaller (quick-run) databases amortize less setup, so they only need
+#: to clear the relaxed floor
+MIN_HOP_SPEEDUP = 5.0
+MIN_HOP_SPEEDUP_SMALL = 2.0
+FULL_SIZE_FLOOR = 100_000
+
+
+def _key(row: dict) -> tuple:
+    return (row["policy"], row["engine"], row["n"], row["episodes"])
+
+
+def compare(
+    reference: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> "list[str]":
+    """Human-readable regression messages; empty means clean."""
+    problems = []
+    ref_rows = {_key(r): r for r in reference["results"]}
+    for row in fresh["results"]:
+        ref = ref_rows.get(_key(row))
+        if ref is None:
+            continue  # new cell: no reference to regress against
+        floor = ref["ops_per_sec"] * (1.0 - tolerance)
+        if row["ops_per_sec"] < floor:
+            problems.append(
+                f"{row['policy']} x {row['engine']} @ n={row['n']:,}: "
+                f"{row['ops_per_sec']:,.0f} ops/s < "
+                f"{floor:,.0f} (reference {ref['ops_per_sec']:,.0f} "
+                f"- {tolerance:.0%})"
+            )
+        if ref.get("checksum") is not None and row.get("checksum") is not None:
+            if ref["checksum"] != row["checksum"]:
+                problems.append(
+                    f"{row['policy']} x {row['engine']} @ n={row['n']:,}: "
+                    f"checksum {row['checksum']} != reference "
+                    f"{ref['checksum']} (counting bug, not a perf issue)"
+                )
+    return problems
+
+
+def check_invariants(payload: dict, min_speedup: float | None = None) -> "list[str]":
+    """Machine-independent floors: position-hop vs the seed sweeps."""
+    problems = []
+    target_n = max(
+        (r["n"] for r in payload["results"]), default=0
+    )
+    if min_speedup is None:
+        min_speedup = (
+            MIN_HOP_SPEEDUP if target_n >= FULL_SIZE_FLOOR
+            else MIN_HOP_SPEEDUP_SMALL
+        )
+    for row in payload["results"]:
+        if not (
+            row["engine"] == "position-hop"
+            and row["policy"] in ("subsequence", "expiring")
+            and row["n"] == target_n
+        ):
+            continue
+        speedup = row.get("speedup_vs_sweep")
+        if speedup is None:
+            # a payload without the sweep baseline cannot be gated; say
+            # so rather than silently passing the floor
+            problems.append(
+                f"{row['policy']} position-hop @ n={row['n']:,}: no "
+                "vector-sweep baseline in payload; speedup floor unchecked"
+            )
+        elif speedup < min_speedup:
+            problems.append(
+                f"{row['policy']} position-hop @ n={row['n']:,}: "
+                f"{speedup:.1f}x vs vector-sweep (floor {min_speedup:.0f}x)"
+            )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--reference", type=Path, default=REFERENCE)
+    parser.add_argument(
+        "--fresh", type=Path, default=None,
+        help="pre-computed fresh BENCH_engines.json (default: run the bench)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the full size sweep instead of the quick one",
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (cross-machine CI)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.reference.exists():
+        print(
+            f"error: reference file {args.reference} not found; generate it "
+            "with benchmarks/bench_engines.py", file=sys.stderr,
+        )
+        return 2
+    reference = json.loads(args.reference.read_text())
+    if args.fresh is not None:
+        fresh = json.loads(args.fresh.read_text())
+    else:
+        import bench_engines
+
+        fresh = bench_engines.run_bench(
+            sizes=bench_engines.FULL_SIZES if args.full
+            else bench_engines.QUICK_SIZES
+        )
+
+    problems = compare(reference, fresh, tolerance=args.tolerance)
+    problems += check_invariants(fresh)
+    if not problems:
+        print("engine throughput: no regression vs committed trajectory")
+        return 0
+    for p in problems:
+        print(f"REGRESSION: {p}", file=sys.stderr)
+    return 0 if args.warn_only else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,3 +6,11 @@ from pathlib import Path
 SRC = Path(__file__).parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: quick throughput checks against the committed "
+        "BENCH_engines.json trajectory (non-blocking: regressions warn)",
+    )

@@ -52,11 +52,13 @@ from repro.gpu import (
 )
 from repro.mining import (
     Alphabet,
+    DatabaseIndex,
     Episode,
     FrequentEpisodeMiner,
     MatchPolicy,
     MiningResult,
     SerialMiner,
+    ShardedEngine,
     UPPERCASE,
     count_batch,
     count_candidates,
@@ -64,6 +66,9 @@ from repro.mining import (
     count_segmented,
     generate_level,
     generate_next_level,
+    get_engine,
+    list_engines,
+    register_engine,
 )
 from repro.algos import (
     AdaptiveSelector,
@@ -117,6 +122,11 @@ __all__ = [
     "count_segmented",
     "generate_level",
     "generate_next_level",
+    "DatabaseIndex",
+    "ShardedEngine",
+    "get_engine",
+    "list_engines",
+    "register_engine",
     "FrequentEpisodeMiner",
     "MiningResult",
     "SerialMiner",

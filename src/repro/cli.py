@@ -51,6 +51,13 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument("--events", type=int, default=20_000)
     mine.add_argument("--threshold", type=float, default=0.02)
     mine.add_argument("--card", default="GTX280")
+    mine.add_argument(
+        "--engine",
+        default="gpu",
+        help="counting engine: 'gpu' (simulated card, default) or a "
+        "CPU engine-registry name (auto, position-hop, vector-sweep, "
+        "sharded, scalar-oracle)",
+    )
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
     probe.add_argument("--card", default="GTX280")
@@ -125,11 +132,22 @@ def _cmd_advise(args: argparse.Namespace) -> int:
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
+    import time
+
     from repro.data.market import MarketConfig, generate_market_stream
     from repro.gpu.specs import get_card
     from repro.mapreduce.gpu_engine import GpuCountingEngine
+    from repro.mining.engines import list_engines
     from repro.mining.miner import FrequentEpisodeMiner
 
+    if args.engine != "gpu" and args.engine not in list_engines():
+        # validate before the (possibly multi-million event) stream is built
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown engine {args.engine!r}; expected 'gpu' or one of "
+            f"{', '.join(list_engines())}"
+        )
     config = MarketConfig(
         n_products=12,
         n_events=args.events,
@@ -138,13 +156,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     alphabet = config.alphabet()
     stream = generate_market_stream(config)
-    engine = GpuCountingEngine(
-        device=get_card(args.card), alphabet_size=alphabet.size, algorithm="auto"
-    )
+    if args.engine == "gpu":
+        engine: "GpuCountingEngine | str" = GpuCountingEngine(
+            device=get_card(args.card), alphabet_size=alphabet.size,
+            algorithm="auto",
+        )
+    else:
+        engine = args.engine
+    t0 = time.perf_counter()
     result = FrequentEpisodeMiner(
         alphabet, threshold=args.threshold, engine=engine, max_level=4
     ).mine(stream)
-    print(f"mined {stream.size:,} events at alpha={args.threshold}")
+    elapsed = time.perf_counter() - t0
+    print(
+        f"mined {stream.size:,} events at alpha={args.threshold} "
+        f"(engine={args.engine})"
+    )
     for lvl in result.levels:
         print(
             f"  level {lvl.level}: {lvl.n_candidates} candidates -> "
@@ -152,10 +179,13 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
     for ep, count in sorted(result.all_frequent.items(), key=lambda kv: -kv[1])[:10]:
         print(f"  {ep.to_symbols(alphabet)}: {count:,}")
-    print(
-        f"simulated kernel time: {engine.total_kernel_ms:.3f} ms across "
-        f"{len(engine.reports)} launches"
-    )
+    if isinstance(engine, GpuCountingEngine):
+        print(
+            f"simulated kernel time: {engine.total_kernel_ms:.3f} ms across "
+            f"{len(engine.reports)} launches"
+        )
+    else:
+        print(f"host mining wall time: {elapsed * 1e3:.1f} ms")
     return 0
 
 

@@ -4,13 +4,18 @@ The paper frames all four mining algorithms as MapReduce programs:
 *map* emits (episode, partial-count) pairs, an optional intermediate
 step repairs boundary-spanning occurrences, *reduce* sums partials per
 episode.  This package provides the general framework (usable for any
-key/value job), CPU engines (serial and thread-pool), and the GPU
-engine that lowers counting jobs onto the simulated mining kernels.
+key/value job), CPU engines (serial, thread-pool, and process-pool),
+and the GPU engine that lowers counting jobs onto the simulated mining
+kernels.
 """
 
 from repro.mapreduce.types import KeyValue, MapReduceJob
 from repro.mapreduce.framework import MapReduceEngine, run_job
-from repro.mapreduce.cpu_engine import SerialEngine, ThreadPoolEngine
+from repro.mapreduce.cpu_engine import (
+    ProcessPoolEngine,
+    SerialEngine,
+    ThreadPoolEngine,
+)
 from repro.mapreduce.gpu_engine import GpuCountingEngine
 from repro.mapreduce.combiner import sum_combiner, group_by_key
 
@@ -21,6 +26,7 @@ __all__ = [
     "run_job",
     "SerialEngine",
     "ThreadPoolEngine",
+    "ProcessPoolEngine",
     "GpuCountingEngine",
     "sum_combiner",
     "group_by_key",

@@ -17,12 +17,23 @@ from repro.mining.candidates import (
 from repro.mining.policies import MatchPolicy
 from repro.mining.fsm import EpisodeFSM, build_transition_table
 from repro.mining.counting import (
+    DatabaseIndex,
     count_episode,
     count_batch,
     count_batch_reference,
+    count_matrix_reference,
 )
 from repro.mining.spanning import count_segmented, SegmentedCount
 from repro.mining.miner import FrequentEpisodeMiner, MiningResult, LevelResult
+from repro.mining.engines import (
+    BoundEngine,
+    CountingEngine,
+    EngineRegistry,
+    ShardedEngine,
+    get_engine,
+    list_engines,
+    register_engine,
+)
 from repro.mining.gminer_ref import SerialMiner
 
 # NOTE: repro.mining.pipeline depends on repro.algos; import it via its
@@ -38,11 +49,20 @@ __all__ = [
     "MatchPolicy",
     "EpisodeFSM",
     "build_transition_table",
+    "DatabaseIndex",
     "count_episode",
     "count_batch",
     "count_batch_reference",
+    "count_matrix_reference",
     "count_segmented",
     "SegmentedCount",
+    "BoundEngine",
+    "CountingEngine",
+    "EngineRegistry",
+    "ShardedEngine",
+    "get_engine",
+    "list_engines",
+    "register_engine",
     "FrequentEpisodeMiner",
     "MiningResult",
     "LevelResult",

@@ -1,17 +1,39 @@
 """Episode occurrence counting — the paper's "counting step".
 
-This module is the computational heart of the reproduction, in three
-tiers (following the HPC guides' profile-then-vectorize discipline):
+This module is the computational heart of the reproduction.  Counting
+is organized in *engine tiers* (see :mod:`repro.mining.engines` for the
+registry that names and selects them):
 
-* :func:`ngram_counts` / :func:`count_batch` under ``RESET`` — a single
-  O(n) pass over the database counts *every* length-L episode at once
-  via base-N n-gram encoding and ``bincount`` (RESET counting equals
-  substring counting; see :mod:`repro.mining.policies`).
-* vectorized state-machine sweeps for ``SUBSEQUENCE``/``EXPIRING`` —
-  one pass over the database advancing all episodes' FSM states as
-  NumPy vectors.
-* :func:`count_batch_reference` — the scalar FSM oracle used by
-  property tests.
+* ``scalar-oracle`` — per-character scalar FSM counting
+  (:func:`count_batch_reference` / :func:`count_matrix_reference`), the
+  semantic ground truth every other tier is property-tested against.
+  O(n·E) interpreter steps; used only for verification.
+* ``vector-sweep`` — one Python-level pass over the database advancing
+  all episodes' FSM states as NumPy vectors
+  (:func:`_count_subsequence_batch`, :func:`_count_expiring_batch`).
+  O(n) interpreter steps regardless of E; wins on short databases where
+  per-episode setup would dominate.
+* ``position-hop`` — vectorized position-list counting: per-symbol
+  occurrence arrays are extracted once per database (cached on a
+  :class:`DatabaseIndex`), each episode's match structure is derived by
+  ``np.searchsorted`` hops between its symbols' position lists, and the
+  greedy non-overlapped count is resolved in O(log m) vectorized
+  pointer-jumping rounds instead of a per-occurrence loop.  Interpreter
+  work is O(E·(L + log m)) — *independent of n* — which is what kills
+  the per-character sweeps on realistic databases.
+* ``RESET`` has its own closed form: a single O(n) pass counts *every*
+  length-L episode at once via base-N n-gram encoding and ``bincount``
+  (:func:`ngram_counts`; RESET counting equals substring counting, see
+  :mod:`repro.mining.policies`), and :func:`count_episode` uses a
+  direct O(n·L) sliding-window comparison for single episodes so the
+  N**L gram table is never materialized for one count.
+
+The ``auto`` engine picks ``vector-sweep`` only when the database is
+short on both scales (``n < 4096`` *and* ``n < 8·E``) and
+``position-hop`` otherwise; RESET always takes the n-gram/sliding-window
+path.  Batch entry points accept an optional ``index`` so callers that
+count many batches against one database (the level-wise miner, the
+sharded engine) pay the position-extraction cost once.
 """
 
 from __future__ import annotations
@@ -26,12 +48,61 @@ from repro.mining.policies import MatchPolicy, validate_window
 #: n-gram encoding uses int64; N**L must stay below 2**62.
 _MAX_ENCODED = 2**62
 
+#: times[] sentinel for "prefix never completed" in the expiring sweeps.
+_NEG = -(1 << 60)
+
 
 def _check_db(db: np.ndarray) -> np.ndarray:
     db = np.asarray(db)
     if db.ndim != 1:
         raise ValidationError(f"database must be 1-D, got shape {db.shape}")
     return db
+
+
+# ---------------------------------------------------------------------------
+# Database position index
+# ---------------------------------------------------------------------------
+
+class DatabaseIndex:
+    """Per-database cache of per-symbol occurrence position lists.
+
+    ``positions(symbol)`` returns the sorted int64 array of indices where
+    ``symbol`` occurs.  All lists are derived from one stable argsort of
+    the database (O(n log n), done lazily on first use), so indexing a
+    database for an E-episode batch costs one pass, not E·L scans.
+
+    Instances are cheap to construct (no work until first lookup) and
+    are meant to be built once per database and threaded through every
+    counting call against it — the level-wise miner does exactly that.
+    """
+
+    def __init__(self, db: np.ndarray) -> None:
+        self.db = _check_db(db)
+        self._order: np.ndarray | None = None
+        self._sorted: np.ndarray | None = None
+        self._cache: dict[int, np.ndarray] = {}
+
+    @property
+    def n(self) -> int:
+        return int(self.db.size)
+
+    def _ensure_sorted(self) -> None:
+        if self._order is None:
+            self._order = np.argsort(self.db, kind="stable").astype(np.int64)
+            self._sorted = self.db[self._order]
+
+    def positions(self, symbol: int) -> np.ndarray:
+        """Sorted indices of ``symbol`` in the database."""
+        symbol = int(symbol)
+        hit = self._cache.get(symbol)
+        if hit is not None:
+            return hit
+        self._ensure_sorted()
+        lo = int(np.searchsorted(self._sorted, symbol, side="left"))
+        hi = int(np.searchsorted(self._sorted, symbol, side="right"))
+        pos = self._order[lo:hi]
+        self._cache[symbol] = pos
+        return pos
 
 
 def ngram_counts(db: np.ndarray, level: int, alphabet_size: int) -> np.ndarray:
@@ -67,17 +138,8 @@ def encode_episodes(matrix: np.ndarray, alphabet_size: int) -> np.ndarray:
     return enc
 
 
-def count_batch(
-    db: np.ndarray,
-    episodes: "list[Episode] | np.ndarray",
-    alphabet_size: int,
-    policy: MatchPolicy = MatchPolicy.RESET,
-    window: int | None = None,
-) -> np.ndarray:
-    """Occurrence counts for a batch of same-length episodes.
-
-    Dispatches to the fastest exact implementation for the policy.
-    """
+def as_episode_matrix(episodes: "list[Episode] | np.ndarray") -> np.ndarray:
+    """Normalize an episode batch (Episode list or (E, L) array) to a matrix."""
     matrix = (
         episodes
         if isinstance(episodes, np.ndarray)
@@ -85,14 +147,43 @@ def count_batch(
     )
     if matrix.ndim != 2:
         raise ValidationError(f"episode matrix must be 2-D, got {matrix.shape}")
+    return matrix
+
+
+def count_batch(
+    db: np.ndarray,
+    episodes: "list[Episode] | np.ndarray",
+    alphabet_size: int,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+    *,
+    engine: "str | None" = None,
+    index: DatabaseIndex | None = None,
+) -> np.ndarray:
+    """Occurrence counts for a batch of same-length episodes.
+
+    Dispatches through the engine registry: ``engine`` names a
+    registered counting engine (default ``"auto"``, which picks the
+    fastest exact implementation for the policy and problem shape).
+    ``index`` optionally carries a prebuilt :class:`DatabaseIndex` so
+    repeated batches against one database share position lists.
+    """
+    matrix = as_episode_matrix(episodes)
     db = _check_db(db)
     validate_window(policy, window)
-    if policy is MatchPolicy.RESET:
-        grams = ngram_counts(db, matrix.shape[1], alphabet_size)
-        return grams[encode_episodes(matrix, alphabet_size)]
-    if policy is MatchPolicy.SUBSEQUENCE:
-        return _count_subsequence_batch(db, matrix)
-    return _count_expiring_batch(db, matrix, int(window))  # type: ignore[arg-type]
+    from repro.mining.engines import get_engine  # lazy: avoids import cycle
+
+    return get_engine(engine or "auto").count(
+        db, matrix, alphabet_size, policy, window, index=index
+    )
+
+
+def count_reset_batch(
+    db: np.ndarray, matrix: np.ndarray, alphabet_size: int
+) -> np.ndarray:
+    """RESET counts for a batch via the O(n) n-gram table."""
+    grams = ngram_counts(db, matrix.shape[1], alphabet_size)
+    return grams[encode_episodes(matrix, alphabet_size)]
 
 
 def count_episode(
@@ -101,19 +192,51 @@ def count_episode(
     alphabet_size: int,
     policy: MatchPolicy = MatchPolicy.RESET,
     window: int | None = None,
+    *,
+    index: DatabaseIndex | None = None,
 ) -> int:
-    """Occurrence count for one episode (thin wrapper over the batch path)."""
+    """Occurrence count for one episode.
+
+    Single-episode counting never goes through the batch RESET path:
+    materializing the ``alphabet_size ** level`` gram table for one
+    episode is O(N^L) memory, so RESET uses a direct O(n·L) vectorized
+    sliding-window comparison instead, and SUBSEQUENCE/EXPIRING use
+    position-list hopping.
+    """
+    db = _check_db(db)
+    validate_window(policy, window)
+    if any(i >= alphabet_size for i in episode.items):
+        raise ValidationError(
+            f"episode {episode} exceeds alphabet of size {alphabet_size}"
+        )
+    if policy is MatchPolicy.RESET:
+        # episode.items, not episode.array: the uint8 matrix form would
+        # truncate item codes on alphabets wider than 256
+        return _count_single_reset(db, np.asarray(episode.items, dtype=np.int64))
     if policy is MatchPolicy.SUBSEQUENCE:
-        # Position-hopping is much faster than the vector sweep for one
-        # episode: greedily jump through per-symbol position lists.
-        return _count_subsequence_hopping(_check_db(db), episode)
-    return int(
-        count_batch(db, [episode], alphabet_size, policy, window)[0]
-    )
+        return _count_subsequence_hopping(db, episode, index=index)
+    index = index if index is not None else DatabaseIndex(db)
+    return _count_positions_single(index, episode.items, int(window))  # type: ignore[arg-type]
+
+
+def _count_single_reset(db: np.ndarray, items: np.ndarray) -> int:
+    """Contiguous occurrence count of one episode, O(n·L) time, O(n) memory.
+
+    Episode items are distinct, so matches cannot overlap and the
+    window-match count equals the FSM's non-overlapped RESET count.
+    """
+    n = db.size
+    length = len(items)
+    if n < length:
+        return 0
+    mask = db[: n - length + 1] == items[0]
+    for j in range(1, length):
+        mask &= db[j : n - length + 1 + j] == items[j]
+    return int(np.count_nonzero(mask))
 
 
 # ---------------------------------------------------------------------------
-# SUBSEQUENCE / EXPIRING vector sweeps
+# SUBSEQUENCE / EXPIRING vector sweeps (the ``vector-sweep`` engine tier)
 # ---------------------------------------------------------------------------
 
 def _count_subsequence_batch(db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
@@ -140,52 +263,140 @@ def _count_expiring_batch(
     """Windowed counting with per-state latest-timestamp tracking.
 
     ``times[e, s]`` holds the latest index at which episode ``e``'s
-    length-``s`` prefix completed within the window chain.  States are
-    updated high-to-low per character so one symbol can both extend an
-    existing prefix and re-anchor a fresher one — matching
+    length-``s`` prefix completed within the window chain.  All states
+    update from the previous character's snapshot in one vector step —
+    state ``s`` reads ``times[:, s-1]`` *before* this character's
+    writes land, so one symbol can both extend an existing prefix and
+    re-anchor a fresher one — matching
     :class:`~repro.mining.fsm.EpisodeFSM`'s EXPIRING semantics exactly
     (property-tested in ``tests/test_counting.py``).
     """
     n_eps, length = matrix.shape
-    neg = -(1 << 60)
-    times = np.full((n_eps, length + 1), neg, dtype=np.int64)
+    times = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
     times[:, 0] = 0  # the empty prefix never expires
     counts = np.zeros(n_eps, dtype=np.int64)
     mat = matrix.astype(np.int64)
     state_cols = np.arange(1, length + 1)
     for t, c in enumerate(np.asarray(db, dtype=np.int64)):
-        for s in range(length, 0, -1):
-            ok = mat[:, s - 1] == c
-            if s > 1:
-                ok &= (t - times[:, s - 1]) <= window
-            times[ok, s] = t
+        ok = mat == c  # ok[:, s-1]: state s's symbol fired
+        if length > 1:
+            ok[:, 1:] &= (t - times[:, 1:length]) <= window
+        np.copyto(times[:, 1:], t, where=ok)
         done = times[:, length] == t
         if done.any():
             counts[done] += 1
-            times[np.ix_(done, state_cols)] = neg  # non-overlap
+            times[np.ix_(done, state_cols)] = _NEG  # non-overlap
     return counts
 
 
-def _count_subsequence_hopping(db: np.ndarray, episode: Episode) -> int:
-    """Greedy subsequence count via per-symbol sorted position lists."""
-    positions = {item: np.flatnonzero(db == item) for item in set(episode.items)}
-    if any(p.size == 0 for p in positions.values()):
+# ---------------------------------------------------------------------------
+# Position-list counting (the ``position-hop`` engine tier)
+# ---------------------------------------------------------------------------
+
+def _chain_positions(
+    index: DatabaseIndex, items: "tuple[int, ...]", window: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Completion positions and latest chain starts for one episode.
+
+    Returns ``(ends, starts)``: ``ends`` holds every database position
+    at which some valid occurrence chain ``p_1 < ... < p_L`` ends
+    (``window`` bounds each consecutive gap; ``None`` means unbounded),
+    and ``starts[i]`` is the *latest possible* ``p_1`` over all chains
+    ending at ``ends[i]``.  Both arrays are sorted ascending; ``starts``
+    is non-decreasing (taking the latest feasible predecessor at every
+    hop maximizes the start, by induction over prefix length).
+    """
+    empty = np.empty(0, dtype=np.int64)
+    reach = index.positions(items[0])
+    starts = reach
+    for item in items[1:]:
+        pos = index.positions(item)
+        if reach.size == 0 or pos.size == 0:
+            return empty, empty
+        # latest completed prefix strictly before each candidate position
+        idx = np.searchsorted(reach, pos, side="left") - 1
+        ok = idx >= 0
+        idx0 = np.maximum(idx, 0)
+        if window is not None:
+            ok &= (pos - reach[idx0]) <= window
+        reach = pos[ok]
+        starts = starts[idx0][ok]
+    return reach, starts
+
+
+def _greedy_nonoverlap_count(ends: np.ndarray, starts: np.ndarray) -> int:
+    """Greedy non-overlapped occurrence count from chain completions.
+
+    The scalar FSMs count by taking the earliest completion whose whole
+    chain lies after the previous completion; because ``starts`` is
+    non-decreasing that next completion is ``jump[i] = first k with
+    starts[k] > ends[i]``, and the answer is the length of the pointer
+    chain ``0 -> jump[0] -> ...`` — resolved here with O(log m)
+    vectorized binary-lifting rounds instead of a per-occurrence loop.
+    """
+    m = int(ends.size)
+    if m == 0:
         return 0
-    count = 0
-    cursor = -1
-    items = episode.items
-    while True:
-        for item in items:
-            pos = positions[item]
-            idx = np.searchsorted(pos, cursor + 1)
-            if idx >= pos.size:
-                return count
-            cursor = int(pos[idx])
-        count += 1
+    jump = np.searchsorted(starts, ends, side="right")
+    table = np.append(jump, m).astype(np.int64)  # sentinel: m maps to m
+    tables = [table]
+    while (1 << len(tables)) < m:
+        prev = tables[-1]
+        tables.append(prev[prev])
+    count = 1  # index 0 is always the first completion (starts >= 0)
+    cur = 0
+    for k in range(len(tables) - 1, -1, -1):
+        nxt = int(tables[k][cur])
+        if nxt < m:
+            count += 1 << k
+            cur = nxt
+    return count
+
+
+def _count_positions_single(
+    index: DatabaseIndex, items: "tuple[int, ...]", window: int | None
+) -> int:
+    if len(items) == 1:
+        # every occurrence of the symbol is a (trivially non-overlapped)
+        # completion under both policies
+        return int(index.positions(items[0]).size)
+    ends, starts = _chain_positions(index, items, window)
+    return _greedy_nonoverlap_count(ends, starts)
+
+
+def count_positions_batch(
+    db: np.ndarray,
+    matrix: np.ndarray,
+    window: int | None = None,
+    index: DatabaseIndex | None = None,
+) -> np.ndarray:
+    """Position-list counts for a batch: SUBSEQUENCE (``window=None``)
+    or EXPIRING (``window`` set).  Interpreter work per episode is
+    O(L + log m) vectorized operations, independent of database length.
+    """
+    index = index if index is not None else DatabaseIndex(db)
+    out = np.zeros(matrix.shape[0], dtype=np.int64)
+    for i in range(matrix.shape[0]):
+        items = tuple(int(x) for x in matrix[i])
+        out[i] = _count_positions_single(index, items, window)
+    return out
+
+
+def _count_subsequence_hopping(
+    db: np.ndarray, episode: Episode, index: DatabaseIndex | None = None
+) -> int:
+    """Greedy subsequence count via per-symbol sorted position lists.
+
+    Accepts a prebuilt :class:`DatabaseIndex` so batch callers share
+    one position extraction across episodes instead of rebuilding
+    ``np.flatnonzero(db == item)`` per call.
+    """
+    index = index if index is not None else DatabaseIndex(db)
+    return _count_positions_single(index, episode.items, None)
 
 
 # ---------------------------------------------------------------------------
-# Scalar oracle
+# Scalar oracles
 # ---------------------------------------------------------------------------
 
 def count_batch_reference(
@@ -201,3 +412,76 @@ def count_batch_reference(
         fsm = EpisodeFSM(ep, alphabet_size, policy, window)
         out[i] = fsm.run(db)
     return out
+
+
+def count_matrix_reference(
+    db: np.ndarray,
+    matrix: np.ndarray,
+    policy: MatchPolicy = MatchPolicy.RESET,
+    window: int | None = None,
+) -> np.ndarray:
+    """Scalar oracle over raw (E, L) matrices, repeated symbols allowed.
+
+    :class:`~repro.mining.episode.Episode` enforces distinct items
+    (Table 1 semantics), but the matrix entry points do not; this oracle
+    pins down the batch counters' semantics on that wider input space:
+
+    * ``RESET`` — contiguous (substring) occurrence count, matching the
+      n-gram path.  (For distinct items this equals the FSM's RESET
+      count; for repeated symbols substring counting is the contract.)
+    * ``SUBSEQUENCE`` / ``EXPIRING`` — the scalar FSM recurrences of
+      :class:`~repro.mining.fsm.EpisodeFSM`, applied to the raw item
+      row.
+    """
+    db = np.asarray(_check_db(db), dtype=np.int64)
+    validate_window(policy, window)
+    matrix = as_episode_matrix(matrix)
+    out = np.zeros(matrix.shape[0], dtype=np.int64)
+    for i in range(matrix.shape[0]):
+        items = [int(x) for x in matrix[i]]
+        if policy is MatchPolicy.RESET:
+            out[i] = _scalar_substring_count(db, items)
+        elif policy is MatchPolicy.SUBSEQUENCE:
+            out[i] = _scalar_subsequence_count(db, items)
+        else:
+            out[i] = _scalar_expiring_count(db, items, int(window))  # type: ignore[arg-type]
+    return out
+
+
+def _scalar_substring_count(db: np.ndarray, items: list[int]) -> int:
+    length = len(items)
+    return sum(
+        1
+        for start in range(db.size - length + 1)
+        if all(db[start + j] == items[j] for j in range(length))
+    )
+
+
+def _scalar_subsequence_count(db: np.ndarray, items: list[int]) -> int:
+    state = count = 0
+    for c in db:
+        if int(c) == items[state]:
+            state += 1
+            if state == len(items):
+                count += 1
+                state = 0
+    return count
+
+
+def _scalar_expiring_count(db: np.ndarray, items: list[int], window: int) -> int:
+    length = len(items)
+    times = [_NEG] * (length + 1)
+    times[0] = 0
+    count = 0
+    for t in range(db.size):
+        c = int(db[t])
+        for s in range(length, 0, -1):
+            if c != items[s - 1]:
+                continue
+            if s == 1 or t - times[s - 1] <= window:
+                times[s] = t
+        if times[length] == t:
+            count += 1
+            for s in range(1, length + 1):
+                times[s] = _NEG
+    return count

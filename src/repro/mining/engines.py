@@ -1,0 +1,445 @@
+"""Counting-engine registry: named, swappable episode-counting backends.
+
+The counting step is the paper's hot path, and different problem shapes
+want different exact implementations (see the tier descriptions in
+:mod:`repro.mining.counting`).  This module names each tier, registers
+it in an :class:`EngineRegistry`, and layers composition on top:
+
+* ``scalar-oracle`` — per-character scalar recurrences; the
+  property-test ground truth.
+* ``vector-sweep`` — the per-character NumPy FSM sweeps (one
+  interpreter step per database character).
+* ``position-hop`` — vectorized position-list counting (interpreter
+  work independent of database length).
+* ``auto`` — picks ``position-hop`` unless the database is short
+  relative to the episode batch, where the sweep's lower per-episode
+  setup cost wins.
+* ``sharded`` — a wrapper that decomposes one counting call across
+  ``multiprocessing`` workers through the MapReduce framework: RESET
+  batches split along the *database* axis using the segment/boundary
+  decomposition of :mod:`repro.mining.spanning` (Fig. 5's span fix);
+  SUBSEQUENCE/EXPIRING batches split along the *episode* axis (segment
+  counts are not decomposable for those policies).
+
+Every engine implements ``count(db, episodes, alphabet_size, policy,
+window, index=None)`` and returns the exact occurrence counts — the
+engines differ only in speed, an invariant ``tests/test_engines.py``
+asserts property-based against the scalar oracle.  ``bind(...)``
+adapts an engine to the miner's ``(db, episodes) -> counts`` callable
+protocol while reusing one :class:`DatabaseIndex` per database.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ConfigError, ValidationError
+from repro.mapreduce.types import KeyValue, MapReduceJob
+from repro.mining.counting import (
+    DatabaseIndex,
+    as_episode_matrix,
+    count_matrix_reference,
+    count_positions_batch,
+    count_reset_batch,
+    _count_expiring_batch,
+    _count_subsequence_batch,
+)
+from repro.mining.episode import Episode
+from repro.mining.policies import MatchPolicy, validate_window
+from repro.mining.spanning import count_starts_in, segment_bounds
+
+__all__ = [
+    "CountingEngine",
+    "BoundEngine",
+    "EngineRegistry",
+    "ScalarOracleEngine",
+    "VectorSweepEngine",
+    "PositionHopEngine",
+    "AutoEngine",
+    "ShardedEngine",
+    "REGISTRY",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+]
+
+
+class CountingEngine:
+    """Base class: a named, exact batch-counting strategy."""
+
+    #: registry name; subclasses override
+    name: str = "abstract"
+
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        index: DatabaseIndex | None = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def bind(
+        self,
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+    ) -> "BoundEngine":
+        """Adapt to the miner's ``(db, episodes) -> counts`` protocol."""
+        return BoundEngine(self, alphabet_size, policy, window)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class BoundEngine:
+    """A counting engine bound to (alphabet, policy, window).
+
+    Satisfies :class:`repro.mining.miner.CountingEngine` and caches a
+    :class:`DatabaseIndex` per database object, so every level of a
+    mining run shares one position extraction.
+    """
+
+    def __init__(
+        self,
+        engine: CountingEngine,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        window: int | None,
+    ) -> None:
+        validate_window(policy, window)
+        self.engine = engine
+        self.alphabet_size = alphabet_size
+        self.policy = policy
+        self.window = window
+        self._db: np.ndarray | None = None
+        self._index: DatabaseIndex | None = None
+
+    def index_for(self, db: np.ndarray) -> DatabaseIndex:
+        if self._index is None or self._db is not db:
+            self._db = db
+            self._index = DatabaseIndex(db)
+        return self._index
+
+    def __call__(
+        self, db: np.ndarray, episodes: "list[Episode] | np.ndarray"
+    ) -> np.ndarray:
+        return self.engine.count(
+            db,
+            episodes,
+            self.alphabet_size,
+            self.policy,
+            self.window,
+            index=self.index_for(db),
+        )
+
+
+class ScalarOracleEngine(CountingEngine):
+    """Per-character scalar counting; the ground truth, never the fast path."""
+
+    name = "scalar-oracle"
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        matrix = as_episode_matrix(episodes)
+        return count_matrix_reference(db, matrix, policy, window)
+
+
+class VectorSweepEngine(CountingEngine):
+    """Per-character NumPy FSM sweeps (the seed implementation)."""
+
+    name = "vector-sweep"
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        matrix = as_episode_matrix(episodes)
+        validate_window(policy, window)
+        if policy is MatchPolicy.RESET:
+            return count_reset_batch(db, matrix, alphabet_size)
+        if policy is MatchPolicy.SUBSEQUENCE:
+            return _count_subsequence_batch(db, matrix)
+        return _count_expiring_batch(db, matrix, int(window))
+
+
+class PositionHopEngine(CountingEngine):
+    """Vectorized position-list counting (see :mod:`repro.mining.counting`)."""
+
+    name = "position-hop"
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        matrix = as_episode_matrix(episodes)
+        validate_window(policy, window)
+        if policy is MatchPolicy.RESET:
+            return count_reset_batch(db, matrix, alphabet_size)
+        hop_window = None if policy is MatchPolicy.SUBSEQUENCE else int(window)
+        return count_positions_batch(db, matrix, hop_window, index=index)
+
+
+class AutoEngine(CountingEngine):
+    """Problem-shape dispatch between the exact tiers.
+
+    RESET always takes the O(n) n-gram path.  For SUBSEQUENCE/EXPIRING
+    the sweep costs O(n) interpreter steps while position-hopping costs
+    O(E·(L + log m)); the sweep only wins when the database is short on
+    *both* absolute and per-episode scales.
+    """
+
+    name = "auto"
+
+    #: below this database length the per-character sweep is considered
+    SWEEP_MAX_N = 4096
+    #: sweep also requires fewer than this many characters per episode
+    SWEEP_CHARS_PER_EPISODE = 8
+
+    def select(
+        self, n: int, n_episodes: int, policy: MatchPolicy
+    ) -> CountingEngine:
+        """The concrete engine ``count`` will delegate to."""
+        if policy is MatchPolicy.RESET:
+            return get_engine("position-hop")  # n-gram path either way
+        if n < self.SWEEP_MAX_N and n < self.SWEEP_CHARS_PER_EPISODE * n_episodes:
+            return get_engine("vector-sweep")
+        return get_engine("position-hop")
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        matrix = as_episode_matrix(episodes)
+        chosen = self.select(int(np.asarray(db).size), matrix.shape[0], policy)
+        return chosen.count(db, matrix, alphabet_size, policy, window, index=index)
+
+
+# ---------------------------------------------------------------------------
+# Sharded execution over the MapReduce framework
+# ---------------------------------------------------------------------------
+
+def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
+    """Count one shard (module-level so process pools can pickle it)."""
+    payload = record.value
+    policy = MatchPolicy(payload["policy"])
+    if payload["kind"] == "boundary":
+        counts = count_starts_in(
+            payload["db"],
+            payload["matrix"],
+            payload["alphabet_size"],
+            start_lo=payload["start_lo"],
+            start_hi=payload["start_hi"],
+        )
+    else:
+        try:
+            engine = get_engine(payload["engine"])
+        except ValidationError:
+            # spawn-start platforms re-import the registry in the child,
+            # losing parent-side register_engine() calls; every engine is
+            # exact, so auto is a correct stand-in
+            engine = get_engine("auto")
+        counts = engine.count(
+            payload["db"],
+            payload["matrix"],
+            payload["alphabet_size"],
+            policy,
+            payload["window"],
+        )
+    return [KeyValue(record.key, counts)]
+
+
+def _sum_reducer(key, values: "list[np.ndarray]") -> np.ndarray:
+    return np.sum(values, axis=0)
+
+
+class ShardedEngine(CountingEngine):
+    """Split one counting call across workers via MapReduce.
+
+    RESET shards the *database* axis: per-segment counts plus the
+    boundary span fix of :mod:`repro.mining.spanning` reassemble the
+    exact whole-database answer.  Other policies shard the *episode*
+    axis (their occurrences can straddle any number of segments, so the
+    database axis is not decomposable — paper §3.3.3).
+
+    Small problems (``db chars x episodes < min_shard_work``) run
+    inline on the inner engine; so does everything when the process
+    pool is unavailable (the fallback is the serial MapReduce engine,
+    preserving exactness).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        inner: "str | CountingEngine" = "auto",
+        workers: int | None = None,
+        min_shard_work: int = 1 << 21,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        if min_shard_work < 0:
+            raise ConfigError("min_shard_work must be >= 0")
+        self.inner = get_engine(inner)
+        if isinstance(self.inner, ShardedEngine):
+            raise ConfigError("sharded engine cannot wrap itself")
+        # workers receive the inner engine by *name* (the instance is not
+        # shipped), so it must be resolvable from the registry over there
+        resolved = REGISTRY.get(self.inner.name) if self.inner.name in REGISTRY else None
+        if resolved is not self.inner:
+            raise ConfigError(
+                f"inner engine {self.inner.name!r} is not the registered "
+                "instance; register_engine() it before sharding over it"
+            )
+        self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
+        self.min_shard_work = min_shard_work
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        matrix = as_episode_matrix(episodes)
+        validate_window(policy, window)
+        db = np.asarray(db)
+        n, n_eps = int(db.size), matrix.shape[0]
+        if self.workers <= 1 or n_eps == 0 or n * n_eps < self.min_shard_work:
+            return self.inner.count(db, matrix, alphabet_size, policy, window,
+                                    index=index)
+        if policy is MatchPolicy.RESET:
+            job = self._database_axis_job(db, matrix, alphabet_size, policy)
+            return self._run(job)["total"]
+        job = self._episode_axis_job(db, matrix, alphabet_size, policy, window)
+        results = self._run(job)
+        return np.concatenate(
+            [results[key] for key in sorted(results, key=lambda k: k[1])]
+        )
+
+    def _payload(self, db, matrix, alphabet_size, policy, window) -> dict:
+        return {
+            "kind": "segment",
+            "db": db,
+            "matrix": matrix,
+            "alphabet_size": alphabet_size,
+            "policy": policy.value,
+            "window": window,
+            "engine": self.inner.name,
+        }
+
+    def _database_axis_job(self, db, matrix, alphabet_size, policy) -> MapReduceJob:
+        length = matrix.shape[1]
+        bounds = segment_bounds(db.size, self.workers)
+        inputs = [
+            KeyValue("total", self._payload(db[lo:hi], matrix, alphabet_size,
+                                            policy, None))
+            for lo, hi in bounds
+        ]
+        if length > 1:
+            for seg_lo, b in bounds[:-1]:
+                # same boundary-window attribution as spanning.count_segmented
+                start_lo = max(seg_lo, b - length + 1)
+                hi = min(int(db.size), b + length - 1)
+                payload = self._payload(db[start_lo:hi], matrix, alphabet_size,
+                                        policy, None)
+                payload.update(kind="boundary", start_lo=0, start_hi=b - start_lo)
+                inputs.append(KeyValue("total", payload))
+        return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
+                            reducer=_sum_reducer)
+
+    def _episode_axis_job(self, db, matrix, alphabet_size, policy, window) -> MapReduceJob:
+        chunk = -(-matrix.shape[0] // self.workers)
+        inputs = [
+            KeyValue(
+                ("chunk", i),
+                self._payload(db, matrix[lo : lo + chunk], alphabet_size,
+                              policy, window),
+            )
+            for i, lo in enumerate(range(0, matrix.shape[0], chunk))
+        ]
+        return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
+                            reducer=_sum_reducer)
+
+    def _run(self, job: MapReduceJob) -> dict:
+        from repro.mapreduce.cpu_engine import ProcessPoolEngine, SerialEngine
+
+        try:
+            return ProcessPoolEngine(workers=self.workers).run(job)
+        except (OSError, ValueError, RuntimeError):
+            # sandboxes without working process pools: stay exact, go serial
+            return SerialEngine().run(job)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+class EngineRegistry:
+    """Name -> engine-factory mapping with instance caching."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[[], CountingEngine]] = {}
+        self._instances: dict[str, CountingEngine] = {}
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], CountingEngine],
+        replace: bool = False,
+    ) -> None:
+        if not name:
+            raise ConfigError("engine name must be non-empty")
+        if name in self._factories and not replace:
+            raise ConfigError(f"engine {name!r} already registered")
+        self._factories[name] = factory
+        self._instances.pop(name, None)
+
+    def unregister(self, name: str) -> None:
+        if name not in self._factories:
+            raise ValidationError(f"unknown counting engine {name!r}")
+        del self._factories[name]
+        self._instances.pop(name, None)
+
+    def get(self, name: "str | CountingEngine") -> CountingEngine:
+        if isinstance(name, CountingEngine):
+            return name
+        engine = self._instances.get(name)
+        if engine is None:
+            factory = self._factories.get(name)
+            if factory is None:
+                raise ValidationError(
+                    f"unknown counting engine {name!r}; "
+                    f"registered: {', '.join(self.names())}"
+                )
+            engine = factory()
+            self._instances[name] = engine
+        return engine
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._factories))
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self.names())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+REGISTRY = EngineRegistry()
+REGISTRY.register("scalar-oracle", ScalarOracleEngine)
+REGISTRY.register("vector-sweep", VectorSweepEngine)
+REGISTRY.register("position-hop", PositionHopEngine)
+REGISTRY.register("auto", AutoEngine)
+REGISTRY.register("sharded", ShardedEngine)
+
+
+def register_engine(
+    name: str, factory: Callable[[], CountingEngine], replace: bool = False
+) -> None:
+    """Register a counting engine in the default registry."""
+    REGISTRY.register(name, factory, replace=replace)
+
+
+def get_engine(name: "str | CountingEngine") -> CountingEngine:
+    """Resolve an engine by name (engine instances pass through)."""
+    return REGISTRY.get(name)
+
+
+def list_engines() -> tuple[str, ...]:
+    """Registered engine names, sorted."""
+    return REGISTRY.names()

@@ -16,7 +16,7 @@ import numpy as np
 from repro.errors import MiningError, ValidationError
 from repro.mining.alphabet import Alphabet
 from repro.mining.candidates import generate_level, generate_next_level
-from repro.mining.counting import count_batch
+from repro.mining.engines import CountingEngine as RegistryEngine, get_engine
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
 
@@ -81,7 +81,13 @@ class FrequentEpisodeMiner:
     policy, window:
         Matching semantics (see :mod:`repro.mining.policies`).
     engine:
-        Counting engine; defaults to the vectorized CPU batch counter.
+        Counting engine: a registry name (``"auto"``, ``"position-hop"``,
+        ``"vector-sweep"``, ``"sharded"``, ...), a registry
+        :class:`~repro.mining.engines.CountingEngine` instance, or any
+        ``(db, episodes) -> counts`` callable.  Defaults to ``"auto"``.
+        Registry engines share one
+        :class:`~repro.mining.counting.DatabaseIndex` across all levels
+        of a run.
     max_level:
         Safety cap on the level loop (the paper's evaluation stops at
         L=3; mining real data can run deeper).
@@ -98,7 +104,7 @@ class FrequentEpisodeMiner:
         threshold: float,
         policy: MatchPolicy = MatchPolicy.RESET,
         window: int | None = None,
-        engine: CountingEngine | None = None,
+        engine: "CountingEngine | RegistryEngine | str | None" = None,
         max_level: int = 8,
         exhaustive_candidates: bool = False,
     ) -> None:
@@ -115,12 +121,12 @@ class FrequentEpisodeMiner:
         self.window = window
         self.max_level = max_level
         self.exhaustive_candidates = exhaustive_candidates
-        self._engine = engine or self._default_engine
-
-    def _default_engine(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
-        return count_batch(
-            db, episodes, self.alphabet.size, self.policy, self.window
-        )
+        if engine is None or isinstance(engine, (str, RegistryEngine)):
+            self._engine = get_engine(engine or "auto").bind(
+                alphabet.size, policy, window
+            )
+        else:
+            self._engine = engine
 
     def mine(self, db: np.ndarray) -> MiningResult:
         """Run Algorithm 1 over ``db`` and return all frequent episodes."""

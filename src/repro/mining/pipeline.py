@@ -9,8 +9,13 @@ round-trips, and host-side generation/elimination overlaps device work.
 :class:`PipelinedMiner` implements that on the stream model: counting
 kernels are dispatched on alternating streams while the host runs
 generation one level ahead using *speculative candidates* (the full
-Table-1 space, optionally capped), then reconciles against the real
-frequent set when counts arrive.  On 2009-class hardware (no concurrent
+Table-1 space), then reconciles against the real frequent set when
+counts arrive.  Speculation is bounded by ``max_speculative``: a level
+whose full Table-1 space exceeds the cap (N!/(N-L)! explodes with the
+alphabet) is never materialized speculatively — the pipeline drains,
+and remaining levels run sequentially from the reconciled survivors
+via A-priori generation, counted host-side on a registry engine
+(:mod:`repro.mining.engines`).  On 2009-class hardware (no concurrent
 kernels) the win is the hidden host work; the report also carries the
 idealized overlapped bound (see :mod:`repro.gpu.streams`).
 """
@@ -26,7 +31,12 @@ from repro.gpu.simulator import GpuSimulator
 from repro.gpu.specs import DeviceSpecs
 from repro.gpu.streams import StreamTimeline
 from repro.mining.alphabet import Alphabet
-from repro.mining.candidates import generate_level
+from repro.mining.candidates import (
+    count_candidates,
+    generate_level,
+    generate_next_level,
+)
+from repro.mining.engines import CountingEngine, get_engine
 from repro.mining.miner import LevelResult, MiningResult
 from repro.mining.policies import MatchPolicy
 from repro.algos.base import MiningProblem
@@ -59,6 +69,9 @@ class PipelinedMiner:
     ``host_ms_per_candidate`` models the host-side generation cost the
     pipeline hides (measured host cost of the non-pipelined loop is a
     reasonable setting; the default is deliberately modest).
+    ``max_speculative`` caps how many candidates one speculative level
+    may materialize; levels beyond the cap run sequentially on
+    ``engine`` (a counting-engine registry name or instance).
     """
 
     def __init__(
@@ -69,17 +82,25 @@ class PipelinedMiner:
         max_level: int = 3,
         host_ms_per_candidate: float = 0.001,
         concurrent_kernels: bool = False,
+        max_speculative: int = 200_000,
+        engine: "str | CountingEngine" = "auto",
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(f"threshold must be in [0, 1), got {threshold}")
         if max_level < 1:
             raise ValidationError("max_level must be >= 1")
+        if max_speculative < 1:
+            raise ValidationError(
+                f"max_speculative must be >= 1, got {max_speculative}"
+            )
         self.device = device
         self.alphabet = alphabet
         self.threshold = threshold
         self.max_level = max_level
         self.host_ms_per_candidate = host_ms_per_candidate
         self.concurrent_kernels = concurrent_kernels
+        self.max_speculative = max_speculative
+        self._engine = get_engine(engine)
         self._sim = GpuSimulator(device)
         self._selector = AdaptiveSelector(device)
 
@@ -99,7 +120,18 @@ class PipelinedMiner:
         # kernel is queued while level k's counts are still "in flight";
         # elimination filters the returned counts on the host.
         pending: list[tuple[int, list, np.ndarray | None]] = []
+        first_capped_level: int | None = None
         for level in range(1, self.max_level + 1):
+            # level 1 is only N candidates — the factorial blowup the cap
+            # guards against starts at level 2
+            if level > 1 and (
+                count_candidates(self.alphabet.size, level) > self.max_speculative
+            ):
+                # Table-1 space too large to materialize speculatively
+                # (N!/(N-L)! would OOM before reconciliation); this and
+                # deeper levels run sequentially from the survivors.
+                first_capped_level = level
+                break
             candidates = generate_level(self.alphabet, level)
             if not candidates:
                 break
@@ -123,6 +155,8 @@ class PipelinedMiner:
             pending.append((level, candidates, result.output))
 
         prev_frequent: set[tuple[int, ...]] | None = None
+        last_frequent: list = []
+        exhausted = False
         for level, candidates, counts in pending:
             assert counts is not None
             keep = counts / n > self.threshold
@@ -147,8 +181,38 @@ class PipelinedMiner:
                 )
             )
             prev_frequent = {c.items for c in frequent}
+            last_frequent = frequent
             if not frequent:
+                exhausted = True
                 break
+
+        # Sequential continuation for capped levels: A-priori generation
+        # from the reconciled survivors, counted host-side on the engine.
+        if first_capped_level is not None and not exhausted:
+            level = first_capped_level
+            while last_frequent and level <= self.max_level:
+                candidates = generate_next_level(
+                    last_frequent, self.alphabet, contiguous=True
+                )
+                if not candidates:
+                    break
+                counts = self._engine.count(
+                    db, candidates, self.alphabet.size, MatchPolicy.RESET
+                )
+                keep = counts / n > self.threshold
+                frequent = [c for c, k in zip(candidates, keep) if k]
+                kept_counts = [int(x) for x, k in zip(counts, keep) if k]
+                levels.append(
+                    LevelResult(
+                        level=level,
+                        n_candidates=len(candidates),
+                        n_frequent=len(frequent),
+                        frequent=tuple(frequent),
+                        counts=tuple(kept_counts),
+                    )
+                )
+                last_frequent = frequent
+                level += 1
 
         return PipelineReport(
             result=MiningResult(threshold=self.threshold, levels=tuple(levels)),

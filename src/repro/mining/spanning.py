@@ -111,13 +111,13 @@ def count_segmented(
             start_lo = max(seg_lo, b - length + 1)
             hi = min(db.size, b + length - 1)
             window_db = db[start_lo:hi]
-            bnd_counts[i] = _count_starts_in(
+            bnd_counts[i] = count_starts_in(
                 window_db, matrix, alphabet_size, start_lo=0, start_hi=b - start_lo
             )
     return SegmentedCount(segment_counts=seg_counts, boundary_counts=bnd_counts)
 
 
-def _count_starts_in(
+def count_starts_in(
     window_db: np.ndarray,
     matrix: np.ndarray,
     alphabet_size: int,
@@ -127,7 +127,8 @@ def _count_starts_in(
     """Matches of each episode starting in ``[start_lo, start_hi)``.
 
     The window is at most ``2L-2`` characters, so a direct vectorized
-    comparison is cheap.
+    comparison is cheap.  Public because the sharded counting engine
+    (:mod:`repro.mining.engines`) reuses it as its boundary-fix mapper.
     """
     length = matrix.shape[1]
     n = window_db.size

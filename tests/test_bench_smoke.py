@@ -1,0 +1,41 @@
+"""Tier-1 bench-smoke: engine throughput vs the committed trajectory.
+
+A scaled-down engine benchmark runs inside the tier-1 suite and is
+compared against the committed ``benchmarks/BENCH_engines.json``.
+Checksum mismatches (counting bugs) fail hard; throughput regressions
+only *warn* — absolute ops/sec are hardware-dependent, so the blocking
+gate is the standalone ``benchmarks/check_regression.py`` run on
+reference hardware.
+"""
+
+import json
+import sys
+import warnings
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS = Path(__file__).parent.parent / "benchmarks"
+REFERENCE = BENCHMARKS / "BENCH_engines.json"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+
+@pytest.mark.bench_smoke
+def test_engine_throughput_no_regression():
+    if not REFERENCE.exists():
+        pytest.skip("no committed BENCH_engines.json to compare against")
+    import bench_engines
+    import check_regression
+
+    reference = json.loads(REFERENCE.read_text())
+    fresh = bench_engines.run_bench(
+        sizes=(10_000,), engines=("vector-sweep", "position-hop")
+    )
+    problems = check_regression.compare(reference, fresh)
+    problems += check_regression.check_invariants(fresh, min_speedup=2.0)
+    correctness = [p for p in problems if "checksum" in p]
+    throughput = [p for p in problems if "checksum" not in p]
+    assert not correctness, correctness  # counts changed: a real bug
+    for message in throughput:  # perf is advisory inside tier-1
+        warnings.warn(f"engine throughput regression: {message}", stacklevel=1)

@@ -1,0 +1,393 @@
+"""Tests for the counting-engine subsystem.
+
+Every registered engine must produce *identical* counts — they differ
+only in speed.  The property tests here assert engine-vs-oracle
+equivalence across all three policies, including window edge cases
+(window=1, window >= n) and raw matrices with repeated symbols, which
+the :class:`~repro.mining.episode.Episode` type cannot express.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ValidationError
+from repro.mining.alphabet import Alphabet
+from repro.mining.candidates import count_candidates, generate_level
+from repro.mining.counting import (
+    DatabaseIndex,
+    count_batch,
+    count_batch_reference,
+    count_episode,
+    count_matrix_reference,
+    _count_subsequence_hopping,
+)
+from repro.mining.engines import (
+    AutoEngine,
+    BoundEngine,
+    CountingEngine,
+    EngineRegistry,
+    ShardedEngine,
+    get_engine,
+    list_engines,
+    register_engine,
+)
+from repro.mining.episode import Episode
+from repro.mining.miner import FrequentEpisodeMiner
+from repro.mining.policies import MatchPolicy
+
+ENGINE_NAMES = ("scalar-oracle", "vector-sweep", "position-hop", "auto", "sharded")
+
+POLICIES = [
+    (MatchPolicy.RESET, None),
+    (MatchPolicy.SUBSEQUENCE, None),
+    (MatchPolicy.EXPIRING, 4),
+]
+
+small_alphabet = st.integers(min_value=3, max_value=8)
+
+
+def db_strategy(alphabet_size, max_len=300):
+    return st.lists(
+        st.integers(0, alphabet_size - 1), min_size=0, max_size=max_len
+    ).map(lambda xs: np.array(xs, dtype=np.uint8))
+
+
+def episode_strategy(alphabet_size, max_len=3):
+    return st.lists(
+        st.integers(0, alphabet_size - 1),
+        min_size=1,
+        max_size=max_len,
+        unique=True,
+    ).map(lambda xs: Episode(tuple(xs)))
+
+
+def matrix_strategy(alphabet_size, max_eps=5, max_len=4):
+    """Raw (E, L) matrices — repeated symbols within a row allowed."""
+    return st.integers(1, max_len).flatmap(
+        lambda length: st.lists(
+            st.lists(
+                st.integers(0, alphabet_size - 1),
+                min_size=length,
+                max_size=length,
+            ),
+            min_size=1,
+            max_size=max_eps,
+        ).map(lambda rows: np.array(rows, dtype=np.uint8))
+    )
+
+
+class TestRegistry:
+    def test_builtin_engines_registered(self):
+        for name in ENGINE_NAMES:
+            assert name in list_engines()
+            assert isinstance(get_engine(name), CountingEngine)
+
+    def test_instances_cached(self):
+        assert get_engine("position-hop") is get_engine("position-hop")
+
+    def test_engine_passthrough(self):
+        engine = get_engine("auto")
+        assert get_engine(engine) is engine
+
+    def test_unknown_engine(self):
+        with pytest.raises(ValidationError, match="unknown counting engine"):
+            get_engine("warp-speed")
+
+    def test_duplicate_registration_rejected(self):
+        registry = EngineRegistry()
+        registry.register("x", AutoEngine)
+        with pytest.raises(ConfigError, match="already registered"):
+            registry.register("x", AutoEngine)
+        registry.register("x", AutoEngine, replace=True)  # explicit ok
+        assert "x" in registry
+
+    def test_custom_engine_registration(self):
+        class Doubler(CountingEngine):
+            name = "test-doubler"
+
+            def count(self, db, episodes, alphabet_size,
+                      policy=MatchPolicy.RESET, window=None, index=None):
+                return 2 * get_engine("auto").count(
+                    db, episodes, alphabet_size, policy, window, index=index
+                )
+
+        from repro.mining.engines import REGISTRY
+
+        register_engine("test-doubler", Doubler, replace=True)
+        try:
+            db = np.array([0, 1, 0, 1], dtype=np.uint8)
+            got = count_batch(db, [Episode((0, 1))], 4, engine="test-doubler")
+            assert got[0] == 4
+        finally:
+            REGISTRY.unregister("test-doubler")
+        assert "test-doubler" not in REGISTRY
+
+
+class TestEngineEquivalence:
+    """All engines agree with the scalar oracle on every policy."""
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_small_exhaustive(self, name, policy, window):
+        alpha = Alphabet.of_size(4)
+        db = np.random.default_rng(11).integers(0, 4, 200).astype(np.uint8)
+        for level in (1, 2, 3):
+            eps = generate_level(alpha, level)
+            got = get_engine(name).count(db, eps, 4, policy, window)
+            ref = count_batch_reference(db, eps, 4, policy, window)
+            assert np.array_equal(got, ref), (name, policy, level)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=25, deadline=None)
+    def test_property_all_policies(self, name, data, n):
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        engine = get_engine(name)
+        for policy, window in POLICIES:
+            got = int(engine.count(db, [ep], n, policy, window)[0])
+            ref = int(count_batch_reference(db, [ep], n, policy, window)[0])
+            assert got == ref, (name, policy)
+
+    @pytest.mark.parametrize("name", ("vector-sweep", "position-hop", "auto"))
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=40, deadline=None)
+    def test_property_repeated_symbol_matrices(self, name, data, n):
+        """Raw matrices (repeated symbols allowed) against the matrix oracle."""
+        db = data.draw(db_strategy(n, max_len=200))
+        matrix = data.draw(matrix_strategy(n))
+        window = data.draw(st.integers(1, 8))
+        engine = get_engine(name)
+        for policy, w in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, window),
+        ]:
+            got = engine.count(db, matrix, n, policy, w)
+            ref = count_matrix_reference(db, matrix, policy, w)
+            assert np.array_equal(got, ref), (name, policy, matrix.tolist())
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=25, deadline=None)
+    def test_property_window_edges(self, name, data, n):
+        """window=1 (tightest legal) and window >= n (loosest)."""
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        engine = get_engine(name)
+        for window in (1, max(int(db.size), 1), int(db.size) + 10):
+            got = int(engine.count(db, [ep], n, MatchPolicy.EXPIRING, window)[0])
+            ref = int(
+                count_batch_reference(db, [ep], n, MatchPolicy.EXPIRING, window)[0]
+            )
+            assert got == ref, (name, window)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=15, deadline=None)
+    def test_huge_window_equals_subsequence(self, name, data, n):
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        engine = get_engine(name)
+        loose = int(engine.count(db, [ep], n, MatchPolicy.EXPIRING,
+                                 int(db.size) + 1)[0])
+        subseq = int(engine.count(db, [ep], n, MatchPolicy.SUBSEQUENCE)[0])
+        assert loose == subseq
+
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=30, deadline=None)
+    def test_matrix_oracle_matches_fsm_oracle_on_distinct(self, data, n):
+        """The two scalar oracles coincide where both are defined."""
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        matrix = np.array([ep.items], dtype=np.uint8)
+        for policy, window in POLICIES:
+            assert int(count_matrix_reference(db, matrix, policy, window)[0]) == int(
+                count_batch_reference(db, [ep], n, policy, window)[0]
+            )
+
+
+class TestDatabaseIndex:
+    def test_positions_match_flatnonzero(self):
+        db = np.random.default_rng(3).integers(0, 6, 500).astype(np.uint8)
+        index = DatabaseIndex(db)
+        for symbol in range(6):
+            assert np.array_equal(
+                index.positions(symbol), np.flatnonzero(db == symbol)
+            )
+
+    def test_positions_cached(self):
+        index = DatabaseIndex(np.array([1, 0, 1], dtype=np.uint8))
+        assert index.positions(1) is index.positions(1)
+
+    def test_absent_symbol_empty(self):
+        index = DatabaseIndex(np.array([0, 0], dtype=np.uint8))
+        assert index.positions(7).size == 0
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValidationError):
+            DatabaseIndex(np.zeros((2, 2), dtype=np.uint8))
+
+    def test_hopping_accepts_shared_index(self):
+        db = np.random.default_rng(5).integers(0, 4, 300).astype(np.uint8)
+        index = DatabaseIndex(db)
+        for ep in generate_level(Alphabet.of_size(4), 2):
+            with_index = _count_subsequence_hopping(db, ep, index=index)
+            fresh = _count_subsequence_hopping(db, ep)
+            assert with_index == fresh
+
+    def test_bound_engine_reuses_index_per_db(self):
+        bound = get_engine("position-hop").bind(4, MatchPolicy.SUBSEQUENCE)
+        db = np.random.default_rng(9).integers(0, 4, 100).astype(np.uint8)
+        first = bound.index_for(db)
+        assert bound.index_for(db) is first
+        other = np.random.default_rng(10).integers(0, 4, 100).astype(np.uint8)
+        assert bound.index_for(other) is not first
+
+
+class TestCountEpisodeDirect:
+    """count_episode must not materialize the N**L gram table (satellite)."""
+
+    def test_reset_single_no_gram_table(self):
+        # alphabet_size**level = 8e13 entries: the old batch path would
+        # try to allocate that bincount table and die
+        rng = np.random.default_rng(17)
+        alphabet_size = 200_000
+        db = rng.integers(0, alphabet_size, 50_000).astype(np.int64)
+        episode = Episode((int(db[10]), int(db[11]), int(db[12])))
+        got = count_episode(db, episode, alphabet_size)
+        fsm_ref = int(
+            count_batch_reference(db, [episode], alphabet_size)[0]
+        )
+        assert got == fsm_ref
+        assert got >= 1
+
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=40, deadline=None)
+    def test_reset_single_matches_oracle(self, data, n):
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        assert count_episode(db, ep, n) == int(
+            count_batch_reference(db, [ep], n)[0]
+        )
+
+    @given(data=st.data(), n=small_alphabet, window=st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_expiring_single_matches_oracle(self, data, n, window):
+        db = data.draw(db_strategy(n))
+        ep = data.draw(episode_strategy(n))
+        got = count_episode(db, ep, n, MatchPolicy.EXPIRING, window)
+        assert got == int(
+            count_batch_reference(db, [ep], n, MatchPolicy.EXPIRING, window)[0]
+        )
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_sharding_engaged_matches_oracle(self, policy, window):
+        """min_shard_work=0 forces the MapReduce split even on small data."""
+        engine = ShardedEngine(inner="auto", workers=3, min_shard_work=0)
+        alpha = Alphabet.of_size(5)
+        db = np.random.default_rng(23).integers(0, 5, 400).astype(np.uint8)
+        eps = generate_level(alpha, 2)
+        got = engine.count(db, eps, 5, policy, window)
+        ref = count_batch_reference(db, eps, 5, policy, window)
+        assert np.array_equal(got, ref), policy
+
+    def test_small_problems_run_inline(self):
+        engine = ShardedEngine(workers=4)  # default threshold: stays inline
+        db = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert engine.count(db, [Episode((0, 1))], 3)[0] == 2
+
+    def test_episode_axis_preserves_order(self):
+        """More episodes than one chunk: concatenation must keep order."""
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        alpha = Alphabet.of_size(6)
+        db = np.random.default_rng(29).integers(0, 6, 300).astype(np.uint8)
+        eps = generate_level(alpha, 2)
+        got = engine.count(db, eps, 6, MatchPolicy.SUBSEQUENCE)
+        ref = count_batch(db, eps, 6, MatchPolicy.SUBSEQUENCE)
+        assert np.array_equal(got, ref)
+
+    def test_bad_workers(self):
+        with pytest.raises(ConfigError):
+            ShardedEngine(workers=0)
+
+    def test_nested_sharding_rejected(self):
+        with pytest.raises(ConfigError, match="wrap itself"):
+            ShardedEngine(inner="sharded")
+
+    def test_unregistered_inner_instance_rejected(self):
+        """Workers resolve the inner engine by name; an instance that is
+        not the registered one would silently diverge, so it is refused."""
+
+        class Custom(CountingEngine):
+            name = "never-registered"
+
+            def count(self, db, episodes, alphabet_size,
+                      policy=MatchPolicy.RESET, window=None, index=None):
+                raise AssertionError("unreachable")
+
+        with pytest.raises(ConfigError, match="register_engine"):
+            ShardedEngine(inner=Custom())
+
+
+class TestMinerIntegration:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        alpha = Alphabet.of_size(6)
+        rng = np.random.default_rng(41)
+        pattern = alpha.encode("ABC" * 80)
+        noise = rng.integers(0, 6, 1500).astype(np.uint8)
+        return alpha, np.concatenate([pattern, noise])
+
+    @pytest.mark.parametrize("name", ("vector-sweep", "position-hop", "auto"))
+    @pytest.mark.parametrize(
+        "policy,window",
+        [(MatchPolicy.SUBSEQUENCE, None), (MatchPolicy.EXPIRING, 5)],
+    )
+    def test_engine_name_threads_through_miner(self, workload, name, policy, window):
+        alpha, db = workload
+        baseline = FrequentEpisodeMiner(
+            alpha, 0.05, policy=policy, window=window, max_level=3,
+            engine="scalar-oracle",
+        ).mine(db)
+        mined = FrequentEpisodeMiner(
+            alpha, 0.05, policy=policy, window=window, max_level=3, engine=name
+        ).mine(db)
+        assert mined.all_frequent == baseline.all_frequent
+
+    def test_engine_instance_accepted(self, workload):
+        alpha, db = workload
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        mined = FrequentEpisodeMiner(alpha, 0.05, max_level=2, engine=engine).mine(db)
+        default = FrequentEpisodeMiner(alpha, 0.05, max_level=2).mine(db)
+        assert mined.all_frequent == default.all_frequent
+
+    def test_legacy_callable_engine_still_works(self, workload):
+        alpha, db = workload
+        calls = []
+
+        def engine(database, episodes):
+            calls.append(len(episodes))
+            return count_batch(database, episodes, alpha.size)
+
+        FrequentEpisodeMiner(alpha, 0.05, max_level=2, engine=engine).mine(db)
+        assert calls  # the callable protocol was exercised
+
+
+class TestAutoSelection:
+    def test_long_db_prefers_position_hop(self):
+        auto = AutoEngine()
+        chosen = auto.select(100_000, 500, MatchPolicy.SUBSEQUENCE)
+        assert chosen.name == "position-hop"
+
+    def test_short_db_large_batch_prefers_sweep(self):
+        auto = AutoEngine()
+        chosen = auto.select(300, 650, MatchPolicy.SUBSEQUENCE)
+        assert chosen.name == "vector-sweep"
+
+    def test_count_candidates_guard(self):
+        # sanity for the pipeline cap logic
+        assert count_candidates(26, 3) == 15_600

@@ -9,6 +9,7 @@ from repro.mapreduce import (
     GpuCountingEngine,
     KeyValue,
     MapReduceJob,
+    ProcessPoolEngine,
     SerialEngine,
     ThreadPoolEngine,
     group_by_key,
@@ -35,6 +36,15 @@ def word_count_job(texts):
     return MapReduceJob(inputs=inputs, mapper=mapper, reducer=reducer)
 
 
+def _picklable_word_mapper(rec):
+    """Module-level mapper: the process-pool engine must pickle it."""
+    return [KeyValue(word, 1) for word in rec.value.split()]
+
+
+def _picklable_sum_reducer(word, ones):
+    return sum(ones)
+
+
 class TestGenericFramework:
     def test_word_count_serial(self):
         job = word_count_job(["a b a", "b c", "a"])
@@ -49,6 +59,19 @@ class TestGenericFramework:
         texts = [f"w{i % 7} w{i % 3}" for i in range(100)]
         job = word_count_job(texts)
         assert run_job(job, SerialEngine()) == run_job(job, ThreadPoolEngine(4))
+
+    def test_processpool_matches_serial(self):
+        texts = [f"w{i % 7} w{i % 3}" for i in range(40)]
+        job = MapReduceJob(
+            inputs=[KeyValue(i, t) for i, t in enumerate(texts)],
+            mapper=_picklable_word_mapper,
+            reducer=_picklable_sum_reducer,
+        )
+        assert run_job(job, SerialEngine()) == run_job(job, ProcessPoolEngine(2))
+
+    def test_processpool_worker_validation(self):
+        with pytest.raises(ConfigError):
+            ProcessPoolEngine(workers=0)
 
     def test_intermediate_step_applied(self):
         """The paper's between-map-and-reduce hook (the span fix slot)."""

@@ -92,3 +92,49 @@ class TestPipelineTiming:
             concurrent_kernels=True,
         ).mine(db)
         assert conc.overlapped_ms <= serial.serialized_ms
+
+
+class TestSpeculativeCap:
+    """max_speculative bounds the Table-1 space one level may materialize."""
+
+    def test_capped_levels_fall_back_sequentially(self, workload):
+        alpha, db = workload
+        uncapped = PipelinedMiner(
+            GEFORCE_GTX_280, alpha, threshold=0.05, max_level=3
+        ).mine(db)
+        # count_candidates(6, 3) == 120 > 40: level 3 must not be
+        # speculated, yet the mined frequent set is unchanged
+        capped = PipelinedMiner(
+            GEFORCE_GTX_280, alpha, threshold=0.05, max_level=3,
+            max_speculative=40,
+        ).mine(db)
+        assert capped.kernels_launched == 2
+        assert capped.result.all_frequent == uncapped.result.all_frequent
+
+    def test_cap_with_named_engine(self, workload):
+        alpha, db = workload
+        uncapped = PipelinedMiner(
+            GEFORCE_GTX_280, alpha, threshold=0.05, max_level=3
+        ).mine(db)
+        capped = PipelinedMiner(
+            GEFORCE_GTX_280, alpha, threshold=0.05, max_level=3,
+            max_speculative=40, engine="position-hop",
+        ).mine(db)
+        assert capped.result.all_frequent == uncapped.result.all_frequent
+
+    def test_level_one_never_capped(self, workload):
+        alpha, db = workload
+        report = PipelinedMiner(
+            GEFORCE_GTX_280, alpha, threshold=0.05, max_level=2,
+            max_speculative=1,
+        ).mine(db)
+        assert report.kernels_launched == 1
+        assert report.result.levels[0].n_candidates == alpha.size
+        assert report.result.max_level == 2  # level 2 counted sequentially
+
+    def test_bad_cap_rejected(self, workload):
+        alpha, _ = workload
+        with pytest.raises(ValidationError):
+            PipelinedMiner(
+                GEFORCE_GTX_280, alpha, threshold=0.05, max_speculative=0
+            )
