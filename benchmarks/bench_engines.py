@@ -6,6 +6,13 @@ be checked against the committed trajectory
 (``benchmarks/BENCH_engines.json``) with
 ``benchmarks/check_regression.py``.
 
+The ``gpu-sim`` engine is benchmarked on its *simulated* kernel time
+(the analytic timing model — deterministic, so its cells double as a
+timing-model change detector), and each policy x size point gets a
+``gpu_sim_crossover`` summary row comparing the simulated card against
+the measured host engines (vector-sweep and position-hop) — the
+simulated-vs-host crossover the paper's Fig. 10 discussion motivates.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py            # full run
@@ -32,11 +39,14 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-SCHEMA = 1
+SCHEMA = 2  # 2: adds the gpu-sim rows + gpu_sim_crossover series
 DEFAULT_OUT = Path(__file__).parent / "BENCH_engines.json"
 
-#: engines timed on the policy-sensitive paths
-ENGINES = ("vector-sweep", "position-hop", "sharded")
+#: engines timed on the policy-sensitive paths; "gpu-sim" rows use the
+#: simulated kernel time rather than host wall time
+ENGINES = ("vector-sweep", "position-hop", "sharded", "gpu-sim")
+#: the card the gpu-sim series simulates
+GPU_SIM_CARD = "GTX280"
 #: (policy value, window) pairs benchmarked
 POLICIES = (("subsequence", None), ("expiring", 6), ("reset", None))
 
@@ -80,11 +90,12 @@ def run_bench(
     episodes = generate_level(UPPERCASE, level)[:n_episodes]
     matrix = np.stack([e.array for e in episodes])
     results = []
+    crossover = []
     for n in sizes:
         db = rng.integers(0, UPPERCASE.size, n).astype(np.uint8)
         for policy_value, window in POLICIES:
             policy = MatchPolicy(policy_value)
-            sweep_seconds: float | None = None
+            host_seconds: dict[str, float] = {}
             # the sweep baseline must be timed before any speedup row,
             # whatever order the caller passed
             ordered = sorted(engines, key=lambda s: s != "vector-sweep")
@@ -94,6 +105,7 @@ def run_bench(
                     # n-gram path); sharded stays in: its database-axis
                     # split + boundary fix is RESET-only code worth gating
                     continue
+                simulated = name == "gpu-sim"
                 if name == "sharded":
                     # pin workers: the registry default is cpu_count, which
                     # is 1 on constrained hosts and would silently bench
@@ -101,20 +113,32 @@ def run_bench(
                     from repro.mining.engines import ShardedEngine
 
                     engine = ShardedEngine(workers=4, min_shard_work=0)
+                elif simulated:
+                    # fresh instance: a clean report list per cell, and no
+                    # stale selection cache from other benchmark shapes
+                    from repro.mining.engines import GpuSimEngine
+
+                    engine = GpuSimEngine(device=GPU_SIM_CARD)
                 else:
                     engine = get_engine(name)
                 index = DatabaseIndex(db)
                 counts = engine.count(
                     db, matrix, UPPERCASE.size, policy, window, index=index
                 )
-                seconds = _time_call(
-                    lambda: engine.count(
-                        db, matrix, UPPERCASE.size, policy, window, index=index
+                if simulated:
+                    # the metric is the *simulated* kernel time: the
+                    # analytic model is deterministic, so this cell also
+                    # pins the timing model against silent drift
+                    seconds = engine.reports[-1].total_ms / 1e3
+                else:
+                    seconds = _time_call(
+                        lambda: engine.count(
+                            db, matrix, UPPERCASE.size, policy, window, index=index
+                        )
                     )
-                )
+                    host_seconds[name] = seconds
                 ops = n * len(episodes) / seconds
-                if name == "vector-sweep":
-                    sweep_seconds = seconds
+                sweep_seconds = host_seconds.get("vector-sweep")
                 speedup = (
                     round(sweep_seconds / seconds, 2) if sweep_seconds else None
                 )
@@ -130,6 +154,7 @@ def run_bench(
                         "ops_per_sec": round(ops, 1),
                         "speedup_vs_sweep": speedup,
                         "checksum": int(counts.sum()),
+                        **({"simulated": True, "card": GPU_SIM_CARD} if simulated else {}),
                     }
                 )
                 print(
@@ -138,6 +163,22 @@ def run_bench(
                     f"({ops:,.0f} episode-chars/s"
                     + (f", {speedup:.1f}x vs sweep)" if speedup else ")")
                 )
+                if simulated:
+                    sim_ms = seconds * 1e3
+                    row = {
+                        "policy": policy_value,
+                        "n": n,
+                        "episodes": len(episodes),
+                        "card": GPU_SIM_CARD,
+                        "simulated_ms": round(sim_ms, 6),
+                    }
+                    for host, key in (
+                        ("vector-sweep", "sim_speedup_vs_sweep"),
+                        ("position-hop", "sim_speedup_vs_hop"),
+                    ):
+                        if host in host_seconds:
+                            row[key] = round(host_seconds[host] * 1e3 / sim_ms, 2)
+                    crossover.append(row)
     return {
         "schema": SCHEMA,
         "params": {
@@ -147,8 +188,10 @@ def run_bench(
             "sizes": list(sizes),
             "seed": seed,
             "metric": "ops_per_sec = database chars x episodes / seconds",
+            "gpu_sim_card": GPU_SIM_CARD,
         },
         "results": results,
+        "gpu_sim_crossover": crossover,
     }
 
 

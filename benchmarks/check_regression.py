@@ -18,6 +18,12 @@ should either maintain its own reference file or run with
 this in: a non-blocking warning).  Relative invariants are checked
 unconditionally: ``position-hop`` must still beat ``vector-sweep`` on
 the SUBSEQUENCE/EXPIRING cells the rewrite targeted.
+
+``gpu-sim`` cells are *simulated* kernel times from the deterministic
+analytic model, so they are gated exactly (any drift means the timing
+model or a kernel trace changed — regenerate the snapshot
+deliberately).  Reference snapshots that predate the gpu-sim series
+(schema 1) are tolerated: the series is reported but not gated.
 """
 
 from __future__ import annotations
@@ -56,6 +62,8 @@ def compare(
         ref = ref_rows.get(_key(row))
         if ref is None:
             continue  # new cell: no reference to regress against
+        if row.get("simulated"):
+            continue  # gated exactly by check_gpu_sim, not by tolerance
         floor = ref["ops_per_sec"] * (1.0 - tolerance)
         if row["ops_per_sec"] < floor:
             problems.append(
@@ -108,6 +116,56 @@ def check_invariants(payload: dict, min_speedup: float | None = None) -> "list[s
     return problems
 
 
+def check_gpu_sim(reference: dict, fresh: dict) -> "list[str]":
+    """Gate the simulated-vs-host crossover series.
+
+    Simulated kernel time comes from the deterministic analytic model,
+    so matching cells must agree (to rounding) — a drift is a deliberate
+    timing-model change and the snapshot should be regenerated with it.
+    Reference snapshots that predate the series carry no gpu-sim rows;
+    those are tolerated (reported, never failed) so older baselines keep
+    working across the schema bump.
+    """
+    fresh_rows = [r for r in fresh.get("results", ()) if r.get("simulated")]
+    if not fresh_rows:
+        return []
+    ref_rows = {
+        _key(r): r for r in reference.get("results", ()) if r.get("simulated")
+    }
+    if not ref_rows:
+        print(
+            "note: reference snapshot predates the gpu-sim series "
+            "(schema "
+            f"{reference.get('schema', '?')}); crossover reported, not gated"
+        )
+        return []
+    problems = []
+    for row in fresh_rows:
+        ref = ref_rows.get(_key(row))
+        if ref is None:
+            continue
+        if ref.get("checksum") != row.get("checksum"):
+            problems.append(
+                f"{row['policy']} x gpu-sim @ n={row['n']:,}: checksum "
+                f"{row['checksum']} != reference {ref['checksum']} "
+                "(simulated kernel counting bug)"
+            )
+        ref_s, fresh_s = ref.get("seconds"), row.get("seconds")
+        if ref_s is None or fresh_s is None:
+            continue
+        # compare at snapshot precision (bench rounds to 6 dp), with an
+        # absolute floor so sub-millisecond cells aren't failed (or the
+        # gate silently skipped) by rounding alone
+        drift = abs(round(fresh_s, 6) - ref_s)
+        if drift > max(1e-3 * ref_s, 2e-6):
+            problems.append(
+                f"{row['policy']} x gpu-sim @ n={row['n']:,}: simulated "
+                f"{fresh_s * 1e3:.3f} ms != reference {ref_s * 1e3:.3f} ms "
+                "(timing model changed; regenerate the snapshot if intended)"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reference", type=Path, default=REFERENCE)
@@ -145,6 +203,7 @@ def main(argv: "list[str] | None" = None) -> int:
 
     problems = compare(reference, fresh, tolerance=args.tolerance)
     problems += check_invariants(fresh)
+    problems += check_gpu_sim(reference, fresh)
     if not problems:
         print("engine throughput: no regression vs committed trajectory")
         return 0

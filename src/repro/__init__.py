@@ -55,6 +55,7 @@ from repro.mining import (
     DatabaseIndex,
     Episode,
     FrequentEpisodeMiner,
+    GpuSimEngine,
     MatchPolicy,
     MiningResult,
     SerialMiner,
@@ -146,6 +147,7 @@ __all__ = [
     "generate_market_stream",
     # mapreduce
     "GpuCountingEngine",
+    "GpuSimEngine",
     # extensions
     "MultiGpu",
     "dual_gx2",

@@ -52,7 +52,7 @@ class BlockBufKernel(MiningKernel):
         n_segments = min(p.n, t * self.n_chunks)
         seg = count_segmented(
             db,
-            list(p.episodes),
+            p.matrix,
             p.alphabet_size,
             n_segments=max(1, n_segments),
             policy=p.policy,

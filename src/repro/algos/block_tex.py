@@ -42,7 +42,7 @@ class BlockTexKernel(MiningKernel):
         memory.texture_mem.counters.reads += p.n * config.total_blocks
         seg = count_segmented(
             db,
-            list(p.episodes),
+            p.matrix,
             p.alphabet_size,
             n_segments=config.threads_per_block,
             policy=p.policy,

@@ -54,9 +54,22 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--engine",
         default="gpu",
-        help="counting engine: 'gpu' (simulated card, default) or a "
-        "CPU engine-registry name (auto, position-hop, vector-sweep, "
-        "sharded, scalar-oracle)",
+        help="counting engine: a registry name (gpu-sim, auto, "
+        "position-hop, vector-sweep, sharded, scalar-oracle); "
+        "'gpu' is an alias for gpu-sim (simulated card, default)",
+    )
+    mine.add_argument(
+        "--policy",
+        default="reset",
+        choices=("reset", "subsequence", "expiring"),
+        help="episode matching policy (default: reset)",
+    )
+    mine.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="expiry window in events (required by --policy expiring, "
+        "rejected otherwise)",
     )
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
@@ -135,19 +148,27 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     import time
 
     from repro.data.market import MarketConfig, generate_market_stream
+    from repro.errors import ConfigError
     from repro.gpu.specs import get_card
-    from repro.mapreduce.gpu_engine import GpuCountingEngine
-    from repro.mining.engines import list_engines
+    from repro.mining.engines import GpuSimEngine, get_engine, list_engines
     from repro.mining.miner import FrequentEpisodeMiner
+    from repro.mining.policies import MatchPolicy, validate_window
 
-    if args.engine != "gpu" and args.engine not in list_engines():
-        # validate before the (possibly multi-million event) stream is built
-        from repro.errors import ConfigError
-
+    # validate engine, policy, and window before the (possibly
+    # multi-million event) stream is built
+    engine_name = "gpu-sim" if args.engine == "gpu" else args.engine
+    if engine_name not in list_engines():
         raise ConfigError(
             f"unknown engine {args.engine!r}; expected 'gpu' or one of "
             f"{', '.join(list_engines())}"
         )
+    policy = MatchPolicy(args.policy)
+    validate_window(policy, args.window)
+    if engine_name == "gpu-sim":
+        # same registry engine the name resolves to, carded per --card
+        engine = GpuSimEngine(device=get_card(args.card))
+    else:
+        engine = get_engine(engine_name)
     config = MarketConfig(
         n_products=12,
         n_events=args.events,
@@ -156,21 +177,15 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     alphabet = config.alphabet()
     stream = generate_market_stream(config)
-    if args.engine == "gpu":
-        engine: "GpuCountingEngine | str" = GpuCountingEngine(
-            device=get_card(args.card), alphabet_size=alphabet.size,
-            algorithm="auto",
-        )
-    else:
-        engine = args.engine
     t0 = time.perf_counter()
     result = FrequentEpisodeMiner(
-        alphabet, threshold=args.threshold, engine=engine, max_level=4
+        alphabet, threshold=args.threshold, policy=policy, window=args.window,
+        engine=engine, max_level=4,
     ).mine(stream)
     elapsed = time.perf_counter() - t0
     print(
         f"mined {stream.size:,} events at alpha={args.threshold} "
-        f"(engine={args.engine})"
+        f"(engine={engine_name}, policy={policy.value})"
     )
     for lvl in result.levels:
         print(
@@ -179,7 +194,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
     for ep, count in sorted(result.all_frequent.items(), key=lambda kv: -kv[1])[:10]:
         print(f"  {ep.to_symbols(alphabet)}: {count:,}")
-    if isinstance(engine, GpuCountingEngine):
+    if isinstance(engine, GpuSimEngine):
         print(
             f"simulated kernel time: {engine.total_kernel_ms:.3f} ms across "
             f"{len(engine.reports)} launches"

@@ -76,7 +76,7 @@ class MultiGpu:
         reports: list[TimingReport] = []
         for i, sim in enumerate(self._sims):
             part = episodes[i * share : (i + 1) * share]
-            if not part:
+            if len(part) == 0:
                 continue
             sub = MiningProblem(
                 db=problem.db,

@@ -1,10 +1,16 @@
 """GPU-backed counting engine.
 
 Bridges the mining driver's :class:`~repro.mining.miner.CountingEngine`
-protocol onto a simulated-GPU algorithm: each counting step becomes one
-kernel launch on the device, and the engine records the accumulated
-simulated kernel time so end-to-end mining examples can report the
-GPU-side cost the paper measures.
+protocol onto the simulated-GPU registry engine
+(:class:`~repro.mining.engines.GpuSimEngine`, name ``"gpu-sim"``): each
+counting step becomes one kernel launch on the device, and the engine
+records the accumulated simulated kernel time so end-to-end mining
+examples can report the GPU-side cost the paper measures.
+
+This class predates the engine registry and is kept as the bound-
+protocol adapter (policy and window are fixed at construction); the
+kernel selection, database validation, and launch bookkeeping all live
+in the shared :class:`GpuSimEngine` code path.
 """
 
 from __future__ import annotations
@@ -13,23 +19,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ValidationError
 from repro.gpu.report import TimingReport
-from repro.gpu.simulator import GpuSimulator
 from repro.gpu.specs import DeviceSpecs
 from repro.mining.episode import Episode
-from repro.mining.policies import MatchPolicy
-from repro.algos.base import MiningProblem
-from repro.algos.registry import get_algorithm
-from repro.algos.selector import AdaptiveSelector
+from repro.mining.policies import MatchPolicy, validate_window
 
 
 @dataclass
 class GpuCountingEngine:
     """Counting engine that launches mining kernels on a simulated card.
 
-    ``algorithm`` of ``"auto"`` consults the :class:`AdaptiveSelector`
-    per counting step — the paper's dynamic-adaptation conclusion.
+    ``algorithm`` of ``"auto"`` consults the memoizing
+    :class:`~repro.algos.selector.AdaptiveSelector` — the paper's
+    dynamic-adaptation conclusion — paying one configuration sweep per
+    problem shape, not per counting step.
     """
 
     device: DeviceSpecs
@@ -41,33 +45,29 @@ class GpuCountingEngine:
     reports: list[TimingReport] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self._sim = GpuSimulator(self.device)
-        self._selector = (
-            AdaptiveSelector(self.device) if self.algorithm == "auto" else None
+        # lazy: repro.mining.engines imports repro.mapreduce.types, so a
+        # top-level import here would cycle through the package __init__
+        from repro.mining.engines import GpuSimEngine
+
+        validate_window(self.policy, self.window)
+        if self.alphabet_size < 1 or self.alphabet_size > 256:
+            raise ValidationError(
+                f"alphabet_size must be in [1, 256] for the uint8 device "
+                f"kernels, got {self.alphabet_size}"
+            )
+        self._impl = GpuSimEngine(
+            device=self.device,
+            algorithm=self.algorithm,
+            threads_per_block=self.threads_per_block,
         )
-        if self.algorithm != "auto":
-            get_algorithm(self.algorithm)  # validate eagerly
-        if self.threads_per_block < 1:
-            raise ConfigError("threads_per_block must be >= 1")
+        # share the accumulator so callers holding ``reports`` see every
+        # launch made through the registry engine
+        self._impl.reports = self.reports
 
     def __call__(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
-        problem = MiningProblem(
-            db=np.asarray(db, dtype=np.uint8),
-            episodes=tuple(episodes),
-            alphabet_size=self.alphabet_size,
-            policy=self.policy,
-            window=self.window,
+        return self._impl.count(
+            db, episodes, self.alphabet_size, self.policy, self.window
         )
-        if self._selector is not None:
-            choice = self._selector.select(problem)
-            cls = get_algorithm(choice.algorithm_id)
-            kernel = cls(problem, threads_per_block=choice.threads_per_block)
-        else:
-            cls = get_algorithm(self.algorithm)
-            kernel = cls(problem, threads_per_block=self.threads_per_block)
-        result = self._sim.launch(kernel)
-        self.reports.append(result.report)
-        return result.output
 
     @property
     def total_kernel_ms(self) -> float:

@@ -29,6 +29,7 @@ from repro.mining.engines import (
     BoundEngine,
     CountingEngine,
     EngineRegistry,
+    GpuSimEngine,
     ShardedEngine,
     get_engine,
     list_engines,
@@ -59,6 +60,7 @@ __all__ = [
     "BoundEngine",
     "CountingEngine",
     "EngineRegistry",
+    "GpuSimEngine",
     "ShardedEngine",
     "get_engine",
     "list_engines",

@@ -14,6 +14,13 @@ it in an :class:`EngineRegistry`, and layers composition on top:
 * ``auto`` — picks ``position-hop`` unless the database is short
   relative to the episode batch, where the sweep's lower per-episode
   setup cost wins.
+* ``gpu-sim`` — the simulated-GPU path: each counting call becomes one
+  kernel launch on a simulated card (:mod:`repro.algos` kernels), with
+  the (algorithm x thread-count) configuration chosen by the
+  :class:`~repro.algos.selector.AdaptiveSelector` and memoized per
+  problem shape.  Functionally exact like every other tier; uniquely,
+  it also records a per-launch :class:`~repro.gpu.report.TimingReport`
+  so drivers can report the simulated kernel time the paper measures.
 * ``sharded`` — a wrapper that decomposes one counting call across
   ``multiprocessing`` workers through the MapReduce framework: RESET
   batches split along the *database* axis using the segment/boundary
@@ -49,7 +56,7 @@ from repro.mining.counting import (
 )
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
-from repro.mining.spanning import count_starts_in, segment_bounds
+from repro.mining.spanning import boundary_window, count_starts_in, segment_bounds
 
 __all__ = [
     "CountingEngine",
@@ -59,6 +66,7 @@ __all__ = [
     "VectorSweepEngine",
     "PositionHopEngine",
     "AutoEngine",
+    "GpuSimEngine",
     "ShardedEngine",
     "REGISTRY",
     "register_engine",
@@ -138,6 +146,17 @@ class BoundEngine:
             index=self.index_for(db),
         )
 
+    @property
+    def reports(self) -> "list[TimingReport]":
+        """Per-launch timing reports, for engines that record them
+        (the gpu-sim tier); empty for host engines."""
+        return getattr(self.engine, "reports", [])
+
+    @property
+    def total_kernel_ms(self) -> float:
+        """Accumulated simulated kernel time (0.0 for host engines)."""
+        return float(getattr(self.engine, "total_kernel_ms", 0.0))
+
 
 class ScalarOracleEngine(CountingEngine):
     """Per-character scalar counting; the ground truth, never the fast path."""
@@ -214,6 +233,113 @@ class AutoEngine(CountingEngine):
         return chosen.count(db, matrix, alphabet_size, policy, window, index=index)
 
 
+class GpuSimEngine(CountingEngine):
+    """Counting on a simulated CUDA card — the paper's device-side path.
+
+    Each ``count`` call builds a :class:`~repro.algos.base.MiningProblem`
+    and launches one mining kernel on a :class:`~repro.gpu.simulator.
+    GpuSimulator`.  ``algorithm="auto"`` (the default) delegates the
+    (algorithm, thread-count) choice to the
+    :class:`~repro.algos.selector.AdaptiveSelector` — the paper's
+    dynamic-adaptation conclusion — with the sweep memoized per problem
+    shape, so a mining run pays one sweep per (level, episode/db-size
+    bucket, policy) instead of one per counting call.
+
+    The functional output is exact (the kernels' execution path shares
+    the host counting routines), so this engine passes the same
+    engine-vs-oracle property tests as every host tier.  Per-launch
+    :class:`~repro.gpu.report.TimingReport` objects accumulate on
+    ``reports`` and through ``total_kernel_ms`` so drivers can print
+    the simulated kernel time the paper measures.
+
+    Parameters
+    ----------
+    device:
+        A card name (see :func:`repro.gpu.specs.get_card`) or a
+        :class:`~repro.gpu.specs.DeviceSpecs`; the registry default is
+        the GTX 280.  Register a differently-carded factory with
+        ``register_engine("gpu-sim-8800", lambda: GpuSimEngine("8800GTS512"))``.
+    algorithm:
+        ``"auto"`` or a fixed paper algorithm (number 1-4 or kernel
+        name); fixed algorithms use ``threads_per_block``.
+    """
+
+    name = "gpu-sim"
+
+    def __init__(
+        self,
+        device: "str | object" = "GTX280",
+        algorithm: "int | str" = "auto",
+        threads_per_block: int = 128,
+    ) -> None:
+        # gpu/algos machinery is imported lazily so importing the engine
+        # registry does not drag in the whole simulator stack
+        from repro.algos.registry import get_algorithm
+        from repro.algos.selector import AdaptiveSelector
+        from repro.gpu.simulator import GpuSimulator
+        from repro.gpu.specs import get_card
+
+        self.device = get_card(device) if isinstance(device, str) else device
+        self.algorithm = algorithm
+        if threads_per_block < 1:
+            raise ConfigError(
+                f"threads_per_block must be >= 1, got {threads_per_block}"
+            )
+        self.threads_per_block = threads_per_block
+        self._sim = GpuSimulator(self.device)
+        if algorithm == "auto":
+            self._selector: "AdaptiveSelector | None" = AdaptiveSelector(self.device)
+        else:
+            self._selector = None
+            get_algorithm(algorithm)  # validate eagerly
+        self.reports: list = []
+
+    @property
+    def selector(self):
+        """The memoizing :class:`AdaptiveSelector` (None for fixed algos)."""
+        return self._selector
+
+    @property
+    def total_kernel_ms(self) -> float:
+        """Accumulated simulated kernel time across counting calls."""
+        return float(sum(r.total_ms for r in self.reports))
+
+    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
+              window=None, index=None):
+        from repro.algos.base import MiningProblem, coerce_database
+        from repro.algos.registry import get_algorithm
+
+        validate_window(policy, window)
+        db = coerce_database(db, alphabet_size)  # also bounds alphabet_size
+        # validate episode codes on the *raw* input: Episode.array /
+        # uint8 matrix coercion happens downstream, and an out-of-range
+        # code must raise here, never overflow or wrap modulo 256 first
+        if isinstance(episodes, np.ndarray):
+            top = int(episodes.max(initial=0)) if episodes.size else 0
+        else:
+            top = max((max(e.items) for e in episodes), default=0)
+        if top >= alphabet_size:
+            raise ValidationError(
+                f"episode code {top} >= alphabet size {alphabet_size}"
+            )
+        matrix = as_episode_matrix(episodes)
+        if matrix.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        problem = MiningProblem(db, matrix, alphabet_size, policy, window)
+        if self._selector is not None:
+            choice = self._selector.select_cached(problem)
+            kernel = get_algorithm(choice.algorithm_id)(
+                problem, threads_per_block=choice.threads_per_block
+            )
+        else:
+            kernel = get_algorithm(self.algorithm)(
+                problem, threads_per_block=self.threads_per_block
+            )
+        result = self._sim.launch(kernel)
+        self.reports.append(result.report)
+        return np.asarray(result.output, dtype=np.int64)
+
+
 # ---------------------------------------------------------------------------
 # Sharded execution over the MapReduce framework
 # ---------------------------------------------------------------------------
@@ -283,11 +409,24 @@ class ShardedEngine(CountingEngine):
         if isinstance(self.inner, ShardedEngine):
             raise ConfigError("sharded engine cannot wrap itself")
         # workers receive the inner engine by *name* (the instance is not
-        # shipped), so it must be resolvable from the registry over there
-        resolved = REGISTRY.get(self.inner.name) if self.inner.name in REGISTRY else None
-        if resolved is not self.inner:
+        # shipped), so it must be resolvable from the registry over there;
+        # for uncached names (gpu-sim) the registry yields an equivalent
+        # fresh instance, which is fine — every engine is exact, so only
+        # timing state (not counts) can differ between instances.  The
+        # type is checked against the factory without instantiating one.
+        name = self.inner.name
+        mismatch = name not in REGISTRY
+        if not mismatch:
+            if REGISTRY.is_cached(name):
+                mismatch = REGISTRY.get(name) is not self.inner
+            else:
+                factory = REGISTRY.factory(name)
+                mismatch = isinstance(factory, type) and not isinstance(
+                    self.inner, factory
+                )
+        if mismatch:
             raise ConfigError(
-                f"inner engine {self.inner.name!r} is not the registered "
+                f"inner engine {name!r} is not the registered "
                 "instance; register_engine() it before sharding over it"
             )
         self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
@@ -332,12 +471,12 @@ class ShardedEngine(CountingEngine):
         ]
         if length > 1:
             for seg_lo, b in bounds[:-1]:
-                # same boundary-window attribution as spanning.count_segmented
-                start_lo = max(seg_lo, b - length + 1)
-                hi = min(int(db.size), b + length - 1)
+                start_lo, hi, start_hi = boundary_window(
+                    seg_lo, b, int(db.size), length
+                )
                 payload = self._payload(db[start_lo:hi], matrix, alphabet_size,
                                         policy, None)
-                payload.update(kind="boundary", start_lo=0, start_hi=b - start_lo)
+                payload.update(kind="boundary", start_lo=0, start_hi=start_hi)
                 inputs.append(KeyValue("total", payload))
         return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
                             reducer=_sum_reducer)
@@ -370,17 +509,26 @@ class ShardedEngine(CountingEngine):
 # ---------------------------------------------------------------------------
 
 class EngineRegistry:
-    """Name -> engine-factory mapping with instance caching."""
+    """Name -> engine-factory mapping with instance caching.
+
+    Stateless engines are cached: one instance serves every ``get``.
+    Engines registered with ``cached=False`` (the gpu-sim tier, which
+    accumulates per-launch timing reports and a selection cache) yield a
+    *fresh* instance per resolution, so two mining runs never share
+    launch accounting through the registry.
+    """
 
     def __init__(self) -> None:
         self._factories: dict[str, Callable[[], CountingEngine]] = {}
         self._instances: dict[str, CountingEngine] = {}
+        self._uncached: set[str] = set()
 
     def register(
         self,
         name: str,
         factory: Callable[[], CountingEngine],
         replace: bool = False,
+        cached: bool = True,
     ) -> None:
         if not name:
             raise ConfigError("engine name must be non-empty")
@@ -388,12 +536,24 @@ class EngineRegistry:
             raise ConfigError(f"engine {name!r} already registered")
         self._factories[name] = factory
         self._instances.pop(name, None)
+        self._uncached.discard(name)
+        if not cached:
+            self._uncached.add(name)
 
     def unregister(self, name: str) -> None:
         if name not in self._factories:
             raise ValidationError(f"unknown counting engine {name!r}")
         del self._factories[name]
         self._instances.pop(name, None)
+        self._uncached.discard(name)
+
+    def is_cached(self, name: str) -> bool:
+        return name in self._factories and name not in self._uncached
+
+    def factory(self, name: str) -> Callable[[], CountingEngine]:
+        if name not in self._factories:
+            raise ValidationError(f"unknown counting engine {name!r}")
+        return self._factories[name]
 
     def get(self, name: "str | CountingEngine") -> CountingEngine:
         if isinstance(name, CountingEngine):
@@ -407,7 +567,8 @@ class EngineRegistry:
                     f"registered: {', '.join(self.names())}"
                 )
             engine = factory()
-            self._instances[name] = engine
+            if name not in self._uncached:
+                self._instances[name] = engine
         return engine
 
     def names(self) -> tuple[str, ...]:
@@ -425,6 +586,9 @@ REGISTRY.register("scalar-oracle", ScalarOracleEngine)
 REGISTRY.register("vector-sweep", VectorSweepEngine)
 REGISTRY.register("position-hop", PositionHopEngine)
 REGISTRY.register("auto", AutoEngine)
+# uncached: the gpu-sim tier carries per-launch reports and a selection
+# cache, so every resolution gets a fresh instance (no shared state)
+REGISTRY.register("gpu-sim", GpuSimEngine, cached=False)
 REGISTRY.register("sharded", ShardedEngine)
 
 

@@ -139,7 +139,7 @@ class PipelinedMiner:
             problem = MiningProblem(
                 db, tuple(candidates), self.alphabet.size, MatchPolicy.RESET
             )
-            choice = self._selector.select(problem)
+            choice = self._selector.select_cached(problem)
             kernel = get_algorithm(choice.algorithm_id)(
                 problem, threads_per_block=choice.threads_per_block
             )

@@ -71,7 +71,7 @@ def segment_bounds(n: int, n_segments: int) -> list[tuple[int, int]]:
 
 def count_segmented(
     db: np.ndarray,
-    episodes: list[Episode],
+    episodes: "list[Episode] | np.ndarray",
     alphabet_size: int,
     n_segments: int,
     policy: MatchPolicy = MatchPolicy.RESET,
@@ -80,41 +80,65 @@ def count_segmented(
 ) -> SegmentedCount:
     """Count episodes over per-segment scans plus boundary fix-up.
 
-    ``fix_spanning=False`` reproduces Fig. 5(a)'s *wrong* answer — the
-    ablation benchmarks use it to quantify how many occurrences the
-    span check recovers.
+    ``episodes`` is an :class:`Episode` list or, under RESET, a raw
+    ``(E, L)`` matrix (repeated symbols allowed).  ``fix_spanning=False``
+    reproduces Fig. 5(a)'s *wrong* answer — the ablation benchmarks use
+    it to quantify how many occurrences the span check recovers.
     """
     db = np.asarray(db)
-    if not episodes:
+    if len(episodes) == 0:
         raise ValidationError("need at least one episode")
     validate_window(policy, window)
     bounds = segment_bounds(db.size, n_segments)
 
     if policy is not MatchPolicy.RESET:
+        if isinstance(episodes, np.ndarray):
+            raise ValidationError(
+                "segmented carry mode needs Episode batches; raw matrices "
+                "are supported only under RESET"
+            )
         # Carry mode supports mixed-length batches (no matrix needed).
         return _count_segmented_carry(db, episodes, alphabet_size, bounds, policy, window)
 
-    matrix = episodes_to_matrix(episodes)
+    matrix = (
+        episodes
+        if isinstance(episodes, np.ndarray)
+        else episodes_to_matrix(episodes)
+    )
     length = matrix.shape[1]
+    n_eps = matrix.shape[0]
 
-    seg_counts = np.zeros((len(bounds), len(episodes)), dtype=np.int64)
+    seg_counts = np.zeros((len(bounds), n_eps), dtype=np.int64)
     for i, (lo, hi) in enumerate(bounds):
         seg_counts[i] = count_batch(db[lo:hi], matrix, alphabet_size, policy)
 
-    bnd_counts = np.zeros((max(0, len(bounds) - 1), len(episodes)), dtype=np.int64)
+    bnd_counts = np.zeros((max(0, len(bounds) - 1), n_eps), dtype=np.int64)
     if fix_spanning and length > 1:
         for i, (seg_lo, b) in enumerate(bounds[:-1]):
-            # Attribute each spanning occurrence to the FIRST boundary it
-            # crosses: its start must lie inside the segment ending at
-            # ``b`` (otherwise an occurrence spanning several short
-            # segments would be counted once per boundary).
-            start_lo = max(seg_lo, b - length + 1)
-            hi = min(db.size, b + length - 1)
+            start_lo, hi, start_hi = boundary_window(seg_lo, b, int(db.size), length)
             window_db = db[start_lo:hi]
             bnd_counts[i] = count_starts_in(
-                window_db, matrix, alphabet_size, start_lo=0, start_hi=b - start_lo
+                window_db, matrix, alphabet_size, start_lo=0, start_hi=start_hi
             )
     return SegmentedCount(segment_counts=seg_counts, boundary_counts=bnd_counts)
+
+
+def boundary_window(seg_lo: int, b: int, n: int, length: int) -> "tuple[int, int, int]":
+    """Attribution window for occurrences spanning boundary ``b``.
+
+    Returns ``(start_lo, hi, start_hi)``: the database slice
+    ``[start_lo, hi)`` containing every length-``length`` occurrence
+    that crosses ``b``, and the in-slice start range ``[0, start_hi)``.
+    Each spanning occurrence is attributed to the FIRST boundary it
+    crosses: its start must lie inside the segment ending at ``b``
+    (otherwise an occurrence spanning several short segments would be
+    counted once per boundary).  Shared by :func:`count_segmented` and
+    the sharded engine's database-axis decomposition
+    (:mod:`repro.mining.engines`), which must never drift apart.
+    """
+    start_lo = max(seg_lo, b - length + 1)
+    hi = min(n, b + length - 1)
+    return start_lo, hi, b - start_lo
 
 
 def count_starts_in(

@@ -30,10 +30,15 @@ def test_engine_throughput_no_regression():
 
     reference = json.loads(REFERENCE.read_text())
     fresh = bench_engines.run_bench(
-        sizes=(10_000,), engines=("vector-sweep", "position-hop")
+        sizes=(10_000,), engines=("vector-sweep", "position-hop", "gpu-sim")
     )
     problems = check_regression.compare(reference, fresh)
     problems += check_regression.check_invariants(fresh, min_speedup=2.0)
+    # the simulated series is deterministic, so its checksum/timing gate
+    # is exact even inside tier-1 (timing drift counts as correctness:
+    # it means the analytic model changed without a snapshot regen)
+    gpu_sim = check_regression.check_gpu_sim(reference, fresh)
+    problems += [f"checksum-grade: {p}" for p in gpu_sim]
     correctness = [p for p in problems if "checksum" in p]
     throughput = [p for p in problems if "checksum" not in p]
     assert not correctness, correctness  # counts changed: a real bug

@@ -54,6 +54,49 @@ class TestMine:
         assert "frequent" in out
         assert "simulated kernel time" in out
 
+    def test_gpu_alias_converges_on_gpu_sim(self, capsys):
+        """--engine gpu and --engine gpu-sim run the same registry path."""
+        assert main(["mine", "--events", "3000", "--engine", "gpu"]) == 0
+        gpu = capsys.readouterr().out
+        assert main(["mine", "--events", "3000", "--engine", "gpu-sim"]) == 0
+        gpu_sim = capsys.readouterr().out
+        assert "engine=gpu-sim" in gpu
+        assert gpu == gpu_sim  # identical output incl. simulated kernel time
+
+    def test_mine_cpu_engine_reports_wall_time(self, capsys):
+        assert main(["mine", "--events", "3000", "--engine", "auto"]) == 0
+        out = capsys.readouterr().out
+        assert "host mining wall time" in out
+        assert "simulated kernel time" not in out
+
+    def test_mine_expiring_policy_with_window(self, capsys):
+        assert main([
+            "mine", "--events", "3000", "--policy", "expiring",
+            "--window", "6",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy=expiring" in out
+        assert "simulated kernel time" in out
+
+    def test_mine_subsequence_policy_on_cpu_engine(self, capsys):
+        assert main([
+            "mine", "--events", "3000", "--engine", "position-hop",
+            "--policy", "subsequence",
+        ]) == 0
+        assert "policy=subsequence" in capsys.readouterr().out
+
+    def test_window_without_expiring_is_clean_error(self, capsys):
+        assert main(["mine", "--events", "3000", "--window", "5"]) == 2
+        assert "does not take a window" in capsys.readouterr().err
+
+    def test_expiring_without_window_is_clean_error(self, capsys):
+        assert main(["mine", "--events", "3000", "--policy", "expiring"]) == 2
+        assert "requires a window" in capsys.readouterr().err
+
+    def test_unknown_engine_is_clean_error(self, capsys):
+        assert main(["mine", "--engine", "warp-drive"]) == 2
+        assert "unknown engine" in capsys.readouterr().err
+
 
 class TestProbe:
     def test_probe(self, capsys):

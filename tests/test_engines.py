@@ -28,6 +28,7 @@ from repro.mining.engines import (
     BoundEngine,
     CountingEngine,
     EngineRegistry,
+    GpuSimEngine,
     ShardedEngine,
     get_engine,
     list_engines,
@@ -37,7 +38,10 @@ from repro.mining.episode import Episode
 from repro.mining.miner import FrequentEpisodeMiner
 from repro.mining.policies import MatchPolicy
 
-ENGINE_NAMES = ("scalar-oracle", "vector-sweep", "position-hop", "auto", "sharded")
+ENGINE_NAMES = (
+    "scalar-oracle", "vector-sweep", "position-hop", "auto", "gpu-sim",
+    "sharded",
+)
 
 POLICIES = [
     (MatchPolicy.RESET, None),
@@ -151,7 +155,9 @@ class TestEngineEquivalence:
             ref = int(count_batch_reference(db, [ep], n, policy, window)[0])
             assert got == ref, (name, policy)
 
-    @pytest.mark.parametrize("name", ("vector-sweep", "position-hop", "auto"))
+    @pytest.mark.parametrize(
+        "name", ("vector-sweep", "position-hop", "auto", "gpu-sim")
+    )
     @given(data=st.data(), n=small_alphabet)
     @settings(max_examples=40, deadline=None)
     def test_property_repeated_symbol_matrices(self, name, data, n):
@@ -310,6 +316,17 @@ class TestShardedEngine:
         ref = count_batch(db, eps, 6, MatchPolicy.SUBSEQUENCE)
         assert np.array_equal(got, ref)
 
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_gpu_sim_inner_matches_oracle(self, policy, window):
+        """The simulated-GPU engine composes under the sharded wrapper."""
+        engine = ShardedEngine(inner="gpu-sim", workers=3, min_shard_work=0)
+        alpha = Alphabet.of_size(5)
+        db = np.random.default_rng(31).integers(0, 5, 400).astype(np.uint8)
+        eps = generate_level(alpha, 2)
+        got = engine.count(db, eps, 5, policy, window)
+        ref = count_batch_reference(db, eps, 5, policy, window)
+        assert np.array_equal(got, ref), policy
+
     def test_bad_workers(self):
         with pytest.raises(ConfigError):
             ShardedEngine(workers=0)
@@ -342,7 +359,9 @@ class TestMinerIntegration:
         noise = rng.integers(0, 6, 1500).astype(np.uint8)
         return alpha, np.concatenate([pattern, noise])
 
-    @pytest.mark.parametrize("name", ("vector-sweep", "position-hop", "auto"))
+    @pytest.mark.parametrize(
+        "name", ("vector-sweep", "position-hop", "auto", "gpu-sim")
+    )
     @pytest.mark.parametrize(
         "policy,window",
         [(MatchPolicy.SUBSEQUENCE, None), (MatchPolicy.EXPIRING, 5)],
@@ -375,6 +394,152 @@ class TestMinerIntegration:
 
         FrequentEpisodeMiner(alpha, 0.05, max_level=2, engine=engine).mine(db)
         assert calls  # the callable protocol was exercised
+
+
+class TestGpuSimEngine:
+    """The simulated-GPU registry tier: validation, reports, caching."""
+
+    @pytest.fixture()
+    def workload(self):
+        alpha = Alphabet.of_size(6)
+        db = np.random.default_rng(53).integers(0, 6, 600).astype(np.uint8)
+        return alpha, db
+
+    def test_registered_and_resolvable(self):
+        assert "gpu-sim" in list_engines()
+        assert isinstance(get_engine("gpu-sim"), GpuSimEngine)
+
+    def test_card_configurable_factory(self, workload):
+        """register_engine() can bind the tier to a different card."""
+        from repro.mining.engines import REGISTRY
+
+        register_engine(
+            "gpu-sim-8800", lambda: GpuSimEngine(device="8800GTS512")
+        )
+        try:
+            alpha, db = workload
+            eps = generate_level(alpha, 2)
+            a = get_engine("gpu-sim-8800").count(db, eps, 6)
+            b = get_engine("gpu-sim").count(db, eps, 6)
+            assert np.array_equal(a, b)  # cards differ in time, never counts
+        finally:
+            REGISTRY.unregister("gpu-sim-8800")
+
+    def test_reports_accumulate_and_flow_through_bind(self, workload):
+        alpha, db = workload
+        engine = GpuSimEngine()
+        bound = engine.bind(alpha.size, MatchPolicy.SUBSEQUENCE)
+        bound(db, generate_level(alpha, 1))
+        bound(db, generate_level(alpha, 2))
+        assert len(bound.reports) == 2
+        assert bound.total_kernel_ms > 0
+        assert bound.total_kernel_ms == pytest.approx(engine.total_kernel_ms)
+
+    def test_host_bound_engine_reports_empty(self, workload):
+        alpha, db = workload
+        bound = get_engine("position-hop").bind(alpha.size)
+        bound(db, generate_level(alpha, 1))
+        assert list(bound.reports) == []
+        assert bound.total_kernel_ms == 0.0
+
+    def test_symbols_beyond_uint8_rejected(self, workload):
+        """Regression: symbols >= 256 used to wrap modulo 256 silently."""
+        engine = GpuSimEngine()
+        db = np.array([0, 1, 300], dtype=np.int64)
+        with pytest.raises(ValidationError, match="refusing to truncate"):
+            engine.count(db, [Episode((0, 1))], alphabet_size=256)
+
+    def test_out_of_alphabet_codes_rejected(self, workload):
+        engine = GpuSimEngine()
+        db = np.array([0, 1, 9], dtype=np.uint8)
+        with pytest.raises(ValidationError, match="outside the alphabet"):
+            engine.count(db, [Episode((0, 1))], alphabet_size=4)
+
+    def test_episode_codes_beyond_alphabet_rejected(self):
+        """Regression: episode codes >= 256 must raise before the uint8
+        matrix coercion can overflow or wrap them."""
+        engine = GpuSimEngine()
+        db = np.zeros(10, dtype=np.uint8)
+        with pytest.raises(ValidationError, match="episode code 300"):
+            engine.count(db, [Episode((0, 300))], alphabet_size=256)
+        with pytest.raises(ValidationError, match="episode code 300"):
+            engine.count(
+                db, np.array([[0, 300]], dtype=np.int64), alphabet_size=256
+            )
+
+    def test_oversized_alphabet_rejected(self, workload):
+        alpha, db = workload
+        engine = GpuSimEngine()
+        with pytest.raises(ValidationError, match="256"):
+            engine.count(db, [Episode((0, 1))], alphabet_size=1000)
+
+    def test_float_database_rejected(self, workload):
+        engine = GpuSimEngine()
+        with pytest.raises(ValidationError, match="integer-coded"):
+            engine.count(
+                np.array([0.5, 1.0]), [Episode((0, 1))], alphabet_size=4
+            )
+
+    def test_fixed_algorithm_mode(self, workload):
+        alpha, db = workload
+        eps = generate_level(alpha, 2)
+        fixed = GpuSimEngine(algorithm=1, threads_per_block=64)
+        got = fixed.count(db, eps, alpha.size, MatchPolicy.SUBSEQUENCE)
+        ref = count_batch_reference(db, eps, alpha.size, MatchPolicy.SUBSEQUENCE)
+        assert np.array_equal(got, ref)
+        assert fixed.selector is None
+
+    def test_bad_config_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            GpuSimEngine(algorithm=9)
+        with pytest.raises(ConfigError):
+            GpuSimEngine(threads_per_block=0)
+
+    def test_empty_batch_returns_empty(self, workload):
+        alpha, db = workload
+        engine = GpuSimEngine()
+        out = engine.count(db, np.zeros((0, 2), dtype=np.uint8), alpha.size)
+        assert out.shape == (0,)
+
+
+class TestSelectionCache:
+    """Memoized adaptive selection must be invisible except in speed."""
+
+    def test_cached_config_identical_to_fresh_sweep(self):
+        from repro.algos import AdaptiveSelector, MiningProblem
+        from repro.gpu.specs import GEFORCE_GTX_280
+
+        alpha = Alphabet.of_size(8)
+        db = np.random.default_rng(61).integers(0, 8, 2000).astype(np.uint8)
+        cached = AdaptiveSelector(GEFORCE_GTX_280)
+        fresh = AdaptiveSelector(GEFORCE_GTX_280)
+        for level in (1, 2, 3):
+            for policy, window in POLICIES:
+                eps = tuple(generate_level(alpha, level)[:20])
+                problem = MiningProblem(db, eps, 8, policy, window)
+                a = cached.select_cached(problem)
+                b = fresh.select(problem)
+                assert (a.algorithm_id, a.threads_per_block) == (
+                    b.algorithm_id, b.threads_per_block,
+                ), (level, policy)
+
+    def test_cache_hit_skips_resweep(self):
+        from repro.algos import AdaptiveSelector, MiningProblem
+        from repro.gpu.specs import GEFORCE_GTX_280
+
+        alpha = Alphabet.of_size(6)
+        db = np.random.default_rng(67).integers(0, 6, 500).astype(np.uint8)
+        selector = AdaptiveSelector(GEFORCE_GTX_280)
+        eps = tuple(generate_level(alpha, 2)[:10])
+        problem = MiningProblem(db, eps, 6)
+        first = selector.select_cached(problem)
+        assert selector.cache_size == 1
+        # same shape bucket -> same object, no second sweep
+        again = MiningProblem(db, tuple(generate_level(alpha, 2)[:12]), 6)
+        assert selector.select_cached(again) is first
+        assert selector.cache_size == 1
+        selector.cache_clear()
+        assert selector.cache_size == 0
 
 
 class TestAutoSelection:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, ValidationError
 from repro.gpu.specs import GEFORCE_GTX_280
 from repro.mapreduce import (
     GpuCountingEngine,
@@ -156,6 +156,36 @@ class TestGpuCountingEngine:
         assert np.array_equal(
             out, count_batch(db, eps, 26, MatchPolicy.SUBSEQUENCE)
         )
+
+    def test_symbols_beyond_uint8_rejected(self, workload):
+        """Regression: ``np.asarray(db, dtype=np.uint8)`` used to wrap
+        symbols >= 256 modulo 256 and return silently wrong counts."""
+        _, eps = workload
+        engine = GpuCountingEngine(device=GEFORCE_GTX_280, alphabet_size=26)
+        db = np.array([0, 1, 258], dtype=np.int64)  # 258 would wrap to 2
+        with pytest.raises(ValidationError, match="refusing to truncate"):
+            engine(db, eps)
+
+    def test_out_of_alphabet_code_rejected(self, workload):
+        _, eps = workload
+        engine = GpuCountingEngine(device=GEFORCE_GTX_280, alphabet_size=26)
+        with pytest.raises(ValidationError, match="outside the alphabet"):
+            engine(np.array([0, 40], dtype=np.uint8), eps)
+
+    def test_oversized_alphabet_rejected_eagerly(self):
+        with pytest.raises(ValidationError, match="256"):
+            GpuCountingEngine(device=GEFORCE_GTX_280, alphabet_size=300)
+
+    def test_shares_registry_code_path(self, workload):
+        """The adapter must delegate to the gpu-sim registry engine."""
+        from repro.mining.engines import GpuSimEngine
+
+        db, eps = workload
+        engine = GpuCountingEngine(device=GEFORCE_GTX_280, alphabet_size=26)
+        assert isinstance(engine._impl, GpuSimEngine)
+        engine(db, eps)
+        assert engine._impl.reports is engine.reports
+        assert len(engine.reports) == 1
 
     def test_invalid_algorithm_eager(self):
         with pytest.raises(ConfigError):

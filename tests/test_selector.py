@@ -88,3 +88,59 @@ class TestConfiguration:
         )
         choice = selector.select(problem_for(db, 1))
         assert all(t == 128 for (_, t, _) in choice.ranking)
+
+    def test_fully_oversized_sweep_rejected_at_construction(self):
+        """Regression: a sweep the card cannot run any point of used to
+        survive construction and die on a bare assert inside select()."""
+        with pytest.raises(ConfigError, match=r"1024.*GTX 280"):
+            AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(1024,))
+        with pytest.raises(ConfigError, match="max_threads_per_block"):
+            AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(513, 600, 1024))
+
+
+class TestPolicyFeasibility:
+    """Block-level kernels are RESET-only; the sweep must respect that."""
+
+    def problem(self, db, policy, window=None):
+        from repro.mining.policies import MatchPolicy
+
+        eps = tuple(generate_level(UPPERCASE, 2)[:20])
+        return MiningProblem(db, eps, 26, policy, window)
+
+    def test_non_reset_sweeps_thread_level_only(self, db):
+        from repro.mining.policies import MatchPolicy
+
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64, 128))
+        choice = selector.select(self.problem(db, MatchPolicy.SUBSEQUENCE))
+        assert {algo for (algo, _, _) in choice.ranking} <= {1, 2}
+        assert choice.algorithm_id in (1, 2)
+
+    def test_non_reset_with_only_block_algorithms_raises(self, db):
+        from repro.mining.policies import MatchPolicy
+
+        selector = AdaptiveSelector(
+            GEFORCE_GTX_280, thread_sweep=(64,), algorithms=(3, 4)
+        )
+        with pytest.raises(ConfigError, match="RESET"):
+            selector.select(self.problem(db, MatchPolicy.SUBSEQUENCE))
+
+    def test_reset_still_sweeps_all_algorithms(self, db):
+        from repro.mining.policies import MatchPolicy
+
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64,))
+        choice = selector.select(self.problem(db, MatchPolicy.RESET))
+        assert {algo for (algo, _, _) in choice.ranking} == {1, 2, 3, 4}
+
+
+class TestSelectCached:
+    def test_same_shape_reuses_result(self, db):
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64, 128))
+        p = problem_for(db, 2)
+        assert selector.select_cached(p) is selector.select_cached(p)
+        assert selector.cache_size == 1
+
+    def test_distinct_shapes_get_distinct_entries(self, db):
+        selector = AdaptiveSelector(GEFORCE_GTX_280, thread_sweep=(64, 128))
+        selector.select_cached(problem_for(db, 1))
+        selector.select_cached(problem_for(db, 2))
+        assert selector.cache_size == 2
