@@ -13,6 +13,13 @@ timing-model change detector), and each policy x size point gets a
 the measured host engines (vector-sweep and position-hop) — the
 simulated-vs-host crossover the paper's Fig. 10 discussion motivates.
 
+The ``sharded_scaling`` series (schema 3) times the same counting
+sequence on a sharded engine with a pool per call (the legacy
+behaviour) vs inside one ``with engine:`` run scope, recording the
+deterministic pool-spawn counters — evidence that the run-scoped
+lifecycle eliminates per-call pool spawn overhead
+(``check_regression.check_sharded_scaling`` gates it).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py            # full run
@@ -39,7 +46,7 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-SCHEMA = 2  # 2: adds the gpu-sim rows + gpu_sim_crossover series
+SCHEMA = 3  # 3: adds the sharded_scaling pool-lifecycle series
 DEFAULT_OUT = Path(__file__).parent / "BENCH_engines.json"
 
 #: engines timed on the policy-sensitive paths; "gpu-sim" rows use the
@@ -122,20 +129,31 @@ def run_bench(
                 else:
                     engine = get_engine(name)
                 index = DatabaseIndex(db)
-                counts = engine.count(
-                    db, matrix, UPPERCASE.size, policy, window, index=index
-                )
-                if simulated:
-                    # the metric is the *simulated* kernel time: the
-                    # analytic model is deterministic, so this cell also
-                    # pins the timing model against silent drift
-                    seconds = engine.reports[-1].total_ms / 1e3
-                else:
-                    seconds = _time_call(
+
+                def measure_cell(engine=engine, index=index):
+                    counts = engine.count(
+                        db, matrix, UPPERCASE.size, policy, window, index=index
+                    )
+                    if simulated:
+                        # the metric is the *simulated* kernel time: the
+                        # analytic model is deterministic, so this cell
+                        # also pins the timing model against silent drift
+                        return counts, engine.reports[-1].total_ms / 1e3
+                    return counts, _time_call(
                         lambda: engine.count(
                             db, matrix, UPPERCASE.size, policy, window, index=index
                         )
                     )
+
+                if name == "sharded":
+                    # bench inside a run scope — the intended usage: the
+                    # pool is acquired once for the cell, not per timed
+                    # call, and released even if a count raises
+                    with engine:
+                        counts, seconds = measure_cell()
+                else:
+                    counts, seconds = measure_cell()
+                if not simulated:
                     host_seconds[name] = seconds
                 ops = n * len(episodes) / seconds
                 sweep_seconds = host_seconds.get("vector-sweep")
@@ -179,6 +197,7 @@ def run_bench(
                         if host in host_seconds:
                             row[key] = round(host_seconds[host] * 1e3 / sim_ms, 2)
                     crossover.append(row)
+    scaling = run_sharded_scaling() if "sharded" in engines else []
     return {
         "schema": SCHEMA,
         "params": {
@@ -192,7 +211,92 @@ def run_bench(
         },
         "results": results,
         "gpu_sim_crossover": crossover,
+        "sharded_scaling": scaling,
     }
+
+
+#: sharded_scaling series parameters: a mid-size SUBSEQUENCE batch,
+#: repeated enough times that per-call pool spawns dominate the legacy mode
+SCALING_N = 20_000
+SCALING_EPISODES = 200
+SCALING_CALLS = 5
+SCALING_WORKERS = 4
+
+
+def run_sharded_scaling(
+    n: int = SCALING_N,
+    n_episodes: int = SCALING_EPISODES,
+    calls: int = SCALING_CALLS,
+    workers: int = SCALING_WORKERS,
+    seed: int = SEED,
+) -> "list[dict]":
+    """Per-call pool-spawn overhead: legacy (pool per call) vs run scope.
+
+    Runs the same ``calls``-long counting sequence twice on a sharded
+    engine — once outside any run scope (the pre-lifecycle behaviour:
+    spawn a pool, count, tear it down, every call) and once inside
+    ``with engine:`` (one pool for the run).  ``pools_spawned`` is
+    deterministic (calls vs 1) and gated exactly by
+    ``check_regression.check_sharded_scaling``; the per-call seconds
+    quantify the spawn overhead the run scope eliminates.
+    """
+    import time
+
+    from repro.mining.alphabet import UPPERCASE
+    from repro.mining.candidates import generate_level
+    from repro.mining.engines import ShardedEngine
+    from repro.mining.policies import MatchPolicy
+
+    rng = np.random.default_rng(seed)
+    db = rng.integers(0, UPPERCASE.size, n).astype(np.uint8)
+    episodes = generate_level(UPPERCASE, LEVEL)[:n_episodes]
+    matrix = np.stack([e.array for e in episodes])
+
+    def timed_calls(engine) -> float:
+        t0 = time.perf_counter()
+        for _ in range(calls):
+            engine.count(db, matrix, UPPERCASE.size, MatchPolicy.SUBSEQUENCE)
+        return (time.perf_counter() - t0) / calls
+
+    rows = []
+    per_call_engine = ShardedEngine(workers=workers, min_shard_work=0)
+    per_call_s = timed_calls(per_call_engine)
+    rows.append(
+        {
+            "mode": "per-call-pool",
+            "policy": "subsequence",
+            "n": n,
+            "episodes": n_episodes,
+            "calls": calls,
+            "workers": workers,
+            "seconds_per_call": round(per_call_s, 6),
+            "pools_spawned": per_call_engine.pools_spawned,
+        }
+    )
+    scoped_engine = ShardedEngine(workers=workers, min_shard_work=0)
+    with scoped_engine:
+        scoped_s = timed_calls(scoped_engine)
+    rows.append(
+        {
+            "mode": "run-scoped",
+            "policy": "subsequence",
+            "n": n,
+            "episodes": n_episodes,
+            "calls": calls,
+            "workers": workers,
+            "seconds_per_call": round(scoped_s, 6),
+            "pools_spawned": scoped_engine.pools_spawned,
+            "speedup_vs_per_call": round(per_call_s / scoped_s, 2),
+        }
+    )
+    for row in rows:
+        print(
+            f"sharded_scaling {row['mode']:13s} n={row['n']:>7,} "
+            f"E={row['episodes']} calls={row['calls']} "
+            f"{row['seconds_per_call'] * 1e3:9.2f} ms/call "
+            f"({row['pools_spawned']} pool spawns)"
+        )
+    return rows
 
 
 def main(argv: "list[str] | None" = None) -> int:

@@ -24,6 +24,13 @@ analytic model, so they are gated exactly (any drift means the timing
 model or a kernel trace changed — regenerate the snapshot
 deliberately).  Reference snapshots that predate the gpu-sim series
 (schema 1) are tolerated: the series is reported but not gated.
+
+The ``sharded_scaling`` series (schema 3) gates the run-scoped pool
+lifecycle: inside ``with engine:`` exactly one pool may be spawned for
+the whole call sequence, and the run-scoped per-call time must not
+exceed the pool-per-call time.  Both invariants are machine-independent
+(the first is a deterministic counter), so they are checked on the
+fresh payload alone — snapshots that predate the series need nothing.
 """
 
 from __future__ import annotations
@@ -166,6 +173,52 @@ def check_gpu_sim(reference: dict, fresh: dict) -> "list[str]":
     return problems
 
 
+def check_sharded_scaling(fresh: dict) -> "list[str]":
+    """Gate the run-scoped pool lifecycle (schema 3's series).
+
+    Checked on the fresh payload only — the pool-spawn counter is
+    deterministic and the per-call comparison is within-machine, so no
+    reference cells are needed and pre-series snapshots pass untouched.
+    Environments whose process pools cannot spawn (serial fallback on
+    both modes) are reported, never failed.
+    """
+    rows = {r.get("mode"): r for r in fresh.get("sharded_scaling", ())}
+    per_call, scoped = rows.get("per-call-pool"), rows.get("run-scoped")
+    if per_call is None or scoped is None:
+        return []
+    problems = []
+    # more than one pool inside a run scope is a lifecycle regression
+    # wherever pools work at all; fewer can only mean spawn failure
+    if scoped["pools_spawned"] > 1:
+        problems.append(
+            f"sharded_scaling run-scoped: {scoped['pools_spawned']} pools "
+            f"spawned across {scoped['calls']} calls (lifecycle contract: "
+            "at most 1 per run scope)"
+        )
+    if (per_call["pools_spawned"] != per_call["calls"]
+            or scoped["pools_spawned"] != 1):
+        # any shortfall is the environment refusing spawns (transient
+        # EAGAIN, sandbox), which the engine answers with its serial
+        # fallback — by design, so never failed; timing is meaningless
+        print(
+            "note: sharded_scaling spawned "
+            f"{per_call['pools_spawned']}/{per_call['calls']} per-call and "
+            f"{scoped['pools_spawned']}/1 run-scoped pools (spawn-limited "
+            "environment); timing comparison not gated"
+        )
+        return problems
+    # 10% slack: the run-scoped mode eliminates the spawn cost, so it
+    # must never be meaningfully slower than spawning per call
+    if scoped["seconds_per_call"] > per_call["seconds_per_call"] * 1.10:
+        problems.append(
+            "sharded_scaling: run-scoped "
+            f"{scoped['seconds_per_call'] * 1e3:.2f} ms/call slower than "
+            f"per-call pools {per_call['seconds_per_call'] * 1e3:.2f} ms/call "
+            "(pool reuse regressed)"
+        )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reference", type=Path, default=REFERENCE)
@@ -204,6 +257,7 @@ def main(argv: "list[str] | None" = None) -> int:
     problems = compare(reference, fresh, tolerance=args.tolerance)
     problems += check_invariants(fresh)
     problems += check_gpu_sim(reference, fresh)
+    problems += check_sharded_scaling(fresh)
     if not problems:
         print("engine throughput: no regression vs committed trajectory")
         return 0

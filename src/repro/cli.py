@@ -71,6 +71,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="expiry window in events (required by --policy expiring, "
         "rejected otherwise)",
     )
+    mine.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="shard counting across this many worker processes (wraps "
+        "the chosen engine in the sharded engine; the pool is acquired "
+        "once for the whole run)",
+    )
+    mine.add_argument(
+        "--min-shard-work",
+        type=int,
+        default=None,
+        help="minimum db-chars x episodes before a counting call is "
+        "sharded (smaller problems run inline); only with --workers "
+        "or --engine sharded",
+    )
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
     probe.add_argument("--card", default="GTX280")
@@ -150,11 +166,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.data.market import MarketConfig, generate_market_stream
     from repro.errors import ConfigError
     from repro.gpu.specs import get_card
-    from repro.mining.engines import GpuSimEngine, get_engine, list_engines
+    from repro.mining.engines import (
+        GpuSimEngine,
+        ShardedEngine,
+        get_engine,
+        list_engines,
+    )
     from repro.mining.miner import FrequentEpisodeMiner
     from repro.mining.policies import MatchPolicy, validate_window
 
-    # validate engine, policy, and window before the (possibly
+    # validate engine, policy, window, and sharding before the (possibly
     # multi-million event) stream is built
     engine_name = "gpu-sim" if args.engine == "gpu" else args.engine
     if engine_name not in list_engines():
@@ -164,11 +185,32 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
     policy = MatchPolicy(args.policy)
     validate_window(policy, args.window)
+    sharded = engine_name == "sharded" or args.workers is not None
+    if args.min_shard_work is not None and not sharded:
+        raise ConfigError(
+            "--min-shard-work requires --workers or --engine sharded"
+        )
     if engine_name == "gpu-sim":
         # same registry engine the name resolves to, carded per --card
         engine = GpuSimEngine(device=get_card(args.card))
     else:
         engine = get_engine(engine_name)
+    if sharded:
+        shard_kwargs = {}
+        if args.workers is not None:
+            shard_kwargs["workers"] = args.workers
+        if args.min_shard_work is not None:
+            shard_kwargs["min_shard_work"] = args.min_shard_work
+        inner = "auto" if engine_name == "sharded" else engine
+        engine = ShardedEngine(inner=inner, **shard_kwargs)  # ConfigError on bad values
+        if engine_name == "gpu-sim":
+            # workers re-resolve gpu-sim by name on the default card, so
+            # per-card kernel-time reporting is lost; counts stay exact
+            print(
+                "note: --workers shards the simulated-GPU engine across "
+                "host processes; simulated kernel time is not reported "
+                "and --card only affects unsharded calls"
+            )
     config = MarketConfig(
         n_products=12,
         n_events=args.events,
@@ -201,6 +243,11 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         )
     else:
         print(f"host mining wall time: {elapsed * 1e3:.1f} ms")
+    if isinstance(engine, ShardedEngine):
+        print(
+            f"sharded over {engine.workers} workers "
+            f"({engine.pools_spawned} pool spawn(s) for the whole run)"
+        )
     return 0
 
 

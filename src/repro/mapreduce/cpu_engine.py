@@ -67,6 +67,11 @@ def _run_mapper(mapper, record):
     return list(mapper(record))
 
 
+def _probe_worker() -> int:
+    """No-op task forcing worker spawn (module-level: pools pickle it)."""
+    return 0
+
+
 class ProcessPoolEngine(MapReduceEngine):
     """Multi-core task parallelism over the map inputs.
 
@@ -75,29 +80,88 @@ class ProcessPoolEngine(MapReduceEngine):
     matches input ordering, keeping results deterministic.  Prefers the
     ``fork`` start method (inherits NumPy state cheaply), falling back
     to the platform default where ``fork`` is unavailable.
+
+    ``with engine:`` acquires one :class:`ProcessPoolExecutor` for the
+    whole scope, so every ``run`` inside shares it — worker processes
+    (and whatever state their mappers cache) persist across jobs.  The
+    entry *probes* the pool with a no-op task, forcing worker spawn
+    eagerly: platforms that cannot spawn processes fail right there
+    (``OSError`` / ``BrokenProcessPool``) instead of poisoning the
+    first real job — which is what lets callers distinguish "no pool
+    available" from a mapper bug.  Outside a scope, ``run`` keeps the
+    historical one-shot behaviour (a fresh pool per job).
+    ``pools_spawned`` counts executor creations for lifecycle tests and
+    the ``sharded_scaling`` benchmark series.
     """
 
     def __init__(self, workers: int | None = None) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
+        self.pools_spawned = 0
+        self._executor: ProcessPoolExecutor | None = None
+        self._depth = 0
+
+    @staticmethod
+    def _mp_context():
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context()
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        """Create and probe an executor; raises where pools cannot spawn."""
+        executor = ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._mp_context()
+        )
+        try:
+            executor.submit(_probe_worker).result()
+        except BaseException:
+            executor.shutdown(wait=False, cancel_futures=True)
+            raise
+        self.pools_spawned += 1
+        return executor
+
+    @property
+    def pool_active(self) -> bool:
+        """True inside a ``with`` scope holding a live executor."""
+        return self._executor is not None
+
+    def __enter__(self) -> "ProcessPoolEngine":
+        if self._depth == 0:
+            self._executor = self._spawn()
+        self._depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._depth -= 1
+        if self._depth == 0 and self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+        return False
 
     def map_phase(
         self, job: MapReduceJob[K, V, K2, V2, R]
     ) -> list[KeyValue[K2, V2]]:
+        if self._executor is not None:
+            return self._map_on(self._executor, job)
+        executor = self._spawn()
         try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
+            return self._map_on(executor, job)
+        finally:
+            executor.shutdown()
+
+    def _map_on(
+        self, executor: ProcessPoolExecutor, job: MapReduceJob[K, V, K2, V2, R]
+    ) -> list[KeyValue[K2, V2]]:
         inputs = list(job.inputs)
         # batch records per dispatch: one mapper pickle + IPC round-trip
         # per chunk, not per record
         chunksize = max(1, len(inputs) // (self.workers * 4))
-        with ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx) as pool:
-            out: list[KeyValue[K2, V2]] = []
-            mapped = pool.map(
-                partial(_run_mapper, job.mapper), inputs, chunksize=chunksize
-            )
-            for chunk in mapped:
-                out.extend(chunk)
-            return out
+        out: list[KeyValue[K2, V2]] = []
+        mapped = executor.map(
+            partial(_run_mapper, job.mapper), inputs, chunksize=chunksize
+        )
+        for chunk in mapped:
+            out.extend(chunk)
+        return out

@@ -16,7 +16,21 @@ R = TypeVar("R")
 
 
 class MapReduceEngine(abc.ABC):
-    """Executes MapReduce jobs; subclasses choose the parallelism."""
+    """Executes MapReduce jobs; subclasses choose the parallelism.
+
+    Engines are reusable, re-entrant context managers: ``with engine:``
+    brackets one *run* of related jobs, letting pooled engines acquire
+    their workers once and amortize them across every ``run`` inside
+    the scope (the process-pool engine does exactly that).  The base
+    lifecycle is a no-op, so stateless engines cost nothing, and
+    ``run`` outside any scope keeps its one-shot behaviour.
+    """
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
 
     @abc.abstractmethod
     def map_phase(

@@ -15,13 +15,14 @@ from repro.mining.candidates import (
     generate_next_level,
 )
 from repro.mining.policies import MatchPolicy
-from repro.mining.fsm import EpisodeFSM, build_transition_table
+from repro.mining.fsm import EpisodeFSM, FSMSnapshot, build_transition_table
 from repro.mining.counting import (
     DatabaseIndex,
     count_episode,
     count_batch,
     count_batch_reference,
     count_matrix_reference,
+    db_fingerprint,
 )
 from repro.mining.spanning import count_segmented, SegmentedCount
 from repro.mining.miner import FrequentEpisodeMiner, MiningResult, LevelResult
@@ -49,12 +50,14 @@ __all__ = [
     "generate_next_level",
     "MatchPolicy",
     "EpisodeFSM",
+    "FSMSnapshot",
     "build_transition_table",
     "DatabaseIndex",
     "count_episode",
     "count_batch",
     "count_batch_reference",
     "count_matrix_reference",
+    "db_fingerprint",
     "count_segmented",
     "SegmentedCount",
     "BoundEngine",

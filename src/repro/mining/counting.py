@@ -38,6 +38,8 @@ sharded engine) pay the position-extraction cost once.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -76,15 +78,27 @@ class DatabaseIndex:
     counting call against it — the level-wise miner does exactly that.
     """
 
-    def __init__(self, db: np.ndarray) -> None:
+    def __init__(self, db: np.ndarray, fingerprint: "str | None" = None) -> None:
         self.db = _check_db(db)
         self._order: np.ndarray | None = None
         self._sorted: np.ndarray | None = None
         self._cache: dict[int, np.ndarray] = {}
+        self._fingerprint = fingerprint
 
     @property
     def n(self) -> int:
         return int(self.db.size)
+
+    @property
+    def fingerprint(self) -> str:
+        """Content fingerprint of the indexed database (see
+        :func:`db_fingerprint`), computed lazily and cached — callers
+        that already hashed the database pass it to the constructor.
+        Valid as long as the database is not mutated in place (the same
+        contract under which the index itself is valid)."""
+        if self._fingerprint is None:
+            self._fingerprint = db_fingerprint(self.db)
+        return self._fingerprint
 
     def _ensure_sorted(self) -> None:
         if self._order is None:
@@ -103,6 +117,22 @@ class DatabaseIndex:
         pos = self._order[lo:hi]
         self._cache[symbol] = pos
         return pos
+
+
+def db_fingerprint(db: np.ndarray) -> str:
+    """Cheap content fingerprint of a database array.
+
+    Hashes the raw bytes plus dtype/shape (blake2b runs at memory
+    bandwidth, so this is negligible next to any counting pass).  Used
+    wherever a :class:`DatabaseIndex` is cached across calls — object
+    identity alone cannot detect in-place mutation, and a stale index
+    silently returns wrong counts.
+    """
+    db = np.ascontiguousarray(db)
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr((db.dtype.str, db.shape)).encode())
+    digest.update(db.tobytes())
+    return digest.hexdigest()
 
 
 def ngram_counts(db: np.ndarray, level: int, alphabet_size: int) -> np.ndarray:
@@ -239,10 +269,21 @@ def _count_single_reset(db: np.ndarray, items: np.ndarray) -> int:
 # SUBSEQUENCE / EXPIRING vector sweeps (the ``vector-sweep`` engine tier)
 # ---------------------------------------------------------------------------
 
-def _count_subsequence_batch(db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
-    """Greedy non-overlapped counting, all episodes advanced per character."""
+def resume_subsequence_batch(
+    db: np.ndarray, matrix: np.ndarray, states: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """SUBSEQUENCE sweep from arbitrary entry states.
+
+    Runs the greedy non-overlapped recurrence over ``db`` with episode
+    ``e`` starting in FSM state ``states[e]`` (0..L-1), returning
+    ``(counts, exit_states)``.  This is the resumable primitive behind
+    the segmented two-pass decomposition in :mod:`repro.mining.spanning`:
+    because the SUBSEQUENCE state is one small integer, a segment's
+    behaviour from *every* entry state can be tabulated in a single
+    sweep and segments composed exactly.
+    """
     n_eps, length = matrix.shape
-    state = np.zeros(n_eps, dtype=np.int64)
+    state = np.array(states, dtype=np.int64, copy=True)
     counts = np.zeros(n_eps, dtype=np.int64)
     # needed[e] = matrix[e, state[e]]; gather once per character
     rows = np.arange(n_eps)
@@ -254,38 +295,81 @@ def _count_subsequence_batch(db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
         if done.any():
             counts[done] += 1
             state[done] = 0
+    return counts, state
+
+
+def _count_subsequence_batch(db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Greedy non-overlapped counting, all episodes advanced per character."""
+    counts, _ = resume_subsequence_batch(
+        db, matrix, np.zeros(matrix.shape[0], dtype=np.int64)
+    )
     return counts
+
+
+def _expiring_step(
+    times: np.ndarray,
+    counts: np.ndarray,
+    mat: np.ndarray,
+    c: int,
+    t: int,
+    window: int,
+    length: int,
+    state_cols: np.ndarray,
+) -> None:
+    """One EXPIRING character step, updating ``times``/``counts`` in place.
+
+    ``ok[:, s-1]`` means state ``s``'s symbol fired; state ``s >= 2``
+    additionally requires its predecessor prefix alive within the
+    window.  All states read the *previous* character's snapshot, so one
+    symbol can both extend an existing prefix and re-anchor a fresher
+    one — matching :class:`~repro.mining.fsm.EpisodeFSM`'s EXPIRING
+    semantics exactly.
+    """
+    ok = mat == c
+    if length > 1:
+        ok[:, 1:] &= (t - times[:, 1:length]) <= window
+    np.copyto(times[:, 1:], t, where=ok)
+    done = times[:, length] == t
+    if done.any():
+        counts[done] += 1
+        times[np.ix_(done, state_cols)] = _NEG  # non-overlap
+
+
+def resume_expiring_batch(
+    db: np.ndarray,
+    matrix: np.ndarray,
+    window: int,
+    times: np.ndarray,
+    t0: int = 0,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """EXPIRING sweep resumed from a ``(E, L+1)`` timestamp snapshot.
+
+    ``times[e, s]`` holds the latest *absolute* database index at which
+    episode ``e``'s length-``s`` prefix completed (``-infinity``
+    sentinel: never); characters of ``db`` are indexed ``t0, t0+1, ...``
+    so a snapshot taken at a segment boundary resumes exactly.  Returns
+    ``(counts, exit_times)``; the input snapshot is not mutated.  Column
+    0 (the empty prefix) carries no information — state 1 re-anchors
+    unconditionally.
+    """
+    n_eps, length = matrix.shape
+    times = np.array(times, dtype=np.int64, copy=True)
+    counts = np.zeros(n_eps, dtype=np.int64)
+    mat = matrix.astype(np.int64)
+    state_cols = np.arange(1, length + 1)
+    for i, c in enumerate(np.asarray(db, dtype=np.int64)):
+        _expiring_step(times, counts, mat, c, t0 + i, window, length, state_cols)
+    return counts, times
 
 
 def _count_expiring_batch(
     db: np.ndarray, matrix: np.ndarray, window: int
 ) -> np.ndarray:
-    """Windowed counting with per-state latest-timestamp tracking.
-
-    ``times[e, s]`` holds the latest index at which episode ``e``'s
-    length-``s`` prefix completed within the window chain.  All states
-    update from the previous character's snapshot in one vector step —
-    state ``s`` reads ``times[:, s-1]`` *before* this character's
-    writes land, so one symbol can both extend an existing prefix and
-    re-anchor a fresher one — matching
-    :class:`~repro.mining.fsm.EpisodeFSM`'s EXPIRING semantics exactly
-    (property-tested in ``tests/test_counting.py``).
-    """
+    """Windowed counting with per-state latest-timestamp tracking
+    (property-tested against the scalar FSM in ``tests/test_counting.py``)."""
     n_eps, length = matrix.shape
     times = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
-    times[:, 0] = 0  # the empty prefix never expires
-    counts = np.zeros(n_eps, dtype=np.int64)
-    mat = matrix.astype(np.int64)
-    state_cols = np.arange(1, length + 1)
-    for t, c in enumerate(np.asarray(db, dtype=np.int64)):
-        ok = mat == c  # ok[:, s-1]: state s's symbol fired
-        if length > 1:
-            ok[:, 1:] &= (t - times[:, 1:length]) <= window
-        np.copyto(times[:, 1:], t, where=ok)
-        done = times[:, length] == t
-        if done.any():
-            counts[done] += 1
-            times[np.ix_(done, state_cols)] = _NEG  # non-overlap
+    counts, _ = resume_expiring_batch(db, matrix, window, times)
     return counts
 
 

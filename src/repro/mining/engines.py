@@ -22,23 +22,47 @@ it in an :class:`EngineRegistry`, and layers composition on top:
   it also records a per-launch :class:`~repro.gpu.report.TimingReport`
   so drivers can report the simulated kernel time the paper measures.
 * ``sharded`` — a wrapper that decomposes one counting call across
-  ``multiprocessing`` workers through the MapReduce framework: RESET
+  ``multiprocessing`` workers through the MapReduce framework.  RESET
   batches split along the *database* axis using the segment/boundary
-  decomposition of :mod:`repro.mining.spanning` (Fig. 5's span fix);
-  SUBSEQUENCE/EXPIRING batches split along the *episode* axis (segment
-  counts are not decomposable for those policies).
+  decomposition of :mod:`repro.mining.spanning` (Fig. 5's span fix).
+  SUBSEQUENCE/EXPIRING batches split along the *episode* axis when the
+  batch is wide enough, and otherwise along the *database* axis via the
+  two-pass state-summarization carry of :mod:`repro.mining.spanning`
+  (Patnaik et al.'s accelerator-oriented transformation): workers
+  compute per-segment state summaries in parallel (pass 1), and a cheap
+  sequential compose threads the true entry states through them — exact
+  for occurrences straddling any number of segments.
+
+Engine lifecycle
+----------------
+Every engine is a reusable, re-entrant *context manager*: ``with
+engine:`` brackets one mining run.  For the stateless host tiers the
+scope is a no-op; :class:`ShardedEngine` acquires its process pool at
+the first sharding call of the scope and releases it on exit, so all
+counting calls of a run — every level of the miner — share one pool
+instead of spawning workers per call, and pooled workers keep a
+:class:`DatabaseIndex` cache keyed by a database content fingerprint,
+so episode-axis chunks stop re-deriving position lists every call.
+:class:`~repro.mining.miner.FrequentEpisodeMiner`,
+:class:`~repro.mining.pipeline.PipelinedMiner`, and the CLI all enter
+the engine scope around the level loop.  Counting
+*outside* a scope stays correct and keeps the historical
+pool-per-call behaviour.
 
 Every engine implements ``count(db, episodes, alphabet_size, policy,
 window, index=None)`` and returns the exact occurrence counts — the
 engines differ only in speed, an invariant ``tests/test_engines.py``
 asserts property-based against the scalar oracle.  ``bind(...)``
 adapts an engine to the miner's ``(db, episodes) -> counts`` callable
-protocol while reusing one :class:`DatabaseIndex` per database.
+protocol while reusing one :class:`DatabaseIndex` per database
+(staleness-checked by fingerprint, so in-place mutation of a database
+array rebuilds instead of silently serving stale counts).
 """
 
 from __future__ import annotations
 
 import os
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable
 
 import numpy as np
@@ -51,12 +75,21 @@ from repro.mining.counting import (
     count_matrix_reference,
     count_positions_batch,
     count_reset_batch,
+    db_fingerprint,
     _count_expiring_batch,
     _count_subsequence_batch,
 )
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
-from repro.mining.spanning import boundary_window, count_starts_in, segment_bounds
+from repro.mining.spanning import (
+    compose_expiring,
+    compose_subsequence,
+    count_starts_in,
+    expiring_segment_summary,
+    iter_boundary_windows,
+    segment_bounds,
+    subsequence_segment_summary,
+)
 
 __all__ = [
     "CountingEngine",
@@ -101,6 +134,13 @@ class CountingEngine:
         """Adapt to the miner's ``(db, episodes) -> counts`` protocol."""
         return BoundEngine(self, alphabet_size, policy, window)
 
+    def __enter__(self) -> "CountingEngine":
+        """Open a run scope (no-op for stateless tiers; see module docs)."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.name!r}>"
 
@@ -109,8 +149,13 @@ class BoundEngine:
     """A counting engine bound to (alphabet, policy, window).
 
     Satisfies :class:`repro.mining.miner.CountingEngine` and caches a
-    :class:`DatabaseIndex` per database object, so every level of a
-    mining run shares one position extraction.
+    :class:`DatabaseIndex` per database, so every level of a mining run
+    shares one position extraction.  The cache is keyed by a content
+    fingerprint rather than object identity: mutating the database
+    array in place between calls rebuilds the index instead of silently
+    returning counts from the stale one (the hash is memory-bandwidth
+    cheap next to any counting pass).  Entering a bound engine opens
+    the underlying engine's run scope.
     """
 
     def __init__(
@@ -125,14 +170,41 @@ class BoundEngine:
         self.alphabet_size = alphabet_size
         self.policy = policy
         self.window = window
+        self._fingerprint: str | None = None
         self._db: np.ndarray | None = None
+        self._frozen_at_index = False
         self._index: DatabaseIndex | None = None
 
+    @staticmethod
+    def _frozen(db: np.ndarray) -> bool:
+        return not db.flags.writeable and db.base is None
+
     def index_for(self, db: np.ndarray) -> DatabaseIndex:
-        if self._index is None or self._db is not db:
-            self._db = db
-            self._index = DatabaseIndex(db)
+        if (self._index is not None and self._db is db
+                and self._frozen_at_index and self._frozen(db)):
+            # held read-only (no writeable base aliasing it) since it
+            # was indexed, so it cannot have mutated: skip the staleness
+            # hash — the O(n) escape hatch for huge databases counted
+            # many times.  (Thawing, mutating, and re-freezing between
+            # calls breaks the read-only contract and is not detected;
+            # leave the array writeable to get the hash check instead.)
+            return self._index
+        fingerprint = db_fingerprint(db)
+        if self._index is None or fingerprint != self._fingerprint:
+            self._fingerprint = fingerprint
+            # seed the fingerprint so downstream consumers (the sharded
+            # engine's worker cache key) never re-hash the database
+            self._index = DatabaseIndex(db, fingerprint=fingerprint)
+        self._db = db
+        self._frozen_at_index = self._frozen(db)
         return self._index
+
+    def __enter__(self) -> "BoundEngine":
+        self.engine.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return self.engine.__exit__(exc_type, exc, tb)
 
     def __call__(
         self, db: np.ndarray, episodes: "list[Episode] | np.ndarray"
@@ -344,18 +416,53 @@ class GpuSimEngine(CountingEngine):
 # Sharded execution over the MapReduce framework
 # ---------------------------------------------------------------------------
 
+#: per-process DatabaseIndex cache keyed by database content fingerprint.
+#: Lives in each pooled *worker*: with a run-scoped pool the workers
+#: persist across counting calls (and mining levels), so episode-axis
+#: chunks against one database pay the position extraction once per
+#: worker instead of once per chunk per call.  Content keying makes a
+#: mutated-in-place database a miss, never a stale hit.
+_WORKER_INDEX_CACHE: "dict[str, DatabaseIndex]" = {}
+_WORKER_INDEX_CACHE_MAX = 4
+
+
+def _cached_worker_index(db: np.ndarray, key: "str | None") -> DatabaseIndex:
+    if key is None:
+        return DatabaseIndex(db)
+    index = _WORKER_INDEX_CACHE.get(key)
+    if index is None:
+        index = DatabaseIndex(db)
+        while len(_WORKER_INDEX_CACHE) >= _WORKER_INDEX_CACHE_MAX:
+            _WORKER_INDEX_CACHE.pop(next(iter(_WORKER_INDEX_CACHE)))
+        _WORKER_INDEX_CACHE[key] = index
+    return index
+
+
 def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
     """Count one shard (module-level so process pools can pickle it)."""
     payload = record.value
     policy = MatchPolicy(payload["policy"])
-    if payload["kind"] == "boundary":
-        counts = count_starts_in(
+    kind = payload["kind"]
+    if kind == "boundary":
+        out = count_starts_in(
             payload["db"],
             payload["matrix"],
             payload["alphabet_size"],
             start_lo=payload["start_lo"],
             start_hi=payload["start_hi"],
         )
+    elif kind == "summary":
+        # pass 1 of the database-axis state carry: summarize this
+        # segment's FSM behaviour; the parent composes entry states
+        if policy is MatchPolicy.SUBSEQUENCE:
+            out = subsequence_segment_summary(payload["db"], payload["matrix"])
+        else:
+            out = expiring_segment_summary(
+                payload["db"],
+                payload["matrix"],
+                int(payload["window"]),
+                int(payload["t0"]),
+            )
     else:
         try:
             engine = get_engine(payload["engine"])
@@ -364,18 +471,25 @@ def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
             # losing parent-side register_engine() calls; every engine is
             # exact, so auto is a correct stand-in
             engine = get_engine("auto")
-        counts = engine.count(
+        index = _cached_worker_index(payload["db"], payload.get("db_key"))
+        out = engine.count(
             payload["db"],
             payload["matrix"],
             payload["alphabet_size"],
             policy,
             payload["window"],
+            index=index,
         )
-    return [KeyValue(record.key, counts)]
+    return [KeyValue(record.key, out)]
 
 
 def _sum_reducer(key, values: "list[np.ndarray]") -> np.ndarray:
     return np.sum(values, axis=0)
+
+
+def _first_reducer(key, values: list) -> object:
+    """Pass-through for jobs keyed one record per shard (summaries)."""
+    return values[0]
 
 
 class ShardedEngine(CountingEngine):
@@ -383,28 +497,52 @@ class ShardedEngine(CountingEngine):
 
     RESET shards the *database* axis: per-segment counts plus the
     boundary span fix of :mod:`repro.mining.spanning` reassemble the
-    exact whole-database answer.  Other policies shard the *episode*
-    axis (their occurrences can straddle any number of segments, so the
-    database axis is not decomposable — paper §3.3.3).
+    exact whole-database answer.  SUBSEQUENCE/EXPIRING shard the
+    *episode* axis when the batch offers enough chunks, and the
+    *database* axis otherwise (few episodes, long database) via the
+    two-pass state carry: workers return per-segment FSM summaries
+    (pass 1), the parent composes entry states sequentially — exact for
+    occurrences straddling any number of segments (paper §3.3.3 made
+    parallel).  ``axis`` pins the choice (``"episode"`` /
+    ``"database"``) or leaves it to the heuristic (``"auto"``).
+
+    ``with engine:`` scopes one mining run: the first ``count`` that
+    actually shards acquires the process pool (spawned *and probed*, so
+    unavailable platforms are detected right there and the rest of the
+    scope runs inline on the inner engine) and every later call of the
+    scope shares it; runs whose calls all stay below ``min_shard_work``
+    never spawn workers at all.  Outside a scope each sharding call
+    builds and tears down its own pool — correct, but paying the spawn
+    cost the ``sharded_scaling`` benchmark series quantifies.  Mapper
+    exceptions always propagate; only pool *creation* failures
+    (sandboxes without working process pools) and a pool broken mid-job
+    (a killed worker) fall back to serial execution, preserving
+    exactness.
 
     Small problems (``db chars x episodes < min_shard_work``) run
-    inline on the inner engine; so does everything when the process
-    pool is unavailable (the fallback is the serial MapReduce engine,
-    preserving exactness).
+    inline on the inner engine.
     """
 
     name = "sharded"
+
+    #: valid ``axis`` choices for the SUBSEQUENCE/EXPIRING split
+    AXES = ("auto", "episode", "database")
 
     def __init__(
         self,
         inner: "str | CountingEngine" = "auto",
         workers: int | None = None,
         min_shard_work: int = 1 << 21,
+        axis: str = "auto",
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if min_shard_work < 0:
             raise ConfigError("min_shard_work must be >= 0")
+        if axis not in self.AXES:
+            raise ConfigError(
+                f"axis must be one of {self.AXES}, got {axis!r}"
+            )
         self.inner = get_engine(inner)
         if isinstance(self.inner, ShardedEngine):
             raise ConfigError("sharded engine cannot wrap itself")
@@ -431,6 +569,50 @@ class ShardedEngine(CountingEngine):
             )
         self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
         self.min_shard_work = min_shard_work
+        self.axis = axis
+        #: process pools spawned by this engine (lifecycle accounting:
+        #: one per run scope, or one per call outside a scope)
+        self.pools_spawned = 0
+        self._pool = None  # run-scoped ProcessPoolEngine
+        self._pool_failed = False  # pool creation failed for this scope
+        self._depth = 0
+
+    # -- run-scoped pool lifecycle ------------------------------------
+
+    @property
+    def pool_active(self) -> bool:
+        """True inside a run scope holding a live process pool."""
+        return self._pool is not None
+
+    def __enter__(self) -> "ShardedEngine":
+        # the pool itself is acquired lazily by the first count that
+        # actually shards — a run whose every call stays inline (below
+        # min_shard_work) must not pay worker spawns for nothing
+        self._depth += 1
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._depth -= 1
+        if self._depth == 0:
+            if self._pool is not None:
+                self._pool.__exit__(exc_type, exc, tb)
+                self._pool = None
+            self._pool_failed = False
+        return False
+
+    def _make_pool(self):
+        """Spawn+probe a pool engine; None where pools cannot spawn."""
+        from repro.mapreduce.cpu_engine import ProcessPoolEngine
+
+        pool = ProcessPoolEngine(workers=self.workers)
+        try:
+            pool.__enter__()
+        except (OSError, RuntimeError):
+            # the probe raised: this platform cannot spawn worker
+            # processes (sandbox); stay exact on the serial path
+            return None
+        self.pools_spawned += 1
+        return pool
 
     def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
               window=None, index=None):
@@ -438,20 +620,45 @@ class ShardedEngine(CountingEngine):
         validate_window(policy, window)
         db = np.asarray(db)
         n, n_eps = int(db.size), matrix.shape[0]
-        if self.workers <= 1 or n_eps == 0 or n * n_eps < self.min_shard_work:
+        # n == 0 must stay inline even at min_shard_work=0: every
+        # segment would be zero-width and skipped, leaving no shards.
+        # A scope whose pool could not spawn also stays inline: the
+        # decomposition costs strictly more than inner.count without
+        # workers to spread it over (the carry's pass 1 is ~L sweeps).
+        if (self.workers <= 1 or n == 0 or n_eps == 0 or self._pool_failed
+                or n * n_eps < self.min_shard_work):
             return self.inner.count(db, matrix, alphabet_size, policy, window,
                                     index=index)
         if policy is MatchPolicy.RESET:
             job = self._database_axis_job(db, matrix, alphabet_size, policy)
             return self._run(job)["total"]
-        job = self._episode_axis_job(db, matrix, alphabet_size, policy, window)
+        if self._pick_axis(n_eps) == "database":
+            return self._count_database_axis_carry(
+                db, matrix, alphabet_size, policy, window, index=index
+            )
+        job = self._episode_axis_job(db, matrix, alphabet_size, policy, window,
+                                     index=index)
         results = self._run(job)
         return np.concatenate(
             [results[key] for key in sorted(results, key=lambda k: k[1])]
         )
 
-    def _payload(self, db, matrix, alphabet_size, policy, window) -> dict:
-        return {
+    def _pick_axis(self, n_eps: int) -> str:
+        """SUBSEQUENCE/EXPIRING axis choice.
+
+        The episode axis is cheaper per character (the inner engine's
+        position-hop path is sublinear in n), so auto keeps it whenever
+        the batch fills every worker with at least one chunk; narrower
+        batches cannot use the workers at all without splitting the
+        database, which is exactly when the state carry earns its keep.
+        """
+        if self.axis != "auto":
+            return self.axis
+        return "episode" if n_eps >= self.workers else "database"
+
+    def _payload(self, db, matrix, alphabet_size, policy, window,
+                 db_key=None) -> dict:
+        payload = {
             "kind": "segment",
             "db": db,
             "matrix": matrix,
@@ -460,6 +667,9 @@ class ShardedEngine(CountingEngine):
             "window": window,
             "engine": self.inner.name,
         }
+        if db_key is not None:
+            payload["db_key"] = db_key
+        return payload
 
     def _database_axis_job(self, db, matrix, alphabet_size, policy) -> MapReduceJob:
         length = matrix.shape[1]
@@ -468,40 +678,136 @@ class ShardedEngine(CountingEngine):
             KeyValue("total", self._payload(db[lo:hi], matrix, alphabet_size,
                                             policy, None))
             for lo, hi in bounds
+            if hi > lo  # degenerate splits: skip zero-width segments
         ]
-        if length > 1:
-            for seg_lo, b in bounds[:-1]:
-                start_lo, hi, start_hi = boundary_window(
-                    seg_lo, b, int(db.size), length
-                )
-                payload = self._payload(db[start_lo:hi], matrix, alphabet_size,
-                                        policy, None)
-                payload.update(kind="boundary", start_lo=0, start_hi=start_hi)
-                inputs.append(KeyValue("total", payload))
+        for _, start_lo, hi, start_hi in iter_boundary_windows(
+            bounds, int(db.size), length
+        ):
+            payload = self._payload(db[start_lo:hi], matrix, alphabet_size,
+                                    policy, None)
+            payload.update(kind="boundary", start_lo=0, start_hi=start_hi)
+            inputs.append(KeyValue("total", payload))
         return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
                             reducer=_sum_reducer)
 
-    def _episode_axis_job(self, db, matrix, alphabet_size, policy, window) -> MapReduceJob:
+    def _episode_axis_job(self, db, matrix, alphabet_size, policy, window,
+                          index=None) -> MapReduceJob:
         chunk = -(-matrix.shape[0] // self.workers)
+        # workers cache their index under this key; a caller-supplied
+        # index for this very database already carries the hash
+        if index is not None and index.db is db:
+            db_key = index.fingerprint
+        else:
+            db_key = db_fingerprint(db)
         inputs = [
             KeyValue(
                 ("chunk", i),
                 self._payload(db, matrix[lo : lo + chunk], alphabet_size,
-                              policy, window),
+                              policy, window, db_key=db_key),
             )
             for i, lo in enumerate(range(0, matrix.shape[0], chunk))
         ]
         return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
                             reducer=_sum_reducer)
 
-    def _run(self, job: MapReduceJob) -> dict:
-        from repro.mapreduce.cpu_engine import ProcessPoolEngine, SerialEngine
+    def _count_database_axis_carry(
+        self, db, matrix, alphabet_size, policy, window, index=None
+    ) -> np.ndarray:
+        """Two-pass state-summarization split along the database axis.
 
+        Pass 1 (workers): one ``summary`` shard per nonempty segment.
+        Pass 2 (here): sequential compose of entry states — table
+        lookups for SUBSEQUENCE, bounded lockstep fix-up for EXPIRING.
+        The pool is acquired *before* committing to the decomposition:
+        pass 1 costs ~L sweeps of the database, pure overhead without
+        workers to spread it over, so a pool-less platform (or a pool
+        broken mid-job) counts inline on the inner engine instead.
+        """
+        bounds = [
+            (lo, hi)
+            for lo, hi in segment_bounds(db.size, self.workers)
+            if hi > lo
+        ]
+        if len(bounds) <= 1:
+            return self.inner.count(db, matrix, alphabet_size, policy, window,
+                                    index=index)
+        pool, owned = self._acquire_run_pool()
+        if pool is None:
+            return self.inner.count(db, matrix, alphabet_size, policy, window,
+                                    index=index)
+        inputs = [
+            KeyValue(
+                i,
+                {
+                    "kind": "summary",
+                    "db": db[lo:hi],
+                    "matrix": matrix,
+                    "policy": policy.value,
+                    "window": window,
+                    "t0": lo,
+                },
+            )
+            for i, (lo, hi) in enumerate(bounds)
+        ]
+        job = MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
+                           reducer=_first_reducer)
         try:
-            return ProcessPoolEngine(workers=self.workers).run(job)
-        except (OSError, ValueError, RuntimeError):
-            # sandboxes without working process pools: stay exact, go serial
+            results = pool.run(job)
+        except BrokenProcessPool:
+            if not owned:
+                self._retire_scope_pool()
+            return self.inner.count(db, matrix, alphabet_size, policy, window,
+                                    index=index)
+        finally:
+            if owned:
+                pool.__exit__(None, None, None)
+        summaries = [results[i] for i in range(len(bounds))]
+        if policy is MatchPolicy.SUBSEQUENCE:
+            seg_counts, _ = compose_subsequence(summaries, matrix.shape[0])
+        else:
+            seg_counts = compose_expiring(
+                db, matrix, int(window), bounds, summaries
+            )
+        return seg_counts.sum(axis=0)
+
+    def _acquire_run_pool(self):
+        """``(pool, owned)``: the scope's pool (lazily spawned on the
+        first sharding call), or a caller-owned per-call pool outside a
+        scope, or ``(None, False)`` where pools cannot spawn."""
+        if self._depth > 0:
+            if self._pool is None and not self._pool_failed:
+                self._pool = self._make_pool()
+                self._pool_failed = self._pool is None
+            return self._pool, False
+        return self._make_pool(), True
+
+    def _retire_scope_pool(self) -> None:
+        """Drop a scope pool broken mid-job; the rest of the run stays
+        on the fallback path (BrokenProcessPool means a worker *died* —
+        a mapper exception would have propagated as itself)."""
+        if self._pool is not None:
+            self._pool.__exit__(None, None, None)
+            self._pool = None
+        self._pool_failed = True
+
+    def _run(self, job: MapReduceJob) -> dict:
+        from repro.mapreduce.cpu_engine import SerialEngine
+
+        pool, owned = self._acquire_run_pool()
+        if pool is None:
+            # serial decomposition: same per-shard work as the pool
+            # would do (segment/boundary/chunk shards, unlike the carry
+            # above), so exactness is free and overhead negligible
             return SerialEngine().run(job)
+        try:
+            return pool.run(job)
+        except BrokenProcessPool:
+            if not owned:
+                self._retire_scope_pool()
+            return SerialEngine().run(job)
+        finally:
+            if owned:
+                pool.__exit__(None, None, None)
 
 
 # ---------------------------------------------------------------------------
@@ -587,9 +893,11 @@ REGISTRY.register("vector-sweep", VectorSweepEngine)
 REGISTRY.register("position-hop", PositionHopEngine)
 REGISTRY.register("auto", AutoEngine)
 # uncached: the gpu-sim tier carries per-launch reports and a selection
-# cache, so every resolution gets a fresh instance (no shared state)
+# cache, and the sharded tier carries run-scope state (its pool, depth,
+# and spawn accounting), so every resolution gets a fresh instance —
+# two concurrent mining runs must never share a pool through the registry
 REGISTRY.register("gpu-sim", GpuSimEngine, cached=False)
-REGISTRY.register("sharded", ShardedEngine)
+REGISTRY.register("sharded", ShardedEngine, cached=False)
 
 
 def register_engine(

@@ -8,6 +8,7 @@ whole point being that the counting step dominates and parallelizes.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
@@ -128,8 +129,27 @@ class FrequentEpisodeMiner:
         else:
             self._engine = engine
 
+    def _engine_scope(self):
+        """The engine's run context, if it offers one.
+
+        Registry engines (and :class:`~repro.mining.engines.BoundEngine`)
+        are context managers — entering lets run-scoped engines acquire
+        their worker pool once for the whole level loop.  Legacy plain
+        callables are not, and get a null scope.
+        """
+        engine = self._engine
+        cls = type(engine)
+        if getattr(cls, "__enter__", None) and getattr(cls, "__exit__", None):
+            return engine
+        return nullcontext()
+
     def mine(self, db: np.ndarray) -> MiningResult:
-        """Run Algorithm 1 over ``db`` and return all frequent episodes."""
+        """Run Algorithm 1 over ``db`` and return all frequent episodes.
+
+        The counting engine's run scope brackets the whole level loop,
+        so run-scoped engines (``sharded``) amortize their worker pool
+        across every level of this call.
+        """
         db = self.alphabet.validate_database(np.asarray(db))
         n = db.size
         if n == 0:
@@ -137,34 +157,35 @@ class FrequentEpisodeMiner:
         levels: list[LevelResult] = []
         candidates = generate_level(self.alphabet, 1)
         level = 1
-        while candidates and level <= self.max_level:
-            counts = np.asarray(self._engine(db, candidates), dtype=np.int64)
-            if counts.shape != (len(candidates),):
-                raise MiningError(
-                    f"engine returned shape {counts.shape} for "
-                    f"{len(candidates)} candidates"
+        with self._engine_scope():
+            while candidates and level <= self.max_level:
+                counts = np.asarray(self._engine(db, candidates), dtype=np.int64)
+                if counts.shape != (len(candidates),):
+                    raise MiningError(
+                        f"engine returned shape {counts.shape} for "
+                        f"{len(candidates)} candidates"
+                    )
+                keep = counts / n > self.threshold
+                frequent = [c for c, k in zip(candidates, keep) if k]
+                kept_counts = [int(c) for c, k in zip(counts, keep) if k]
+                levels.append(
+                    LevelResult(
+                        level=level,
+                        n_candidates=len(candidates),
+                        n_frequent=len(frequent),
+                        frequent=tuple(frequent),
+                        counts=tuple(kept_counts),
+                    )
                 )
-            keep = counts / n > self.threshold
-            frequent = [c for c, k in zip(candidates, keep) if k]
-            kept_counts = [int(c) for c, k in zip(counts, keep) if k]
-            levels.append(
-                LevelResult(
-                    level=level,
-                    n_candidates=len(candidates),
-                    n_frequent=len(frequent),
-                    frequent=tuple(frequent),
-                    counts=tuple(kept_counts),
-                )
-            )
-            if not frequent:
-                break
-            level += 1
-            if self.exhaustive_candidates:
-                candidates = generate_level(self.alphabet, level)
-            else:
-                candidates = generate_next_level(
-                    frequent,
-                    self.alphabet,
-                    contiguous=self.policy.is_contiguous,
-                )
+                if not frequent:
+                    break
+                level += 1
+                if self.exhaustive_candidates:
+                    candidates = generate_level(self.alphabet, level)
+                else:
+                    candidates = generate_next_level(
+                        frequent,
+                        self.alphabet,
+                        contiguous=self.policy.is_contiguous,
+                    )
         return MiningResult(threshold=self.threshold, levels=tuple(levels))

@@ -188,31 +188,34 @@ class PipelinedMiner:
 
         # Sequential continuation for capped levels: A-priori generation
         # from the reconciled survivors, counted host-side on the engine.
+        # The engine's run scope brackets the whole continuation so a
+        # run-scoped engine (sharded) spawns its pool once, not per level.
         if first_capped_level is not None and not exhausted:
             level = first_capped_level
-            while last_frequent and level <= self.max_level:
-                candidates = generate_next_level(
-                    last_frequent, self.alphabet, contiguous=True
-                )
-                if not candidates:
-                    break
-                counts = self._engine.count(
-                    db, candidates, self.alphabet.size, MatchPolicy.RESET
-                )
-                keep = counts / n > self.threshold
-                frequent = [c for c, k in zip(candidates, keep) if k]
-                kept_counts = [int(x) for x, k in zip(counts, keep) if k]
-                levels.append(
-                    LevelResult(
-                        level=level,
-                        n_candidates=len(candidates),
-                        n_frequent=len(frequent),
-                        frequent=tuple(frequent),
-                        counts=tuple(kept_counts),
+            with self._engine:
+                while last_frequent and level <= self.max_level:
+                    candidates = generate_next_level(
+                        last_frequent, self.alphabet, contiguous=True
                     )
-                )
-                last_frequent = frequent
-                level += 1
+                    if not candidates:
+                        break
+                    counts = self._engine.count(
+                        db, candidates, self.alphabet.size, MatchPolicy.RESET
+                    )
+                    keep = counts / n > self.threshold
+                    frequent = [c for c, k in zip(candidates, keep) if k]
+                    kept_counts = [int(x) for x, k in zip(counts, keep) if k]
+                    levels.append(
+                        LevelResult(
+                            level=level,
+                            n_candidates=len(candidates),
+                            n_frequent=len(frequent),
+                            frequent=tuple(frequent),
+                            counts=tuple(kept_counts),
+                        )
+                    )
+                    last_frequent = frequent
+                    level += 1
 
         return PipelineReport(
             result=MiningResult(threshold=self.threshold, levels=tuple(levels)),

@@ -13,24 +13,54 @@ each boundary window (the span fix), and sums (the reduce) — provably
 equal to the whole-database count, which ``tests/test_spanning.py``
 asserts exhaustively and property-based.
 
-For ``SUBSEQUENCE``/``EXPIRING`` policies, segment-local counting is
-not exactly decomposable (a partial match can straddle any number of
-segments); :func:`count_segmented` supports them via sequential state
-carry — exact, but the parallel span-fix shortcut is unavailable, which
-is precisely why the paper's block-level kernels get more expensive as
-spanning likelihood grows (Characterization 3).
+For ``SUBSEQUENCE``/``EXPIRING`` policies a partial match can straddle
+any number of segments, so the per-segment counts are stitched by FSM
+*state carry* instead — here in the two-pass state-summarization form
+of Patnaik et al.'s accelerator-oriented transformation (PAPERS.md):
+
+* **Pass 1 (parallel over segments)** computes a per-segment summary.
+  SUBSEQUENCE state is one integer in ``0..L-1``, so the summary is the
+  full entry-state table — ``(exit state, completions)`` for *every*
+  possible entry — tabulated in a single ``E*L``-lane sweep
+  (:func:`subsequence_segment_summary`).  EXPIRING state is a timestamp
+  vector (not enumerable), so the summary is the segment's run from the
+  *empty* state plus its exit snapshot
+  (:func:`expiring_segment_summary`).
+* **Pass 2 (cheap sequential compose)** threads the true entry state
+  through the summaries.  SUBSEQUENCE composes by pure table lookup
+  (:func:`compose_subsequence` — a parallel-prefix function
+  composition, O(1) per boundary).  EXPIRING re-runs each segment from
+  its true entry *in lockstep with* a run from the empty entry, only
+  until the two timestamp vectors converge; from that point the
+  segment's speculative pass-1 result is exact up to the accumulated
+  count delta (:func:`compose_expiring`).  Divergence typically dies
+  within a few window-lengths — partials either expire or are
+  re-anchored identically — and if a segment never converges the
+  lockstep has simply computed the exact run, so the decomposition is
+  exact for occurrences straddling any number of segments.
+
+:func:`count_segmented` uses the same machinery serially; the sharded
+counting engine (:mod:`repro.mining.engines`) dispatches pass 1 across
+process-pool workers.  Characterization 3's cost-of-spanning trend is
+precisely the growth of this carry work with segment count.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.mining.counting import count_batch
+from repro.mining.counting import (
+    _NEG,
+    _expiring_step,
+    count_batch,
+    resume_expiring_batch,
+    resume_subsequence_batch,
+)
 from repro.mining.episode import Episode, episodes_to_matrix
-from repro.mining.fsm import EpisodeFSM
 from repro.mining.policies import MatchPolicy, validate_window
 
 
@@ -55,6 +85,8 @@ def segment_bounds(n: int, n_segments: int) -> list[tuple[int, int]]:
 
     Mirrors how the block-level kernels assign offsets: thread ``i``
     owns ``[i*ceil(n/t), ...)`` with the final thread taking the tail.
+    Degenerate splits (``n_segments > n``) yield zero-width trailing
+    ranges; counting callers skip those (nothing can occur in them).
     """
     if n_segments < 1:
         raise ValidationError(f"need >= 1 segment, got {n_segments}")
@@ -97,8 +129,10 @@ def count_segmented(
                 "segmented carry mode needs Episode batches; raw matrices "
                 "are supported only under RESET"
             )
-        # Carry mode supports mixed-length batches (no matrix needed).
-        return _count_segmented_carry(db, episodes, alphabet_size, bounds, policy, window)
+        # Two-pass state carry supports mixed-length batches (grouped).
+        return _count_segmented_two_pass(
+            db, episodes, alphabet_size, bounds, policy, window
+        )
 
     matrix = (
         episodes
@@ -110,12 +144,14 @@ def count_segmented(
 
     seg_counts = np.zeros((len(bounds), n_eps), dtype=np.int64)
     for i, (lo, hi) in enumerate(bounds):
-        seg_counts[i] = count_batch(db[lo:hi], matrix, alphabet_size, policy)
+        if hi > lo:  # zero-width segments (degenerate splits) stay 0
+            seg_counts[i] = count_batch(db[lo:hi], matrix, alphabet_size, policy)
 
     bnd_counts = np.zeros((max(0, len(bounds) - 1), n_eps), dtype=np.int64)
-    if fix_spanning and length > 1:
-        for i, (seg_lo, b) in enumerate(bounds[:-1]):
-            start_lo, hi, start_hi = boundary_window(seg_lo, b, int(db.size), length)
+    if fix_spanning:
+        for i, start_lo, hi, start_hi in iter_boundary_windows(
+            bounds, int(db.size), length
+        ):
             window_db = db[start_lo:hi]
             bnd_counts[i] = count_starts_in(
                 window_db, matrix, alphabet_size, start_lo=0, start_hi=start_hi
@@ -141,6 +177,27 @@ def boundary_window(seg_lo: int, b: int, n: int, length: int) -> "tuple[int, int
     return start_lo, hi, b - start_lo
 
 
+def iter_boundary_windows(
+    bounds: "list[tuple[int, int]]", n: int, length: int
+) -> "Iterator[tuple[int, int, int, int]]":
+    """Yield ``(i, start_lo, hi, start_hi)`` for each *spannable* boundary.
+
+    Skips boundaries whose attribution window is zero-width — length-1
+    episodes never span, and degenerate splits (zero-width segments)
+    produce windows no occurrence can start in.  The single place this
+    skip condition lives: both :func:`count_segmented` and the sharded
+    engine's database-axis job iterate through here, so the two can
+    never drift on which shards are dispatched.
+    """
+    if length <= 1:
+        return
+    for i, (seg_lo, b) in enumerate(bounds[:-1]):
+        start_lo, hi, start_hi = boundary_window(seg_lo, b, n, length)
+        if start_hi <= 0 or hi - start_lo < length:
+            continue  # zero-width window: nothing can span here
+        yield i, start_lo, hi, start_hi
+
+
 def count_starts_in(
     window_db: np.ndarray,
     matrix: np.ndarray,
@@ -163,24 +220,205 @@ def count_starts_in(
     return counts
 
 
-def _count_segmented_carry(
+# ---------------------------------------------------------------------------
+# Two-pass state-summarization carry for SUBSEQUENCE / EXPIRING
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SubsequenceSummary:
+    """Pass-1 summary of one segment under SUBSEQUENCE.
+
+    Row ``s`` describes the segment entered in FSM state ``s``:
+    ``counts[s, e]`` completions of episode ``e`` inside the segment and
+    ``exits[s, e]`` the state at segment end.  Function composition over
+    this finite table is what makes the compose pass O(1) per boundary.
+    Picklable (plain arrays): sharded workers return these.
+    """
+
+    counts: np.ndarray  # (L, E)
+    exits: np.ndarray  # (L, E)
+
+
+@dataclass(frozen=True)
+class ExpiringSummary:
+    """Pass-1 summary of one segment under EXPIRING: the run from the
+    *empty* entry state.  ``exit_times`` is the absolute ``(E, L+1)``
+    timestamp snapshot at segment end; the compose pass promotes it to
+    the true exit once the entry influence has provably died out."""
+
+    counts: np.ndarray  # (E,)
+    exit_times: np.ndarray  # (E, L+1)
+
+
+def subsequence_segment_summary(
+    db_seg: np.ndarray, matrix: np.ndarray
+) -> SubsequenceSummary:
+    """Tabulate a segment's behaviour from every SUBSEQUENCE entry state.
+
+    One ``E*L``-lane resumable sweep: lane ``(s, e)`` runs episode ``e``
+    entered in state ``s``, so the whole table costs a single pass over
+    the segment regardless of L.
+    """
+    n_eps, length = matrix.shape
+    tiled = np.tile(matrix, (length, 1))
+    entry = np.repeat(np.arange(length, dtype=np.int64), n_eps)
+    counts, exits = resume_subsequence_batch(db_seg, tiled, entry)
+    return SubsequenceSummary(
+        counts=counts.reshape(length, n_eps), exits=exits.reshape(length, n_eps)
+    )
+
+
+def expiring_segment_summary(
+    db_seg: np.ndarray, matrix: np.ndarray, window: int, t0: int
+) -> ExpiringSummary:
+    """Run one segment from the empty EXPIRING state (speculative pass 1).
+
+    ``t0`` is the absolute index of ``db_seg[0]`` so the exit snapshot
+    composes with neighbouring segments without rebasing.
+    """
+    n_eps, length = matrix.shape
+    times = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
+    counts, exit_times = resume_expiring_batch(db_seg, matrix, window, times, t0)
+    return ExpiringSummary(counts=counts, exit_times=exit_times)
+
+
+def compose_subsequence(
+    summaries: "list[SubsequenceSummary]", n_episodes: int
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Thread the true entry state through pass-1 tables.
+
+    Returns ``(per_segment_counts, exit_states)``; pure table lookups,
+    no database access — the parallel-prefix compose.
+    """
+    seg_counts = np.zeros((len(summaries), n_episodes), dtype=np.int64)
+    entry = np.zeros(n_episodes, dtype=np.int64)
+    lane = np.arange(n_episodes)
+    for i, summary in enumerate(summaries):
+        seg_counts[i] = summary.counts[entry, lane]
+        entry = summary.exits[entry, lane]
+    return seg_counts, entry
+
+
+def _normalized_live(times: np.ndarray, cutoff: int, length: int) -> np.ndarray:
+    """Carry-relevant columns (1..L-1) with expired entries canonicalized.
+
+    A prefix timestamp below ``cutoff`` can never satisfy the window
+    check again, so all such values are equivalent; mapping them to the
+    dead sentinel makes state comparison exact.  Columns 0 and L carry
+    no information (state 1 re-anchors unconditionally; a completion is
+    only read at its own write step).
+    """
+    live = times[:, 1:length]
+    return np.where(live < cutoff, _NEG, live)
+
+
+def _expiring_fix(
+    db_seg: np.ndarray,
+    matrix: np.ndarray,
+    window: int,
+    entry_times: np.ndarray,
+    t0: int,
+    summary: ExpiringSummary,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Correct one segment's speculative run for a live entry state.
+
+    Runs the segment from the true entry (``a``) in lockstep with a run
+    from the empty entry (``b``) until their normalized timestamp
+    vectors converge; from there both evolve identically, so the true
+    result is the pass-1 speculation shifted by the accumulated count
+    delta.  Early convergence returns immediately; a segment that never
+    converges has simply been recounted exactly (``b`` then equals the
+    pass-1 run, making the delta formula collapse to the true count).
+    Returns ``(counts, exit_times)``.
+    """
+    n_eps, length = matrix.shape
+    mat = matrix.astype(np.int64)
+    state_cols = np.arange(1, length + 1)
+    a = np.array(entry_times, dtype=np.int64, copy=True)
+    b = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
+    counts_a = np.zeros(n_eps, dtype=np.int64)
+    counts_b = np.zeros(n_eps, dtype=np.int64)
+    for i, c in enumerate(np.asarray(db_seg, dtype=np.int64)):
+        t = t0 + i
+        _expiring_step(a, counts_a, mat, c, t, window, length, state_cols)
+        _expiring_step(b, counts_b, mat, c, t, window, length, state_cols)
+        cutoff = t + 1 - window
+        if np.array_equal(
+            _normalized_live(a, cutoff, length),
+            _normalized_live(b, cutoff, length),
+        ):
+            return summary.counts + (counts_a - counts_b), summary.exit_times
+    return summary.counts + (counts_a - counts_b), a
+
+
+def compose_expiring(
     db: np.ndarray,
-    episodes: list[Episode],
+    matrix: np.ndarray,
+    window: int,
+    bounds: "list[tuple[int, int]]",
+    summaries: "list[ExpiringSummary]",
+) -> np.ndarray:
+    """Thread the true EXPIRING entry state through pass-1 summaries.
+
+    Per segment: a provably-dead entry (every carried prefix already
+    outside the window at segment start) accepts the speculative result
+    O(1); a live entry pays the bounded lockstep fix-up.  Returns
+    per-segment counts ``(n_segments, E)``.
+    """
+    n_eps, length = matrix.shape
+    db = np.asarray(db)
+    seg_counts = np.zeros((len(bounds), n_eps), dtype=np.int64)
+    entry = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
+    for i, ((lo, hi), summary) in enumerate(zip(bounds, summaries)):
+        if hi <= lo:
+            continue  # zero-width segment: state passes through
+        if length == 1 or bool(np.all(entry[:, 1:length] < lo - window)):
+            seg_counts[i] = summary.counts
+            entry = summary.exit_times
+            continue
+        seg_counts[i], entry = _expiring_fix(
+            db[lo:hi], matrix, window, entry, lo, summary
+        )
+    return seg_counts
+
+
+def _count_segmented_two_pass(
+    db: np.ndarray,
+    episodes: "list[Episode]",
     alphabet_size: int,
-    bounds: list[tuple[int, int]],
+    bounds: "list[tuple[int, int]]",
     policy: MatchPolicy,
     window: int | None,
 ) -> SegmentedCount:
-    """Exact segmented counting via sequential FSM state carry."""
+    """Exact segmented counting via the two-pass state carry (host-serial).
+
+    The sharded engine runs pass 1 across workers; this reference path
+    runs it in-process and shares the compose code, so the two can never
+    drift.  Mixed-length batches are grouped by length (each group gets
+    its own matrix) and scattered back in input order.
+    """
+    for ep in episodes:
+        if any(i >= alphabet_size for i in ep.items):
+            raise ValidationError(
+                f"episode {ep} exceeds alphabet of size {alphabet_size}"
+            )
     seg_counts = np.zeros((len(bounds), len(episodes)), dtype=np.int64)
+    groups: dict[int, list[int]] = {}
     for j, ep in enumerate(episodes):
-        fsm = EpisodeFSM(ep, alphabet_size, policy, window)
-        offset = 0
-        for i, (lo, hi) in enumerate(bounds):
-            before = fsm.count
-            for t in range(lo, hi):
-                fsm.step(int(db[t]), t)
-            seg_counts[i, j] = fsm.count - before
-            offset = hi
+        groups.setdefault(ep.length, []).append(j)
+    for length, idxs in groups.items():
+        matrix = episodes_to_matrix([episodes[j] for j in idxs])
+        if policy is MatchPolicy.SUBSEQUENCE:
+            summaries = [
+                subsequence_segment_summary(db[lo:hi], matrix) for lo, hi in bounds
+            ]
+            counts, _ = compose_subsequence(summaries, len(idxs))
+        else:
+            summaries = [
+                expiring_segment_summary(db[lo:hi], matrix, int(window), lo)
+                for lo, hi in bounds
+            ]
+            counts = compose_expiring(db, matrix, int(window), bounds, summaries)
+        seg_counts[:, idxs] = counts
     boundary = np.zeros((max(0, len(bounds) - 1), len(episodes)), dtype=np.int64)
     return SegmentedCount(segment_counts=seg_counts, boundary_counts=boundary)

@@ -97,6 +97,46 @@ class TestMine:
         assert main(["mine", "--engine", "warp-drive"]) == 2
         assert "unknown engine" in capsys.readouterr().err
 
+    def test_workers_shard_the_run(self, capsys):
+        assert main([
+            "mine", "--events", "3000", "--engine", "auto",
+            "--workers", "2", "--min-shard-work", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sharded over 2 workers" in out
+        assert "pool spawn(s)" in out
+
+    def test_sharded_engine_without_workers_uses_defaults(self, capsys):
+        assert main(["mine", "--events", "3000", "--engine", "sharded"]) == 0
+        assert "sharded over" in capsys.readouterr().out
+
+    def test_workers_zero_is_clean_error(self, capsys):
+        assert main(["mine", "--events", "100", "--workers", "0"]) == 2
+        assert "workers must be >= 1" in capsys.readouterr().err
+
+    def test_negative_min_shard_work_is_clean_error(self, capsys):
+        assert main([
+            "mine", "--events", "100", "--workers", "2",
+            "--min-shard-work", "-5",
+        ]) == 2
+        assert "min_shard_work" in capsys.readouterr().err
+
+    def test_min_shard_work_requires_sharding(self, capsys):
+        assert main([
+            "mine", "--events", "100", "--min-shard-work", "1024",
+        ]) == 2
+        assert "--min-shard-work requires" in capsys.readouterr().err
+
+    def test_workers_compose_with_policy(self, capsys):
+        assert main([
+            "mine", "--events", "3000", "--engine", "position-hop",
+            "--policy", "expiring", "--window", "4",
+            "--workers", "2", "--min-shard-work", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "policy=expiring" in out
+        assert "sharded over 2 workers" in out
+
 
 class TestProbe:
     def test_probe(self, capsys):

@@ -251,6 +251,33 @@ class TestDatabaseIndex:
         other = np.random.default_rng(10).integers(0, 4, 100).astype(np.uint8)
         assert bound.index_for(other) is not first
 
+    def test_bound_engine_frozen_array_skips_hash_but_stays_exact(self):
+        """Mutating and *then* freezing must still be caught (the
+        read-only fast path only applies to arrays frozen since they
+        were indexed); an always-frozen array reuses its index."""
+        bound = get_engine("position-hop").bind(3, MatchPolicy.SUBSEQUENCE)
+        eps = [Episode((0, 1))]
+        db = np.array([0, 1, 0, 1], dtype=np.uint8)
+        assert int(bound(db, eps)[0]) == 2  # indexed while writeable
+        db[:] = 2
+        db.flags.writeable = False  # freeze AFTER mutating: no fast path
+        assert int(bound(db, eps)[0]) == 0
+        frozen = np.array([0, 1, 0, 1], dtype=np.uint8)
+        frozen.flags.writeable = False
+        first = bound.index_for(frozen)
+        assert bound.index_for(frozen) is first  # fast path engaged
+
+    def test_bound_engine_detects_inplace_mutation(self):
+        """Regression: the index cache was keyed by object identity, so
+        mutating the database array in place silently returned counts
+        from the stale index."""
+        bound = get_engine("position-hop").bind(3, MatchPolicy.SUBSEQUENCE)
+        db = np.array([0, 1, 0, 1, 0, 1], dtype=np.uint8)
+        eps = [Episode((0, 1))]
+        assert int(bound(db, eps)[0]) == 3
+        db[:] = 2  # same object, new content
+        assert int(bound(db, eps)[0]) == 0
+
 
 class TestCountEpisodeDirect:
     """count_episode must not materialize the N**L gram table (satellite)."""
@@ -306,6 +333,27 @@ class TestShardedEngine:
         db = np.array([0, 1, 0, 1], dtype=np.uint8)
         assert engine.count(db, [Episode((0, 1))], 3)[0] == 2
 
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_empty_database_with_forced_sharding(self, policy, window):
+        """Regression: n=0 with min_shard_work=0 left the RESET job with
+        zero shards (all segments zero-width) and a KeyError."""
+        engine = ShardedEngine(workers=4, min_shard_work=0)
+        got = engine.count(
+            np.array([], dtype=np.uint8), [Episode((0, 1))], 3, policy, window
+        )
+        assert np.array_equal(got, np.zeros(1, dtype=np.int64)), policy
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_more_workers_than_characters(self, policy, window):
+        """Degenerate splits (workers > n) must skip the zero-width
+        segment/boundary shards and still count exactly."""
+        engine = ShardedEngine(workers=8, min_shard_work=0)
+        db = np.array([0, 1, 2, 0, 1], dtype=np.uint8)
+        eps = [Episode((0, 1)), Episode((1, 2))]
+        got = engine.count(db, eps, 3, policy, window)
+        ref = count_batch_reference(db, eps, 3, policy, window)
+        assert np.array_equal(got, ref), policy
+
     def test_episode_axis_preserves_order(self):
         """More episodes than one chunk: concatenation must keep order."""
         engine = ShardedEngine(workers=2, min_shard_work=0)
@@ -331,6 +379,10 @@ class TestShardedEngine:
         with pytest.raises(ConfigError):
             ShardedEngine(workers=0)
 
+    def test_bad_axis(self):
+        with pytest.raises(ConfigError, match="axis"):
+            ShardedEngine(axis="diagonal")
+
     def test_nested_sharding_rejected(self):
         with pytest.raises(ConfigError, match="wrap itself"):
             ShardedEngine(inner="sharded")
@@ -348,6 +400,235 @@ class TestShardedEngine:
 
         with pytest.raises(ConfigError, match="register_engine"):
             ShardedEngine(inner=Custom())
+
+
+def _pools_available() -> bool:
+    """True where this platform can spawn process-pool workers."""
+    from repro.mapreduce.cpu_engine import ProcessPoolEngine
+
+    try:
+        with ProcessPoolEngine(workers=2):
+            return True
+    except (OSError, RuntimeError):
+        return False
+
+
+class TestShardedDatabaseAxisCarry:
+    """The SUBSEQUENCE/EXPIRING database-axis split (two-pass state
+    carry) must match the scalar oracle — the paper's §3.3.3 spanning
+    problem solved for the non-decomposable policies."""
+
+    @pytest.mark.parametrize("workers", (3, 8))
+    @given(data=st.data(), n=small_alphabet)
+    @settings(max_examples=20, deadline=None)
+    def test_property_database_axis_vs_oracle(self, workers, data, n):
+        engine = ShardedEngine(workers=workers, min_shard_work=0,
+                               axis="database")
+        db = data.draw(db_strategy(n, max_len=200))
+        ep = data.draw(episode_strategy(n))
+        window = data.draw(st.integers(1, 8))
+        for policy, w in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, window),
+        ]:
+            got = int(engine.count(db, [ep], n, policy, w)[0])
+            ref = int(count_batch_reference(db, [ep], n, policy, w)[0])
+            assert got == ref, (policy, w, workers)
+
+    def test_occurrence_straddles_three_plus_segments(self):
+        """One symbol per worker segment: the occurrence spans them all."""
+        alpha = Alphabet.of_size(6)
+        db = alpha.encode("ADBECF")
+        ep = Episode.from_symbols("ABC", alpha)
+        engine = ShardedEngine(workers=6, min_shard_work=0, axis="database")
+        for policy, w in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, 2),
+        ]:
+            assert int(engine.count(db, [ep], 6, policy, w)[0]) == 1, policy
+
+    def test_window_edge_at_segment_boundary(self):
+        """EXPIRING gaps that exactly equal / exceed the window right at
+        a segment boundary (workers=2 splits this db at index 3)."""
+        alpha = Alphabet.of_size(4)
+        engine = ShardedEngine(workers=2, min_shard_work=0, axis="database")
+        # A at 2, B at 3 (boundary): gap 1 <= window 1 -> counts
+        db = alpha.encode("DDABDD")
+        ep = Episode.from_symbols("AB", alpha)
+        assert int(engine.count(db, [ep], 4, MatchPolicy.EXPIRING, 1)[0]) == 1
+        # A at 1, B at 3: gap 2 > window 1 -> expires across the boundary
+        db = alpha.encode("DADBDD")
+        assert int(engine.count(db, [ep], 4, MatchPolicy.EXPIRING, 1)[0]) == 0
+        ref = count_batch_reference(db, [ep], 4, MatchPolicy.EXPIRING, 1)
+        assert int(ref[0]) == 0
+
+    def test_repeated_symbol_matrices_database_axis(self):
+        """Raw matrices (repeated symbols) through the carry split."""
+        engine = ShardedEngine(workers=4, min_shard_work=0, axis="database")
+        rng = np.random.default_rng(43)
+        db = rng.integers(0, 4, 300).astype(np.uint8)
+        matrix = np.array([[0, 0, 1], [2, 2, 2]], dtype=np.uint8)
+        for policy, w in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, 3),
+        ]:
+            got = engine.count(db, matrix, 4, policy, w)
+            ref = count_matrix_reference(db, matrix, policy, w)
+            assert np.array_equal(got, ref), policy
+
+    def test_auto_axis_prefers_database_for_narrow_batches(self):
+        engine = ShardedEngine(workers=4)
+        assert engine._pick_axis(n_eps=2) == "database"
+        assert engine._pick_axis(n_eps=100) == "episode"
+        pinned = ShardedEngine(workers=4, axis="episode")
+        assert pinned._pick_axis(n_eps=2) == "episode"
+
+
+class TestShardedRunScope:
+    """Run-scoped pool lifecycle: one pool per `with` scope, shared by
+    every counting call inside (the tentpole's amortization claim)."""
+
+    @pytest.fixture()
+    def workload(self):
+        alpha = Alphabet.of_size(5)
+        db = np.random.default_rng(47).integers(0, 5, 600).astype(np.uint8)
+        return alpha, db
+
+    def test_one_pool_across_many_counts(self, workload):
+        if not _pools_available():
+            pytest.skip("platform cannot spawn process pools")
+        alpha, db = workload
+        eps = generate_level(alpha, 2)
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        refs = {}
+        with engine:
+            assert not engine.pool_active  # lazy: nothing sharded yet
+            for policy, w in POLICIES:
+                refs[policy] = engine.count(db, eps, 5, policy, w)
+                assert engine.pool_active  # first sharding call spawned it
+            assert engine.pools_spawned == 1  # one pool, many calls
+        assert not engine.pool_active
+        for policy, w in POLICIES:
+            assert np.array_equal(
+                refs[policy], count_batch_reference(db, eps, 5, policy, w)
+            ), policy
+
+    def test_scope_is_reentrant_and_reusable(self, workload):
+        if not _pools_available():
+            pytest.skip("platform cannot spawn process pools")
+        alpha, db = workload
+        eps = generate_level(alpha, 2)
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        with engine:
+            with engine:  # nested scope must not spawn a second pool
+                engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+            assert engine.pool_active  # outer scope still open
+            assert engine.pools_spawned == 1
+        with engine:  # a second run acquires a fresh pool
+            engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        assert engine.pools_spawned == 2
+
+    def test_unscoped_counts_stay_correct(self, workload):
+        """Outside a scope every call pools (or serial-falls-back) alone."""
+        alpha, db = workload
+        eps = generate_level(alpha, 2)
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        got = engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        ref = count_batch_reference(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        assert np.array_equal(got, ref)
+        assert not engine.pool_active
+
+    def test_inline_only_run_spawns_no_pool(self, workload):
+        """A scope whose every call stays below min_shard_work must not
+        pay worker spawns (the pool is acquired lazily)."""
+        alpha, db = workload
+        eps = generate_level(alpha, 2)
+        engine = ShardedEngine(workers=2)  # default threshold: all inline
+        with engine:
+            got = engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        assert engine.pools_spawned == 0
+        assert np.array_equal(
+            got, count_batch_reference(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        )
+
+    def test_miner_run_spawns_one_pool(self, workload):
+        """FrequentEpisodeMiner brackets the whole level loop in the
+        engine's run scope: one pool serves every level."""
+        if not _pools_available():
+            pytest.skip("platform cannot spawn process pools")
+        alpha, db = workload
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        baseline = FrequentEpisodeMiner(alpha, 0.01, max_level=3).mine(db)
+        mined = FrequentEpisodeMiner(
+            alpha, 0.01, max_level=3, engine=engine
+        ).mine(db)
+        assert mined.all_frequent == baseline.all_frequent
+        assert engine.pools_spawned == 1
+        assert not engine.pool_active  # released when mine() returned
+
+    def test_inplace_mutation_between_scoped_calls(self, workload):
+        """Worker-side index caches are keyed by content fingerprint, so
+        mutating the database in place between calls of one run must
+        re-derive, never serve stale counts."""
+        alpha, _ = workload
+        db = np.zeros(400, dtype=np.uint8)
+        db[::2] = 1
+        eps = generate_level(alpha, 2)
+        engine = ShardedEngine(workers=2, min_shard_work=0)
+        with engine:
+            first = engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+            db[:] = 2  # same array object, new content
+            second = engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        assert np.array_equal(
+            first,
+            count_batch_reference(
+                np.where(np.arange(400) % 2 == 0, 1, 0).astype(np.uint8),
+                eps, 5, MatchPolicy.SUBSEQUENCE,
+            ),
+        )
+        assert np.array_equal(
+            second,
+            count_batch_reference(db, eps, 5, MatchPolicy.SUBSEQUENCE),
+        )
+
+
+class TestMapperExceptionPropagation:
+    """A bug raised inside a worker must propagate, not be silently
+    swallowed into a serial re-execution (old behaviour caught every
+    RuntimeError around the whole job)."""
+
+    def test_worker_exception_propagates(self):
+        import multiprocessing
+
+        from repro.mining.engines import REGISTRY
+
+        class WorkerOnlyExploder(CountingEngine):
+            name = "test-worker-exploder"
+
+            def count(self, db, episodes, alphabet_size,
+                      policy=MatchPolicy.RESET, window=None, index=None):
+                if multiprocessing.parent_process() is not None:
+                    # only inside a pool worker: the old blanket except
+                    # would swallow this and quietly re-run serially
+                    raise RuntimeError("mapper bug")
+                return get_engine("auto").count(
+                    db, episodes, alphabet_size, policy, window, index=index
+                )
+
+        if not _pools_available():
+            pytest.skip("platform cannot spawn process pools")
+        register_engine("test-worker-exploder", WorkerOnlyExploder)
+        try:
+            engine = ShardedEngine(
+                inner="test-worker-exploder", workers=2, min_shard_work=0,
+                axis="episode",
+            )
+            db = np.random.default_rng(51).integers(0, 5, 300).astype(np.uint8)
+            eps = generate_level(Alphabet.of_size(5), 2)
+            with pytest.raises(RuntimeError, match="mapper bug"):
+                engine.count(db, eps, 5, MatchPolicy.SUBSEQUENCE)
+        finally:
+            REGISTRY.unregister("test-worker-exploder")
 
 
 class TestMinerIntegration:

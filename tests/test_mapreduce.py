@@ -73,6 +73,43 @@ class TestGenericFramework:
         with pytest.raises(ConfigError):
             ProcessPoolEngine(workers=0)
 
+    def test_processpool_scope_reuses_one_executor(self):
+        """`with engine:` pins one executor for every run inside."""
+        texts = [f"w{i % 5}" for i in range(20)]
+        job = MapReduceJob(
+            inputs=[KeyValue(i, t) for i, t in enumerate(texts)],
+            mapper=_picklable_word_mapper,
+            reducer=_picklable_sum_reducer,
+        )
+        engine = ProcessPoolEngine(workers=2)
+        try:
+            with engine:
+                assert engine.pool_active
+                first = engine.run(job)
+                second = engine.run(job)
+                assert engine.pools_spawned == 1  # both runs, one pool
+        except (OSError, RuntimeError):
+            pytest.skip("platform cannot spawn process pools")
+        assert not engine.pool_active
+        assert first == second == run_job(job, SerialEngine())
+
+    def test_processpool_scope_is_reentrant(self):
+        engine = ProcessPoolEngine(workers=2)
+        try:
+            with engine:
+                with engine:
+                    assert engine.pools_spawned == 1
+                assert engine.pool_active  # inner exit keeps the pool
+        except (OSError, RuntimeError):
+            pytest.skip("platform cannot spawn process pools")
+        assert not engine.pool_active
+
+    def test_serial_engine_scope_is_noop(self):
+        engine = SerialEngine()
+        with engine:
+            job = word_count_job(["a b a"])
+            assert engine.run(job) == {"a": 2, "b": 1}
+
     def test_intermediate_step_applied(self):
         """The paper's between-map-and-reduce hook (the span fix slot)."""
         job = word_count_job(["a a b"])

@@ -8,10 +8,17 @@ from hypothesis import strategies as st
 from repro.errors import ValidationError
 from repro.mining.alphabet import Alphabet, UPPERCASE
 from repro.mining.candidates import generate_level
-from repro.mining.counting import count_batch
+from repro.mining.counting import count_batch, count_batch_reference
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy
-from repro.mining.spanning import count_segmented, segment_bounds
+from repro.mining.spanning import (
+    compose_expiring,
+    compose_subsequence,
+    count_segmented,
+    expiring_segment_summary,
+    segment_bounds,
+    subsequence_segment_summary,
+)
 
 
 class TestSegmentBounds:
@@ -90,8 +97,6 @@ class TestExactness:
         assert seg.spanning_total == 0
 
     def test_carry_mode_for_subsequence_is_exact(self):
-        from repro.mining.counting import count_batch_reference
-
         rng = np.random.default_rng(11)
         db = rng.integers(0, 5, 400).astype(np.uint8)
         # carry mode additionally supports mixed-length batches
@@ -102,9 +107,137 @@ class TestExactness:
         )
         assert np.array_equal(seg.totals, exact)
 
+    def test_carry_mode_for_expiring_is_exact(self):
+        rng = np.random.default_rng(13)
+        db = rng.integers(0, 5, 400).astype(np.uint8)
+        eps = [Episode((0, 1)), Episode((2, 3, 4))]
+        exact = count_batch_reference(db, eps, 5, MatchPolicy.EXPIRING, 4)
+        seg = count_segmented(
+            db, eps, 5, n_segments=7, policy=MatchPolicy.EXPIRING, window=4
+        )
+        assert np.array_equal(seg.totals, exact)
+
     def test_empty_episode_list_rejected(self, small_db):
         with pytest.raises(ValidationError):
             count_segmented(small_db, [], 26, n_segments=4)
+
+    def test_carry_mode_rejects_oversized_codes(self, small_db):
+        with pytest.raises(ValidationError, match="alphabet"):
+            count_segmented(
+                small_db, [Episode((0, 30))], 26, n_segments=4,
+                policy=MatchPolicy.SUBSEQUENCE,
+            )
+
+
+class TestTwoPassCarry:
+    """The parallel-prefix state-summarization decomposition: pass-1
+    segment summaries composed sequentially must equal the scalar FSM
+    on the whole database — including occurrences straddling 3+
+    segments and degenerate (zero-width) splits."""
+
+    def test_occurrence_straddling_many_segments(self):
+        """A single occurrence spread one symbol per segment."""
+        alpha = Alphabet.of_size(6)
+        db = alpha.encode("ADBECF")  # A..B..C spread across 6 segments of 1
+        ep = Episode.from_symbols("ABC", alpha)
+        for policy, window in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, 2),
+        ]:
+            exact = count_batch_reference(db, [ep], 6, policy, window)
+            seg = count_segmented(
+                db, [ep], 6, n_segments=6, policy=policy, window=window
+            )
+            assert np.array_equal(seg.totals, exact), policy
+            assert int(seg.totals[0]) == 1
+
+    def test_more_segments_than_characters(self):
+        db = np.array([0, 1, 2], dtype=np.uint8)
+        ep = Episode((0, 1, 2))
+        for policy, window in [
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, 1),
+        ]:
+            seg = count_segmented(
+                db, [ep], 3, n_segments=11, policy=policy, window=window
+            )
+            assert int(seg.totals[0]) == 1, policy
+
+    @given(
+        data=st.data(),
+        n=st.integers(3, 6),
+        n_segments=st.integers(1, 40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_subsequence_segmented_equals_whole(self, data, n, n_segments):
+        length = data.draw(st.integers(0, 300))
+        seed = data.draw(st.integers(0, 10_000))
+        db = np.random.default_rng(seed).integers(0, n, length).astype(np.uint8)
+        items = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True)
+        )
+        ep = Episode(tuple(items))
+        exact = count_batch_reference(db, [ep], n, MatchPolicy.SUBSEQUENCE)
+        seg = count_segmented(
+            db, [ep], n, n_segments=n_segments, policy=MatchPolicy.SUBSEQUENCE
+        )
+        assert int(seg.totals[0]) == int(exact[0])
+
+    @given(
+        data=st.data(),
+        n=st.integers(3, 6),
+        n_segments=st.integers(1, 40),
+        window=st.integers(1, 12),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expiring_segmented_equals_whole(self, data, n, n_segments, window):
+        length = data.draw(st.integers(0, 300))
+        seed = data.draw(st.integers(0, 10_000))
+        db = np.random.default_rng(seed).integers(0, n, length).astype(np.uint8)
+        items = data.draw(
+            st.lists(st.integers(0, n - 1), min_size=1, max_size=3, unique=True)
+        )
+        ep = Episode(tuple(items))
+        exact = count_batch_reference(
+            db, [ep], n, MatchPolicy.EXPIRING, window
+        )
+        seg = count_segmented(
+            db, [ep], n, n_segments=n_segments, policy=MatchPolicy.EXPIRING,
+            window=window,
+        )
+        assert int(seg.totals[0]) == int(exact[0])
+
+    def test_subsequence_summary_tables_compose(self):
+        """Direct pass-1/pass-2 API: summaries from segment slices
+        composed by table lookup equal the whole-database count."""
+        rng = np.random.default_rng(17)
+        db = rng.integers(0, 4, 200).astype(np.uint8)
+        matrix = np.array([[0, 1, 2], [3, 2, 1]], dtype=np.uint8)
+        bounds = segment_bounds(db.size, 9)
+        summaries = [
+            subsequence_segment_summary(db[lo:hi], matrix) for lo, hi in bounds
+        ]
+        seg_counts, exit_states = compose_subsequence(summaries, 2)
+        from repro.mining.counting import count_matrix_reference
+
+        ref = count_matrix_reference(db, matrix, MatchPolicy.SUBSEQUENCE)
+        assert np.array_equal(seg_counts.sum(axis=0), ref)
+        assert exit_states.shape == (2,)
+
+    def test_expiring_summaries_compose(self):
+        rng = np.random.default_rng(19)
+        db = rng.integers(0, 4, 200).astype(np.uint8)
+        matrix = np.array([[0, 1, 2], [3, 2, 1]], dtype=np.uint8)
+        bounds = segment_bounds(db.size, 9)
+        summaries = [
+            expiring_segment_summary(db[lo:hi], matrix, 3, lo)
+            for lo, hi in bounds
+        ]
+        seg_counts = compose_expiring(db, matrix, 3, bounds, summaries)
+        from repro.mining.counting import count_matrix_reference
+
+        ref = count_matrix_reference(db, matrix, MatchPolicy.EXPIRING, 3)
+        assert np.array_equal(seg_counts.sum(axis=0), ref)
 
 
 class TestPropertyBased:
