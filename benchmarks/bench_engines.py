@@ -20,6 +20,13 @@ deterministic pool-spawn counters — evidence that the run-scoped
 lifecycle eliminates per-call pool spawn overhead
 (``check_regression.check_sharded_scaling`` gates it).
 
+The ``auto_calibration`` series (schema 4) runs the measured per-host
+calibration (:mod:`repro.mining.calibration`), then times the
+calibrated ``auto`` engine against both fixed engines on the probe
+grid — evidence that measured crossovers dispatch within tolerance of
+the best fixed choice on *this* host
+(``check_regression.check_auto_calibration`` gates it).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py            # full run
@@ -46,7 +53,7 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-SCHEMA = 3  # 3: adds the sharded_scaling pool-lifecycle series
+SCHEMA = 4  # 4: adds the auto_calibration measured-crossover series
 DEFAULT_OUT = Path(__file__).parent / "BENCH_engines.json"
 
 #: engines timed on the policy-sensitive paths; "gpu-sim" rows use the
@@ -198,6 +205,7 @@ def run_bench(
                             row[key] = round(host_seconds[host] * 1e3 / sim_ms, 2)
                     crossover.append(row)
     scaling = run_sharded_scaling() if "sharded" in engines else []
+    auto_cal = run_auto_calibration() if "auto" in engines or "sharded" in engines else {}
     return {
         "schema": SCHEMA,
         "params": {
@@ -212,6 +220,7 @@ def run_bench(
         "results": results,
         "gpu_sim_crossover": crossover,
         "sharded_scaling": scaling,
+        "auto_calibration": auto_cal,
     }
 
 
@@ -297,6 +306,50 @@ def run_sharded_scaling(
             f"({row['pools_spawned']} pool spawns)"
         )
     return rows
+
+
+def run_auto_calibration(repeats: int = 2) -> dict:
+    """The measured-crossover series: calibrate, then race auto.
+
+    Runs the quick calibration grid, fits per-policy thresholds, and
+    times the calibrated ``auto`` engine against both fixed engines on
+    the same grid.  ``check_regression.check_auto_calibration`` asserts
+    every cell's ``auto_s`` stays within tolerance of the best fixed
+    engine — the acceptance criterion for measured (rather than
+    hard-coded) dispatch.
+    """
+    from repro.mining.calibration import (
+        QUICK_EPISODES,
+        QUICK_SIZES,
+        probe_auto_vs_fixed,
+        run_calibration,
+    )
+
+    profile = run_calibration(quick=True, repeats=repeats,
+                              include_sharding=False)
+    rows = probe_auto_vs_fixed(
+        profile, sizes=QUICK_SIZES, episode_counts=QUICK_EPISODES,
+        repeats=repeats,
+        # the profile was fitted on this very grid and seed: reuse its
+        # sweep/hop measurements so only the auto column is re-timed
+        fixed_rows=list(profile.measurements),
+    )
+    for row in rows:
+        print(
+            f"auto_calibration {row['policy']:12s} n={row['n']:>7,} "
+            f"E={row['episodes']:>4} auto {row['auto_s'] * 1e3:8.2f} ms "
+            f"(chose {row['chosen']}, best {row['best_engine']}, "
+            f"{row['ratio_vs_best']:.2f}x best)"
+        )
+    return {
+        "grid": profile.grid,
+        "host": profile.host,
+        "thresholds": {
+            policy: t.as_dict()
+            for policy, t in sorted(profile.thresholds.items())
+        },
+        "rows": rows,
+    }
 
 
 def main(argv: "list[str] | None" = None) -> int:

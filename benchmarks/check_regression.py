@@ -31,6 +31,14 @@ the whole call sequence, and the run-scoped per-call time must not
 exceed the pool-per-call time.  Both invariants are machine-independent
 (the first is a deterministic counter), so they are checked on the
 fresh payload alone — snapshots that predate the series need nothing.
+
+The ``auto_calibration`` series (schema 4) gates measured dispatch:
+after a fresh per-host calibration, the calibrated ``auto`` engine must
+stay within ``AUTO_CAL_TOLERANCE`` of the best fixed engine on every
+probe-grid cell (with an absolute noise floor for sub-millisecond
+cells).  The check is within-machine — calibration and race run on the
+same host in the same process — so no reference cells are needed and
+pre-series snapshots pass untouched.
 """
 
 from __future__ import annotations
@@ -219,6 +227,46 @@ def check_sharded_scaling(fresh: dict) -> "list[str]":
     return problems
 
 
+#: calibrated-auto may lose at most this factor vs the best fixed
+#: engine on any probe cell (the crossover boundary is fuzzy, so cells
+#: near it legitimately split the difference)
+AUTO_CAL_TOLERANCE = 1.6
+#: absolute slack: cells this close to the best are timing noise, not a
+#: dispatch mistake
+AUTO_CAL_ABS_SLACK_S = 2e-3
+
+
+def check_auto_calibration(
+    fresh: dict, tolerance: float = AUTO_CAL_TOLERANCE
+) -> "list[str]":
+    """Gate measured dispatch (schema 4's ``auto_calibration`` series).
+
+    Checked on the fresh payload only: the calibration profile and the
+    race were measured on the same host moments apart, so the
+    comparison is within-machine by construction.  Payloads without the
+    series (older schemas, engine subsets) pass untouched.
+    """
+    series = fresh.get("auto_calibration") or {}
+    rows = series.get("rows", ())
+    if not rows:
+        return []
+    problems = []
+    for row in rows:
+        best_s = min(row["sweep_s"], row["hop_s"])
+        auto_s = row["auto_s"]
+        if auto_s <= best_s * tolerance or auto_s - best_s <= AUTO_CAL_ABS_SLACK_S:
+            continue
+        problems.append(
+            f"auto_calibration {row['policy']} @ n={row['n']:,} "
+            f"E={row['episodes']}: calibrated auto "
+            f"{auto_s * 1e3:.2f} ms vs best fixed engine "
+            f"({row['best_engine']}) {best_s * 1e3:.2f} ms — "
+            f"{auto_s / best_s:.2f}x exceeds the {tolerance:.1f}x tolerance "
+            f"(chose {row['chosen']})"
+        )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reference", type=Path, default=REFERENCE)
@@ -258,6 +306,7 @@ def main(argv: "list[str] | None" = None) -> int:
     problems += check_invariants(fresh)
     problems += check_gpu_sim(reference, fresh)
     problems += check_sharded_scaling(fresh)
+    problems += check_auto_calibration(fresh)
     if not problems:
         print("engine throughput: no regression vs committed trajectory")
         return 0

@@ -9,6 +9,9 @@ regenerated without writing Python:
 * ``advise --level 2 [--card GTX280]`` — the §5.3 card/config advisor;
 * ``mine --events 20000 --threshold 0.02`` — end-to-end mining demo on a
   synthetic market stream with the auto-selected GPU algorithm;
+* ``calibrate`` — measure this host's engine crossovers and write a
+  ``calibration.json`` profile the ``auto``/``sharded`` engines consult
+  (see :mod:`repro.mining.calibration` for format and precedence);
 * ``probe`` — run the §6 micro-benchmark suite on a card.
 """
 
@@ -16,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ReproError
@@ -86,6 +90,51 @@ def _build_parser() -> argparse.ArgumentParser:
         help="minimum db-chars x episodes before a counting call is "
         "sharded (smaller problems run inline); only with --workers "
         "or --engine sharded",
+    )
+    mine.add_argument(
+        "--calibration",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="explicit calibration profile for the auto/sharded engines "
+        "(default: REPRO_CALIBRATION env var, then the profile beside "
+        "benchmarks/BENCH_engines.json, then fixed heuristics)",
+    )
+    mine.add_argument(
+        "--no-calibration",
+        action="store_true",
+        help="ignore any calibration profile and use the fixed engine "
+        "heuristics",
+    )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="measure this host's engine crossovers and write a profile",
+    )
+    cal.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="profile path (default: benchmarks/calibration.json beside "
+        "BENCH_engines.json)",
+    )
+    cal.add_argument(
+        "--quick", action="store_true", help="smaller probe grid",
+    )
+    cal.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the sharding-cost probe (default: cpus, "
+        "capped at 8)",
+    )
+    cal.add_argument(
+        "--repeats", type=int, default=2,
+        help="best-of repeats per probe cell (default: 2)",
+    )
+    cal.add_argument(
+        "--any-host",
+        action="store_true",
+        help="stamp the profile as valid on any host (CI fixtures; "
+        "skips the fingerprint check on load)",
     )
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
@@ -166,6 +215,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     from repro.data.market import MarketConfig, generate_market_stream
     from repro.errors import ConfigError
     from repro.gpu.specs import get_card
+    from repro.mining.calibration import CalibrationProfile, load_profile
     from repro.mining.engines import (
         GpuSimEngine,
         ShardedEngine,
@@ -190,6 +240,25 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         raise ConfigError(
             "--min-shard-work requires --workers or --engine sharded"
         )
+    if args.no_calibration and args.calibration is not None:
+        raise ConfigError(
+            "--calibration and --no-calibration are mutually exclusive"
+        )
+    profile = None
+    if args.no_calibration:
+        # an empty explicit profile pins the fixed heuristics for the
+        # whole run (including sharded workers) without mutating the
+        # process-global ambient state an embedding caller may rely on
+        profile = CalibrationProfile(thresholds={})
+    elif args.calibration is not None:
+        # the user named the file, so honor it even on a foreign host
+        # (load still warns with recalibration advice)
+        profile = load_profile(args.calibration, require_host=False)
+        if profile is None:
+            raise ConfigError(
+                f"calibration profile {args.calibration} is missing or "
+                "unreadable (run `repro calibrate` to generate one)"
+            )
     if engine_name == "gpu-sim":
         # same registry engine the name resolves to, carded per --card
         engine = GpuSimEngine(device=get_card(args.card))
@@ -202,7 +271,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.min_shard_work is not None:
             shard_kwargs["min_shard_work"] = args.min_shard_work
         inner = "auto" if engine_name == "sharded" else engine
-        engine = ShardedEngine(inner=inner, **shard_kwargs)  # ConfigError on bad values
+        engine = ShardedEngine(inner=inner, profile=profile,
+                               **shard_kwargs)  # ConfigError on bad values
         if engine_name == "gpu-sim":
             # workers re-resolve gpu-sim by name on the default card, so
             # per-card kernel-time reporting is lost; counts stay exact
@@ -222,13 +292,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     t0 = time.perf_counter()
     result = FrequentEpisodeMiner(
         alphabet, threshold=args.threshold, policy=policy, window=args.window,
-        engine=engine, max_level=4,
+        engine=engine, max_level=4, calibration=profile,
     ).mine(stream)
     elapsed = time.perf_counter() - t0
     print(
         f"mined {stream.size:,} events at alpha={args.threshold} "
         f"(engine={engine_name}, policy={policy.value})"
     )
+    if args.no_calibration:
+        print("calibration disabled: fixed engine heuristics")
+    elif profile is not None:
+        print(f"calibration profile: {args.calibration} (host {profile.host})")
     for lvl in result.levels:
         print(
             f"  level {lvl.level}: {lvl.n_candidates} candidates -> "
@@ -251,6 +325,50 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigError
+    from repro.mining.calibration import (
+        ANY_HOST,
+        default_profile_path,
+        reset_active_profile,
+        run_calibration,
+        save_profile,
+    )
+
+    out = args.out if args.out is not None else default_profile_path()
+    if out is None:
+        raise ConfigError(
+            "no default profile location in this installation; pass --out"
+        )
+    profile = run_calibration(
+        quick=args.quick,
+        workers=args.workers,
+        repeats=args.repeats,
+        host=ANY_HOST if args.any_host else None,
+    )
+    print(f"calibrated host {profile.host} "
+          f"({len(profile.measurements)} probe cells)")
+    for policy, t in sorted(profile.thresholds.items()):
+        print(
+            f"  {policy:12s} sweep iff n < {t.sweep_max_n:,} and "
+            f"n < {t.sweep_chars_per_episode:g} x episodes"
+        )
+    if profile.sharding is not None:
+        costs = profile.sharding
+        print(
+            f"  sharding     pool spawn {costs.pool_spawn_s * 1e3:.1f} ms, "
+            f"dispatch {costs.dispatch_s * 1e3:.2f} ms/call -> "
+            f"{costs.recommend_workers()} worker(s), "
+            f"min_shard_work {costs.recommend_min_shard_work():,}"
+        )
+    else:
+        print("  sharding     process pools unavailable; fixed defaults kept")
+    save_profile(profile, out)
+    reset_active_profile()  # the ambient cache may now point at stale data
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_probe(args: argparse.Namespace) -> int:
     from repro.experiments.microbench import run_all_probes
     from repro.gpu.specs import get_card
@@ -270,6 +388,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "advise": _cmd_advise,
     "mine": _cmd_mine,
+    "calibrate": _cmd_calibrate,
     "probe": _cmd_probe,
 }
 

@@ -52,11 +52,34 @@ pool-per-call behaviour.
 Every engine implements ``count(db, episodes, alphabet_size, policy,
 window, index=None)`` and returns the exact occurrence counts — the
 engines differ only in speed, an invariant ``tests/test_engines.py``
-asserts property-based against the scalar oracle.  ``bind(...)``
+and the cross-engine conformance matrix of ``tests/test_conformance.py``
+assert against the scalar oracle.  ``bind(...)``
 adapts an engine to the miner's ``(db, episodes) -> counts`` callable
 protocol while reusing one :class:`DatabaseIndex` per database
 (staleness-checked by fingerprint, so in-place mutation of a database
 array rebuilds instead of silently serving stale counts).
+
+Measured calibration
+--------------------
+The dispatch boundaries above are hardware facts, so they can be
+*measured* instead of hard-coded: :mod:`repro.mining.calibration`
+probes the engines on a deterministic ``(n, E, policy)`` grid and
+persists a versioned ``calibration.json`` profile (file format and
+precedence rules are documented there).  :class:`AutoEngine` consults
+the profile's fitted per-policy thresholds — an explicit
+``AutoEngine(profile=...)`` first, else the ambient profile resolved
+from the ``REPRO_CALIBRATION`` environment variable or the default
+path beside ``benchmarks/BENCH_engines.json`` — falling back to the
+fixed constants when no profile is present, readable, schema-current,
+and host-matched.  :class:`ShardedEngine` uses the profile's measured
+pool-spawn/dispatch costs to pick its default worker count and
+``min_shard_work`` (and, for profile-derived worker counts, caps the
+per-call shard fan-out so every worker gets at least
+``min_shard_work`` of work).  Every engine offers
+``with_profile(profile)`` — a no-op for tiers without tunables — which
+is how :class:`~repro.mining.miner.FrequentEpisodeMiner` and the CLI
+thread an explicit profile through.  Calibration is advisory: it moves
+dispatch choices, never counts.
 """
 
 from __future__ import annotations
@@ -69,6 +92,7 @@ import numpy as np
 
 from repro.errors import ConfigError, ValidationError
 from repro.mapreduce.types import KeyValue, MapReduceJob
+from repro.mining import calibration as _calibration
 from repro.mining.counting import (
     DatabaseIndex,
     as_episode_matrix,
@@ -133,6 +157,18 @@ class CountingEngine:
     ) -> "BoundEngine":
         """Adapt to the miner's ``(db, episodes) -> counts`` protocol."""
         return BoundEngine(self, alphabet_size, policy, window)
+
+    def with_profile(
+        self, profile: "_calibration.CalibrationProfile | None"
+    ) -> "CountingEngine":
+        """This engine reconfigured for an explicit calibration profile.
+
+        The base tiers have no calibration tunables, so they return
+        themselves; :class:`AutoEngine` and :class:`ShardedEngine`
+        return reconfigured instances.  ``None`` always returns
+        ``self`` (ambient resolution stays in effect).
+        """
+        return self
 
     def __enter__(self) -> "CountingEngine":
         """Open a run scope (no-op for stateless tiers; see module docs)."""
@@ -279,14 +315,45 @@ class AutoEngine(CountingEngine):
     the sweep costs O(n) interpreter steps while position-hopping costs
     O(E·(L + log m)); the sweep only wins when the database is short on
     *both* absolute and per-episode scales.
+
+    The boundary is a hardware fact, so a measured
+    :class:`~repro.mining.calibration.CalibrationProfile` overrides the
+    fixed class constants: an explicit ``profile`` first, else the
+    ambient profile (``REPRO_CALIBRATION`` env var or the default path;
+    see :func:`repro.mining.calibration.active_profile`), else the
+    constants.  Calibration moves the choice, never the counts.
     """
 
     name = "auto"
 
     #: below this database length the per-character sweep is considered
+    #: (fallback when no calibration profile applies)
     SWEEP_MAX_N = 4096
     #: sweep also requires fewer than this many characters per episode
+    #: (fallback when no calibration profile applies)
     SWEEP_CHARS_PER_EPISODE = 8
+
+    def __init__(
+        self, profile: "_calibration.CalibrationProfile | None" = None
+    ) -> None:
+        self.profile = profile
+
+    def with_profile(self, profile):
+        if profile is None or profile is self.profile:
+            return self
+        return AutoEngine(profile=profile)
+
+    def _thresholds(
+        self, policy: MatchPolicy
+    ) -> "_calibration.PolicyThresholds | None":
+        """The measured boundary for ``policy``, if a profile offers one."""
+        profile = (
+            self.profile if self.profile is not None
+            else _calibration.active_profile()
+        )
+        if profile is None:
+            return None
+        return profile.thresholds_for(policy)
 
     def select(
         self, n: int, n_episodes: int, policy: MatchPolicy
@@ -294,7 +361,15 @@ class AutoEngine(CountingEngine):
         """The concrete engine ``count`` will delegate to."""
         if policy is MatchPolicy.RESET:
             return get_engine("position-hop")  # n-gram path either way
-        if n < self.SWEEP_MAX_N and n < self.SWEEP_CHARS_PER_EPISODE * n_episodes:
+        thresholds = self._thresholds(policy)
+        if thresholds is not None:
+            prefer_sweep = thresholds.prefers_sweep(n, n_episodes)
+        else:
+            prefer_sweep = (
+                n < self.SWEEP_MAX_N
+                and n < self.SWEEP_CHARS_PER_EPISODE * n_episodes
+            )
+        if prefer_sweep:
             return get_engine("vector-sweep")
         return get_engine("position-hop")
 
@@ -471,6 +546,20 @@ def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
             # losing parent-side register_engine() calls; every engine is
             # exact, so auto is a correct stand-in
             engine = get_engine("auto")
+        # dispatch per the *parent's* calibration decision, not whatever
+        # ambient profile this worker process would resolve on its own:
+        # the payload carries the parent's profile (or None for "fixed
+        # heuristics", which an empty explicit profile pins — see
+        # ShardedEngine._payload)
+        calib = payload.get("calibration")
+        if calib is not None:
+            try:
+                profile = _calibration.CalibrationProfile.from_payload(calib)
+            except (ValidationError, ValueError, KeyError, TypeError):
+                profile = _calibration.CalibrationProfile(thresholds={})
+        else:
+            profile = _calibration.CalibrationProfile(thresholds={})
+        engine = engine.with_profile(profile)
         index = _cached_worker_index(payload["db"], payload.get("db_key"))
         out = engine.count(
             payload["db"],
@@ -521,6 +610,16 @@ class ShardedEngine(CountingEngine):
 
     Small problems (``db chars x episodes < min_shard_work``) run
     inline on the inner engine.
+
+    ``workers`` and ``min_shard_work`` left unset are resolved from the
+    calibration profile's measured :class:`~repro.mining.calibration.
+    ShardingCosts` (explicit ``profile`` first, else the ambient one),
+    falling back to the historical fixed defaults (``min(cpu, 8)`` and
+    ``1 << 21``) without a profile.  Profile-derived worker counts are
+    additionally capped *per call* so every worker receives at least
+    ``min_shard_work`` of work — a measured-overhead answer to "how
+    many workers is this problem actually worth".  Explicitly passed
+    values are always honored verbatim.
     """
 
     name = "sharded"
@@ -528,16 +627,20 @@ class ShardedEngine(CountingEngine):
     #: valid ``axis`` choices for the SUBSEQUENCE/EXPIRING split
     AXES = ("auto", "episode", "database")
 
+    #: fixed ``min_shard_work`` fallback when no profile applies
+    DEFAULT_MIN_SHARD_WORK = 1 << 21
+
     def __init__(
         self,
         inner: "str | CountingEngine" = "auto",
         workers: int | None = None,
-        min_shard_work: int = 1 << 21,
+        min_shard_work: int | None = None,
         axis: str = "auto",
+        profile: "_calibration.CalibrationProfile | None" = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
-        if min_shard_work < 0:
+        if min_shard_work is not None and min_shard_work < 0:
             raise ConfigError("min_shard_work must be >= 0")
         if axis not in self.AXES:
             raise ConfigError(
@@ -567,8 +670,51 @@ class ShardedEngine(CountingEngine):
                 f"inner engine {name!r} is not the registered "
                 "instance; register_engine() it before sharding over it"
             )
-        self.workers = workers if workers is not None else min(os.cpu_count() or 1, 8)
-        self.min_shard_work = min_shard_work
+        self.profile = profile
+        # remember what the caller pinned, so with_profile() can clone
+        # without freezing derived defaults into explicit settings
+        self._explicit_workers = workers
+        self._explicit_min_shard_work = min_shard_work
+        effective = (
+            profile if profile is not None else _calibration.active_profile()
+        )
+        costs = effective.sharding if effective is not None else None
+        if workers is not None:
+            self.workers = workers
+            self._workers_from_profile = False
+        elif costs is not None:
+            self.workers = costs.recommend_workers()
+            self._workers_from_profile = True
+        else:
+            self.workers = min(os.cpu_count() or 1, 8)
+            self._workers_from_profile = False
+        if min_shard_work is not None:
+            self.min_shard_work = min_shard_work
+        elif costs is not None:
+            self.min_shard_work = costs.recommend_min_shard_work()
+        else:
+            self.min_shard_work = self.DEFAULT_MIN_SHARD_WORK
+        # inline counting honors an explicit profile (workers always
+        # resolve the *registered* inner by name, so only speed — never
+        # counts — can differ across the boundary)
+        self._local_inner = (
+            self.inner.with_profile(profile) if profile is not None
+            else self.inner
+        )
+        # workers dispatch per the parent's calibration decision: ship
+        # the resolved profile (minus the bulky raw measurements) in
+        # every shard payload; None means "fixed heuristics", which the
+        # mapper pins with an empty profile so worker-ambient state
+        # (their own env var / default file) never leaks into a run
+        self._worker_calibration = (
+            {
+                key: value
+                for key, value in effective.to_payload().items()
+                if key != "measurements"
+            }
+            if effective is not None
+            else None
+        )
         self.axis = axis
         #: process pools spawned by this engine (lifecycle accounting:
         #: one per run scope, or one per call outside a scope)
@@ -576,6 +722,30 @@ class ShardedEngine(CountingEngine):
         self._pool = None  # run-scoped ProcessPoolEngine
         self._pool_failed = False  # pool creation failed for this scope
         self._depth = 0
+
+    def with_profile(self, profile):
+        if profile is None or profile is self.profile:
+            return self
+        return ShardedEngine(
+            inner=self.inner,
+            workers=self._explicit_workers,
+            min_shard_work=self._explicit_min_shard_work,
+            axis=self.axis,
+            profile=profile,
+        )
+
+    def _effective_workers(self, total_work: int) -> int:
+        """Per-call shard fan-out.
+
+        Explicit worker counts are honored verbatim.  Profile-derived
+        counts are capped so each worker gets at least
+        ``min_shard_work`` of work — fewer, busier workers beat many
+        idle ones once the measured dispatch overhead is real.
+        """
+        if not self._workers_from_profile:
+            return self.workers
+        per_worker = max(1, self.min_shard_work)
+        return max(1, min(self.workers, total_work // per_worker))
 
     # -- run-scoped pool lifecycle ------------------------------------
 
@@ -625,25 +795,27 @@ class ShardedEngine(CountingEngine):
         # A scope whose pool could not spawn also stays inline: the
         # decomposition costs strictly more than inner.count without
         # workers to spread it over (the carry's pass 1 is ~L sweeps).
-        if (self.workers <= 1 or n == 0 or n_eps == 0 or self._pool_failed
+        workers = self._effective_workers(n * n_eps)
+        if (workers <= 1 or n == 0 or n_eps == 0 or self._pool_failed
                 or n * n_eps < self.min_shard_work):
-            return self.inner.count(db, matrix, alphabet_size, policy, window,
-                                    index=index)
+            return self._local_inner.count(db, matrix, alphabet_size, policy,
+                                           window, index=index)
         if policy is MatchPolicy.RESET:
-            job = self._database_axis_job(db, matrix, alphabet_size, policy)
+            job = self._database_axis_job(db, matrix, alphabet_size, policy,
+                                          workers)
             return self._run(job)["total"]
-        if self._pick_axis(n_eps) == "database":
+        if self._pick_axis(n_eps, workers) == "database":
             return self._count_database_axis_carry(
-                db, matrix, alphabet_size, policy, window, index=index
+                db, matrix, alphabet_size, policy, window, workers, index=index
             )
         job = self._episode_axis_job(db, matrix, alphabet_size, policy, window,
-                                     index=index)
+                                     workers, index=index)
         results = self._run(job)
         return np.concatenate(
             [results[key] for key in sorted(results, key=lambda k: k[1])]
         )
 
-    def _pick_axis(self, n_eps: int) -> str:
+    def _pick_axis(self, n_eps: int, workers: int | None = None) -> str:
         """SUBSEQUENCE/EXPIRING axis choice.
 
         The episode axis is cheaper per character (the inner engine's
@@ -654,7 +826,9 @@ class ShardedEngine(CountingEngine):
         """
         if self.axis != "auto":
             return self.axis
-        return "episode" if n_eps >= self.workers else "database"
+        if workers is None:
+            workers = self.workers
+        return "episode" if n_eps >= workers else "database"
 
     def _payload(self, db, matrix, alphabet_size, policy, window,
                  db_key=None) -> dict:
@@ -666,14 +840,16 @@ class ShardedEngine(CountingEngine):
             "policy": policy.value,
             "window": window,
             "engine": self.inner.name,
+            "calibration": self._worker_calibration,
         }
         if db_key is not None:
             payload["db_key"] = db_key
         return payload
 
-    def _database_axis_job(self, db, matrix, alphabet_size, policy) -> MapReduceJob:
+    def _database_axis_job(self, db, matrix, alphabet_size, policy,
+                           workers: int) -> MapReduceJob:
         length = matrix.shape[1]
-        bounds = segment_bounds(db.size, self.workers)
+        bounds = segment_bounds(db.size, workers)
         inputs = [
             KeyValue("total", self._payload(db[lo:hi], matrix, alphabet_size,
                                             policy, None))
@@ -691,8 +867,8 @@ class ShardedEngine(CountingEngine):
                             reducer=_sum_reducer)
 
     def _episode_axis_job(self, db, matrix, alphabet_size, policy, window,
-                          index=None) -> MapReduceJob:
-        chunk = -(-matrix.shape[0] // self.workers)
+                          workers: int, index=None) -> MapReduceJob:
+        chunk = -(-matrix.shape[0] // workers)
         # workers cache their index under this key; a caller-supplied
         # index for this very database already carries the hash
         if index is not None and index.db is db:
@@ -711,7 +887,8 @@ class ShardedEngine(CountingEngine):
                             reducer=_sum_reducer)
 
     def _count_database_axis_carry(
-        self, db, matrix, alphabet_size, policy, window, index=None
+        self, db, matrix, alphabet_size, policy, window, workers: int,
+        index=None,
     ) -> np.ndarray:
         """Two-pass state-summarization split along the database axis.
 
@@ -725,16 +902,16 @@ class ShardedEngine(CountingEngine):
         """
         bounds = [
             (lo, hi)
-            for lo, hi in segment_bounds(db.size, self.workers)
+            for lo, hi in segment_bounds(db.size, workers)
             if hi > lo
         ]
         if len(bounds) <= 1:
-            return self.inner.count(db, matrix, alphabet_size, policy, window,
-                                    index=index)
+            return self._local_inner.count(db, matrix, alphabet_size, policy,
+                                           window, index=index)
         pool, owned = self._acquire_run_pool()
         if pool is None:
-            return self.inner.count(db, matrix, alphabet_size, policy, window,
-                                    index=index)
+            return self._local_inner.count(db, matrix, alphabet_size, policy,
+                                           window, index=index)
         inputs = [
             KeyValue(
                 i,
@@ -756,8 +933,8 @@ class ShardedEngine(CountingEngine):
         except BrokenProcessPool:
             if not owned:
                 self._retire_scope_pool()
-            return self.inner.count(db, matrix, alphabet_size, policy, window,
-                                    index=index)
+            return self._local_inner.count(db, matrix, alphabet_size, policy,
+                                           window, index=index)
         finally:
             if owned:
                 pool.__exit__(None, None, None)

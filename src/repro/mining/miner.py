@@ -89,6 +89,13 @@ class FrequentEpisodeMiner:
         Registry engines share one
         :class:`~repro.mining.counting.DatabaseIndex` across all levels
         of a run.
+    calibration:
+        An explicit :class:`~repro.mining.calibration.CalibrationProfile`
+        applied to the engine via ``with_profile`` (the ``auto`` and
+        ``sharded`` tiers tune their dispatch from it; exact counts are
+        unaffected).  ``None`` leaves ambient profile resolution in
+        effect; requires a registry engine (names or instances), not a
+        plain callable.
     max_level:
         Safety cap on the level loop (the paper's evaluation stops at
         L=3; mining real data can run deeper).
@@ -108,6 +115,7 @@ class FrequentEpisodeMiner:
         engine: "CountingEngine | RegistryEngine | str | None" = None,
         max_level: int = 8,
         exhaustive_candidates: bool = False,
+        calibration: "object | None" = None,
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(
@@ -122,11 +130,18 @@ class FrequentEpisodeMiner:
         self.window = window
         self.max_level = max_level
         self.exhaustive_candidates = exhaustive_candidates
+        self.calibration = calibration
         if engine is None or isinstance(engine, (str, RegistryEngine)):
-            self._engine = get_engine(engine or "auto").bind(
-                alphabet.size, policy, window
-            )
+            resolved = get_engine(engine or "auto")
+            if calibration is not None:
+                resolved = resolved.with_profile(calibration)
+            self._engine = resolved.bind(alphabet.size, policy, window)
         else:
+            if calibration is not None:
+                raise ValidationError(
+                    "calibration profiles apply to registry engines; "
+                    "got a plain callable engine"
+                )
             self._engine = engine
 
     def _engine_scope(self):

@@ -72,6 +72,9 @@ class PipelinedMiner:
     ``max_speculative`` caps how many candidates one speculative level
     may materialize; levels beyond the cap run sequentially on
     ``engine`` (a counting-engine registry name or instance).
+    ``calibration`` threads an explicit
+    :class:`~repro.mining.calibration.CalibrationProfile` into that
+    engine (``with_profile``); ambient resolution applies otherwise.
     """
 
     def __init__(
@@ -84,6 +87,7 @@ class PipelinedMiner:
         concurrent_kernels: bool = False,
         max_speculative: int = 200_000,
         engine: "str | CountingEngine" = "auto",
+        calibration: "object | None" = None,
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(f"threshold must be in [0, 1), got {threshold}")
@@ -101,6 +105,9 @@ class PipelinedMiner:
         self.concurrent_kernels = concurrent_kernels
         self.max_speculative = max_speculative
         self._engine = get_engine(engine)
+        if calibration is not None:
+            self._engine = self._engine.with_profile(calibration)
+        self.calibration = calibration
         self._sim = GpuSimulator(device)
         self._selector = AdaptiveSelector(device)
 

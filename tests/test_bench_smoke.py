@@ -34,9 +34,10 @@ def test_engine_throughput_no_regression():
     )
     problems = check_regression.compare(reference, fresh)
     problems += check_regression.check_invariants(fresh, min_speedup=2.0)
-    # no-op for the engine subset above (no sharded series), but keeps
-    # the wiring uniform with the standalone gate
+    # no-ops for the engine subset above (no sharded/auto-calibration
+    # series), but keeps the wiring uniform with the standalone gate
     problems += check_regression.check_sharded_scaling(fresh)
+    problems += check_regression.check_auto_calibration(fresh)
     # the simulated series is deterministic, so its checksum/timing gate
     # is exact even inside tier-1 (timing drift counts as correctness:
     # it means the analytic model changed without a snapshot regen)
