@@ -27,6 +27,16 @@ grid — evidence that measured crossovers dispatch within tolerance of
 the best fixed choice on *this* host
 (``check_regression.check_auto_calibration`` gates it).
 
+The ``streaming_throughput`` series (schema 5) replays one seeded
+drifting event feed (:func:`repro.data.synthetic.stream_chunks`)
+through the streaming subsystem twice per policy: ``incremental`` (the
+:class:`~repro.streaming.StreamingMiner` landmark state carry) and
+``recount`` (batch-mining the concatenated prefix after every chunk —
+what serving this workload costs *without* the subsystem).  Both modes
+must finish with identical frequent sets and counts (checksummed;
+``check_regression.check_streaming`` gates the equality hard), and the
+events/sec columns quantify the carry's win.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engines.py            # full run
@@ -53,7 +63,7 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-SCHEMA = 4  # 4: adds the auto_calibration measured-crossover series
+SCHEMA = 5  # 5: adds the streaming_throughput incremental-vs-recount series
 DEFAULT_OUT = Path(__file__).parent / "BENCH_engines.json"
 
 #: engines timed on the policy-sensitive paths; "gpu-sim" rows use the
@@ -92,6 +102,7 @@ def run_bench(
     level: int = LEVEL,
     engines: "tuple[str, ...]" = ENGINES,
     seed: int = SEED,
+    streaming: "dict | None" = None,
 ) -> dict:
     """Measure every policy x engine x size cell; returns the JSON payload."""
     from repro.mining.alphabet import UPPERCASE
@@ -206,6 +217,7 @@ def run_bench(
                     crossover.append(row)
     scaling = run_sharded_scaling() if "sharded" in engines else []
     auto_cal = run_auto_calibration() if "auto" in engines or "sharded" in engines else {}
+    stream_tp = run_streaming_throughput(**(streaming or {}))
     return {
         "schema": SCHEMA,
         "params": {
@@ -221,6 +233,7 @@ def run_bench(
         "gpu_sim_crossover": crossover,
         "sharded_scaling": scaling,
         "auto_calibration": auto_cal,
+        "streaming_throughput": stream_tp,
     }
 
 
@@ -352,6 +365,120 @@ def run_auto_calibration(repeats: int = 2) -> dict:
     }
 
 
+#: streaming_throughput series parameters: a small drifting alphabet so
+#: mining reaches level 3 with real promotion/demotion dynamics, and
+#: enough chunks that the recount mode's quadratic prefix work shows
+STREAM_ALPHABET = 8
+STREAM_CHUNKS = 8
+STREAM_CHUNK_EVENTS = 4000
+STREAM_THRESHOLD = 0.02
+STREAM_MAX_LEVEL = 3
+STREAM_DRIFT = 0.2
+
+
+def run_streaming_throughput(
+    n_chunks: int = STREAM_CHUNKS,
+    chunk_events: int = STREAM_CHUNK_EVENTS,
+    threshold: float = STREAM_THRESHOLD,
+    max_level: int = STREAM_MAX_LEVEL,
+    drift: float = STREAM_DRIFT,
+    seed: int = SEED,
+) -> dict:
+    """Incremental state-carry streaming vs per-chunk prefix recount.
+
+    One seeded drifting feed per policy, consumed twice: through the
+    streaming subsystem (``incremental``) and by batch-mining the
+    concatenated prefix after every chunk (``recount`` — a stream
+    served without the subsystem).  Both must land on identical
+    frequent sets/counts; ``check_regression.check_streaming`` gates
+    the checksums hard and the throughput against the committed
+    trajectory.
+    """
+    import time
+
+    from repro.mining.alphabet import Alphabet
+    from repro.mining.miner import FrequentEpisodeMiner
+    from repro.mining.policies import MatchPolicy
+    from repro.streaming import StreamingMiner, SyntheticStreamSource
+
+    alphabet = Alphabet.of_size(STREAM_ALPHABET)
+    rows = []
+    if n_chunks < 1 or chunk_events < 1:
+        return {"params": {}, "rows": rows}
+    for policy_value, window in POLICIES:
+        policy = MatchPolicy(policy_value)
+        source = SyntheticStreamSource(
+            n_chunks, chunk_events, alphabet=alphabet, seed=seed, drift=drift
+        )
+
+        t0 = time.perf_counter()
+        miner = StreamingMiner(
+            alphabet, threshold=threshold, policy=policy, window=window,
+            engine="auto", max_level=max_level,
+        )
+        miner.consume(source)
+        inc_s = time.perf_counter() - t0
+        inc_result = miner.result()
+
+        t0 = time.perf_counter()
+        parts: "list[np.ndarray]" = []
+        batch = FrequentEpisodeMiner(
+            alphabet, threshold=threshold, policy=policy, window=window,
+            engine="auto", max_level=max_level,
+        )
+        for chunk in source.chunks():
+            parts.append(chunk)
+            rec_result = batch.mine(np.concatenate(parts))
+        rec_s = time.perf_counter() - t0
+
+        total = miner.total_events
+        for mode, seconds, result in (
+            ("incremental", inc_s, inc_result),
+            ("recount", rec_s, rec_result),
+        ):
+            frequent = result.all_frequent
+            row = {
+                "policy": policy_value,
+                "mode": mode,
+                "chunks": n_chunks,
+                "chunk_events": chunk_events,
+                "total_events": total,
+                "alphabet": STREAM_ALPHABET,
+                "threshold": threshold,
+                "max_level": max_level,
+                "drift": drift,
+                "window": window,
+                "seconds": round(seconds, 6),
+                "events_per_sec": round(total / seconds, 1) if seconds else 0.0,
+                "n_frequent": len(frequent),
+                "checksum": int(sum(frequent.values())),
+            }
+            if mode == "incremental":
+                row["speedup_vs_recount"] = (
+                    round(rec_s / inc_s, 2) if inc_s > 0 else None
+                )
+            rows.append(row)
+            print(
+                f"streaming    {policy_value:12s} {mode:11s} "
+                f"{n_chunks} x {chunk_events:,} events "
+                f"{seconds * 1e3:9.2f} ms ({row['events_per_sec']:,.0f} "
+                f"events/s, {row['n_frequent']} frequent)"
+            )
+    return {
+        "params": {
+            "alphabet": STREAM_ALPHABET,
+            "chunks": n_chunks,
+            "chunk_events": chunk_events,
+            "threshold": threshold,
+            "max_level": max_level,
+            "drift": drift,
+            "seed": seed,
+            "engine": "auto",
+        },
+        "rows": rows,
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
@@ -360,7 +487,13 @@ def main(argv: "list[str] | None" = None) -> int:
         help="small sizes only (used by the bench-smoke tier-1 check)",
     )
     args = parser.parse_args(argv)
-    payload = run_bench(sizes=QUICK_SIZES if args.quick else FULL_SIZES)
+    payload = run_bench(
+        sizes=QUICK_SIZES if args.quick else FULL_SIZES,
+        # quick mode shrinks the streaming feed too (the scaled-down
+        # rows never match full-run reference cells, so only the
+        # machine-independent checksum equality is gated on them)
+        streaming=dict(n_chunks=4, chunk_events=1500) if args.quick else None,
+    )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0

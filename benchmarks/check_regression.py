@@ -32,6 +32,14 @@ exceed the pool-per-call time.  Both invariants are machine-independent
 (the first is a deterministic counter), so they are checked on the
 fresh payload alone — snapshots that predate the series need nothing.
 
+The ``streaming_throughput`` series (schema 5) gates the streaming
+subsystem's batch-equivalence contract: the incremental state-carry
+run and the per-chunk prefix recount must finish with identical
+frequent sets and counts (checksummed — machine-independent, checked on
+the fresh payload alone, so snapshots that predate the series need
+nothing), and each mode's events/sec is additionally compared against
+the committed trajectory when the reference carries the series.
+
 The ``auto_calibration`` series (schema 4) gates measured dispatch:
 after a fresh per-host calibration, the calibrated ``auto`` engine must
 stay within ``AUTO_CAL_TOLERANCE`` of the best fixed engine on every
@@ -267,6 +275,65 @@ def check_auto_calibration(
     return problems
 
 
+def check_streaming(
+    reference: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> "list[str]":
+    """Gate the streaming subsystem (schema 5's series).
+
+    Exactness first: within the fresh payload, the ``incremental``
+    (state-carry) and ``recount`` (batch-over-prefix) modes replayed
+    the same seeded feed, so any checksum or frequent-count divergence
+    is a streaming counting bug — failed hard, on any machine.
+    Throughput is then compared per (policy, mode, total_events) cell
+    against the reference; snapshots that predate the series (or used
+    different feed sizes) carry no matching cells and pass untouched.
+    """
+    series = fresh.get("streaming_throughput") or {}
+    rows = series.get("rows", ())
+    if not rows:
+        return []
+    problems = []
+    by_key = {(r["policy"], r["total_events"], r["mode"]): r for r in rows}
+    for policy, total in sorted({(r["policy"], r["total_events"]) for r in rows}):
+        inc = by_key.get((policy, total, "incremental"))
+        rec = by_key.get((policy, total, "recount"))
+        if inc is None or rec is None:
+            continue
+        if (inc["checksum"] != rec["checksum"]
+                or inc["n_frequent"] != rec["n_frequent"]):
+            problems.append(
+                f"streaming_throughput {policy}: incremental checksum "
+                f"{inc['checksum']} ({inc['n_frequent']} frequent) != "
+                f"recount {rec['checksum']} ({rec['n_frequent']} frequent) "
+                "— streaming state carry diverged from batch counting"
+            )
+    ref_series = reference.get("streaming_throughput") or {}
+    ref_rows = {
+        (r["policy"], r["mode"], r["total_events"]): r
+        for r in ref_series.get("rows", ())
+    }
+    if not ref_rows:
+        print(
+            "note: reference snapshot predates the streaming_throughput "
+            f"series (schema {reference.get('schema', '?')}); streaming "
+            "throughput reported, not gated"
+        )
+        return problems
+    for row in rows:
+        ref = ref_rows.get((row["policy"], row["mode"], row["total_events"]))
+        if ref is None:
+            continue
+        floor = ref["events_per_sec"] * (1.0 - tolerance)
+        if row["events_per_sec"] < floor:
+            problems.append(
+                f"streaming_throughput {row['policy']} {row['mode']}: "
+                f"{row['events_per_sec']:,.0f} events/s < "
+                f"{floor:,.0f} (reference {ref['events_per_sec']:,.0f} "
+                f"- {tolerance:.0%})"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reference", type=Path, default=REFERENCE)
@@ -307,6 +374,7 @@ def main(argv: "list[str] | None" = None) -> int:
     problems += check_gpu_sim(reference, fresh)
     problems += check_sharded_scaling(fresh)
     problems += check_auto_calibration(fresh)
+    problems += check_streaming(reference, fresh, tolerance=args.tolerance)
     if not problems:
         print("engine throughput: no regression vs committed trajectory")
         return 0

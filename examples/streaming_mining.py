@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Streaming episode mining over a drifting live event feed.
+
+A temporal-motif service does not receive its database in one piece —
+events arrive continuously.  This example feeds a seeded, drifting
+synthetic stream chunk-by-chunk into a :class:`repro.streaming.
+StreamingMiner` and shows the subsystem's two guarantees:
+
+* **exactness** — after the last chunk, the streaming result is
+  *identical* to batch-mining the concatenated stream (the chunk
+  boundaries are an arrival accident, never a semantic one);
+* **incrementality** — per-chunk work is proportional to the chunk,
+  with candidates lazily promoted into (and demoted out of) tracking
+  as the drift moves their support across the threshold.
+
+Run:  python examples/streaming_mining.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import StreamingMiner, SyntheticStreamSource
+from repro.mining.alphabet import Alphabet
+from repro.mining.miner import FrequentEpisodeMiner
+from repro.mining.policies import MatchPolicy
+
+
+def main() -> None:
+    alphabet = Alphabet.of_size(10)
+    threshold = 0.03
+    source = SyntheticStreamSource(
+        n_chunks=10, chunk_size=3_000, alphabet=alphabet, seed=42, drift=0.35
+    )
+
+    miner = StreamingMiner(
+        alphabet,
+        threshold=threshold,
+        policy=MatchPolicy.SUBSEQUENCE,
+        engine="auto",
+        max_level=3,
+    )
+    print("consuming the feed chunk by chunk:")
+    t0 = time.perf_counter()
+    for update in map(miner.update, source.chunks()):
+        line = (
+            f"  chunk {update.chunk_index}: {update.total_events:>6,} events, "
+            f"{update.n_frequent:>3} frequent, {update.n_tracked:>3} tracked"
+        )
+        if update.promoted:
+            line += f", +{len(update.promoted)} promoted"
+        if update.demoted:
+            line += f", -{len(update.demoted)} demoted"
+        print(line)
+    stream_s = time.perf_counter() - t0
+    streamed = miner.result()
+    print(f"streaming: {len(streamed.all_frequent)} frequent episodes in "
+          f"{stream_s * 1e3:.0f} ms "
+          f"({miner.total_events / stream_s:,.0f} events/s)")
+
+    # the whole point: batch mining the concatenation gives the same answer
+    db = np.concatenate(list(source.chunks()))
+    batch = FrequentEpisodeMiner(
+        alphabet, threshold, policy=MatchPolicy.SUBSEQUENCE,
+        engine="auto", max_level=3,
+    ).mine(db)
+    assert streamed.levels == batch.levels, "streaming must equal batch"
+    print(f"batch over the {db.size:,}-event concatenation: identical "
+          "result, level by level")
+    for lvl in streamed.levels:
+        print(f"  level {lvl.level}: {lvl.n_candidates:,} candidates -> "
+              f"{lvl.n_frequent} frequent")
+
+    top = sorted(streamed.all_frequent.items(), key=lambda kv: -kv[1])[:5]
+    print("top episodes:")
+    for ep, count in top:
+        print(f"  {ep.to_symbols(alphabet)}: {count:,}")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ The library provides:
 * a MapReduce framework the algorithms are expressed in
   (:mod:`repro.mapreduce`);
 * workload generators (:mod:`repro.data`) and the experiment harness
-  reproducing every table and figure (:mod:`repro.experiments`).
+  reproducing every table and figure (:mod:`repro.experiments`);
+* streaming episode mining (:mod:`repro.streaming`) — incremental,
+  exactly batch-equivalent counting over chunk-at-a-time event feeds.
 
 Quickstart::
 
@@ -90,6 +92,14 @@ from repro.data import (
 from repro.mapreduce import GpuCountingEngine
 from repro.gpu.multi import MultiGpu, dual_gx2
 from repro.mining.pipeline import PipelinedMiner
+from repro.streaming import (
+    ArrayStreamSource,
+    FileStreamSource,
+    StreamingMiner,
+    StreamUpdate,
+    SyntheticStreamSource,
+    as_stream_source,
+)
 
 __version__ = "1.0.0"
 
@@ -152,5 +162,12 @@ __all__ = [
     "MultiGpu",
     "dual_gx2",
     "PipelinedMiner",
+    # streaming
+    "StreamingMiner",
+    "StreamUpdate",
+    "ArrayStreamSource",
+    "FileStreamSource",
+    "SyntheticStreamSource",
+    "as_stream_source",
     "__version__",
 ]

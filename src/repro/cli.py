@@ -9,6 +9,10 @@ regenerated without writing Python:
 * ``advise --level 2 [--card GTX280]`` — the §5.3 card/config advisor;
 * ``mine --events 20000 --threshold 0.02`` — end-to-end mining demo on a
   synthetic market stream with the auto-selected GPU algorithm;
+* ``stream --chunks 12 --chunk-size 2048`` — incremental mining over a
+  chunk-at-a-time event feed (synthetic drifting feed by default, or
+  ``--input`` to replay a saved database), with per-chunk
+  promotion/demotion reporting (see :mod:`repro.streaming`);
 * ``calibrate`` — measure this host's engine crossovers and write a
   ``calibration.json`` profile the ``auto``/``sharded`` engines consult
   (see :mod:`repro.mining.calibration` for format and precedence);
@@ -103,6 +107,79 @@ def _build_parser() -> argparse.ArgumentParser:
     mine.add_argument(
         "--no-calibration",
         action="store_true",
+        help="ignore any calibration profile and use the fixed engine "
+        "heuristics",
+    )
+
+    strm = sub.add_parser(
+        "stream",
+        help="incremental mining over a chunked event feed",
+    )
+    strm.add_argument(
+        "--chunks", type=int, default=None,
+        help="number of synthetic chunks to generate (default: 12; "
+        "synthetic feed only)",
+    )
+    strm.add_argument(
+        "--chunk-size", type=int, default=2048,
+        help="events per chunk (default: 2048)",
+    )
+    strm.add_argument(
+        "--input", type=Path, default=None,
+        help="replay a database saved by the data IO helpers "
+        "(.npy/.txt) instead of the synthetic feed",
+    )
+    strm.add_argument(
+        "--alphabet-size", type=int, default=26,
+        help="synthetic feed alphabet size (default: 26)",
+    )
+    strm.add_argument(
+        "--drift", type=float, default=None,
+        help="per-chunk symbol-frequency drift of the synthetic feed "
+        "(0 = stationary; default: 0.15; synthetic feed only)",
+    )
+    strm.add_argument(
+        "--seed", type=int, default=None,
+        help="synthetic feed seed (default: 2009; synthetic feed only)",
+    )
+    strm.add_argument("--threshold", type=float, default=0.02)
+    strm.add_argument(
+        "--policy", default="reset",
+        choices=("reset", "subsequence", "expiring"),
+    )
+    strm.add_argument("--window", type=int, default=None)
+    strm.add_argument(
+        "--mode", default="landmark", choices=("landmark", "windowed"),
+        help="landmark: counts over the whole stream (incremental state "
+        "carry); windowed: counts over the trailing --horizon events",
+    )
+    strm.add_argument(
+        "--horizon", type=int, default=None,
+        help="window size in events (required by --mode windowed)",
+    )
+    strm.add_argument("--max-level", type=int, default=3)
+    strm.add_argument(
+        "--engine", default="auto",
+        help="counting engine for chunk/backfill dispatch (registry "
+        "name; 'gpu' aliases gpu-sim)",
+    )
+    strm.add_argument(
+        "--workers", type=int, default=None,
+        help="shard chunk counting across worker processes (wraps the "
+        "engine in the sharded engine, run-scoped per chunk)",
+    )
+    strm.add_argument(
+        "--min-shard-work", type=int, default=None,
+        help="minimum db-chars x episodes before a counting call is "
+        "sharded; only with --workers",
+    )
+    strm.add_argument(
+        "--calibration", type=Path, default=None, metavar="PATH",
+        help="explicit calibration profile steering engine dispatch "
+        "(default: ambient resolution)",
+    )
+    strm.add_argument(
+        "--no-calibration", action="store_true",
         help="ignore any calibration profile and use the fixed engine "
         "heuristics",
     )
@@ -209,13 +286,164 @@ def _cmd_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_cli_profile(args: argparse.Namespace):
+    """Shared ``--calibration``/``--no-calibration`` resolution.
+
+    Returns an explicit profile (an *empty* one pins the fixed
+    heuristics for ``--no-calibration`` without mutating process-global
+    state), or ``None`` to leave ambient resolution in effect.
+    """
+    from repro.errors import ConfigError
+    from repro.mining.calibration import CalibrationProfile, load_profile
+
+    if args.no_calibration and args.calibration is not None:
+        raise ConfigError(
+            "--calibration and --no-calibration are mutually exclusive"
+        )
+    if args.no_calibration:
+        return CalibrationProfile(thresholds={})
+    if args.calibration is not None:
+        # the user named the file, so honor it even on a foreign host
+        # (load still warns with recalibration advice)
+        profile = load_profile(args.calibration, require_host=False)
+        if profile is None:
+            raise ConfigError(
+                f"calibration profile {args.calibration} is missing or "
+                "unreadable (run `repro calibrate` to generate one)"
+            )
+        return profile
+    return None
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.errors import ConfigError
+    from repro.mining.alphabet import Alphabet
+    from repro.mining.engines import ShardedEngine, get_engine, list_engines
+    from repro.mining.policies import MatchPolicy, validate_window
+    from repro.streaming import (
+        FileStreamSource,
+        StreamingMiner,
+        SyntheticStreamSource,
+    )
+
+    engine_name = "gpu-sim" if args.engine == "gpu" else args.engine
+    if engine_name not in list_engines():
+        raise ConfigError(
+            f"unknown engine {args.engine!r}; expected 'gpu' or one of "
+            f"{', '.join(list_engines())}"
+        )
+    policy = MatchPolicy(args.policy)
+    validate_window(policy, args.window)
+    if args.min_shard_work is not None and not (
+        args.workers is not None or engine_name == "sharded"
+    ):
+        raise ConfigError(
+            "--min-shard-work requires --workers or --engine sharded"
+        )
+    profile = _resolve_cli_profile(args)
+    engine = get_engine(engine_name)
+    if args.workers is not None or engine_name == "sharded":
+        # construct the sharded engine here (rather than letting the
+        # miner clone it via with_profile) so the stats printed at the
+        # end come from the instance that actually ran
+        shard_kwargs = {}
+        if args.workers is not None:
+            shard_kwargs["workers"] = args.workers
+        if args.min_shard_work is not None:
+            shard_kwargs["min_shard_work"] = args.min_shard_work
+        inner = "auto" if engine_name == "sharded" else engine
+        engine = ShardedEngine(inner=inner, profile=profile, **shard_kwargs)
+    alphabet = Alphabet.of_size(args.alphabet_size)
+    if args.input is not None:
+        # fail fast on synthetic-only flags rather than silently
+        # replaying the whole file regardless of them
+        for flag, value in (("--chunks", args.chunks),
+                            ("--drift", args.drift),
+                            ("--seed", args.seed)):
+            if value is not None:
+                raise ConfigError(
+                    f"{flag} applies to the synthetic feed only; "
+                    "--input replays the whole file in --chunk-size pieces"
+                )
+        source = FileStreamSource(
+            args.input, chunk_size=args.chunk_size, alphabet=alphabet
+        )
+        feed = f"replay of {args.input}"
+    else:
+        n_chunks = args.chunks if args.chunks is not None else 12
+        drift = args.drift if args.drift is not None else 0.15
+        seed = args.seed if args.seed is not None else 2009
+        source = SyntheticStreamSource(
+            n_chunks,
+            args.chunk_size,
+            alphabet=alphabet,
+            seed=seed,
+            drift=drift,
+        )
+        feed = (
+            f"synthetic feed ({n_chunks} chunks x {args.chunk_size} "
+            f"events, drift {drift:g})"
+        )
+    miner = StreamingMiner(
+        alphabet,
+        threshold=args.threshold,
+        policy=policy,
+        window=args.window,
+        engine=engine,
+        calibration=profile,
+        mode=args.mode,
+        horizon=args.horizon,
+        max_level=args.max_level,
+    )
+    print(
+        f"streaming {feed}: mode={args.mode} policy={policy.value} "
+        f"alpha={args.threshold} engine={engine_name}"
+    )
+    t0 = time.perf_counter()
+    for update in map(miner.update, source.chunks()):
+        line = (
+            f"  chunk {update.chunk_index:>3}: +{update.chunk_events:,} "
+            f"events ({update.total_events:,} total), "
+            f"{update.n_frequent} frequent"
+        )
+        if args.mode == "landmark":
+            line += f", {update.n_tracked} tracked"
+            if update.promoted:
+                line += f", +{len(update.promoted)} promoted"
+            if update.demoted:
+                line += f", -{len(update.demoted)} demoted"
+        print(line)
+    elapsed = time.perf_counter() - t0
+    result = miner.result()
+    for lvl in result.levels:
+        print(
+            f"  level {lvl.level}: {lvl.n_candidates} candidates -> "
+            f"{lvl.n_frequent} frequent"
+        )
+    top = sorted(result.all_frequent.items(), key=lambda kv: -kv[1])[:10]
+    for ep, count in top:
+        print(f"  {ep.to_symbols(alphabet)}: {count:,}")
+    rate = miner.total_events / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"consumed {miner.total_events:,} events in {elapsed * 1e3:.1f} ms "
+        f"({rate:,.0f} events/s)"
+    )
+    if isinstance(engine, ShardedEngine):
+        print(
+            f"sharded over {engine.workers} workers "
+            f"({engine.pools_spawned} pool spawn(s))"
+        )
+    return 0
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     import time
 
     from repro.data.market import MarketConfig, generate_market_stream
     from repro.errors import ConfigError
     from repro.gpu.specs import get_card
-    from repro.mining.calibration import CalibrationProfile, load_profile
     from repro.mining.engines import (
         GpuSimEngine,
         ShardedEngine,
@@ -240,25 +468,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         raise ConfigError(
             "--min-shard-work requires --workers or --engine sharded"
         )
-    if args.no_calibration and args.calibration is not None:
-        raise ConfigError(
-            "--calibration and --no-calibration are mutually exclusive"
-        )
-    profile = None
-    if args.no_calibration:
-        # an empty explicit profile pins the fixed heuristics for the
-        # whole run (including sharded workers) without mutating the
-        # process-global ambient state an embedding caller may rely on
-        profile = CalibrationProfile(thresholds={})
-    elif args.calibration is not None:
-        # the user named the file, so honor it even on a foreign host
-        # (load still warns with recalibration advice)
-        profile = load_profile(args.calibration, require_host=False)
-        if profile is None:
-            raise ConfigError(
-                f"calibration profile {args.calibration} is missing or "
-                "unreadable (run `repro calibrate` to generate one)"
-            )
+    profile = _resolve_cli_profile(args)
     if engine_name == "gpu-sim":
         # same registry engine the name resolves to, carded per --card
         engine = GpuSimEngine(device=get_card(args.card))
@@ -384,6 +594,7 @@ def _cmd_probe(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "tables": _cmd_tables,
+    "stream": _cmd_stream,
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,
     "advise": _cmd_advise,

@@ -6,7 +6,12 @@ and market-basket generators exercise the same code paths on workloads
 shaped like the application domains the paper motivates (§1, §3.1).
 """
 
-from repro.data.synthetic import paper_database, random_database, PAPER_DB_LENGTH
+from repro.data.synthetic import (
+    paper_database,
+    random_database,
+    stream_chunks,
+    PAPER_DB_LENGTH,
+)
 from repro.data.spikes import SpikeTrainConfig, generate_spike_stream, PlantedEpisode
 from repro.data.market import MarketConfig, generate_market_stream
 from repro.data.io import save_database, load_database
@@ -14,6 +19,7 @@ from repro.data.io import save_database, load_database
 __all__ = [
     "paper_database",
     "random_database",
+    "stream_chunks",
     "PAPER_DB_LENGTH",
     "SpikeTrainConfig",
     "generate_spike_stream",

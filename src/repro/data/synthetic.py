@@ -10,6 +10,8 @@ database length and candidate count.
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -45,6 +47,48 @@ def random_database(
         probs = weights / weights.sum()
         return rng.choice(alphabet.size, size=length, p=probs).astype(np.uint8)
     return rng.integers(0, alphabet.size, size=length, dtype=np.int64).astype(np.uint8)
+
+
+def stream_chunks(
+    n_chunks: int,
+    chunk_size: int,
+    alphabet: Alphabet = UPPERCASE,
+    seed: "int | np.random.Generator | None" = None,
+    drift: float = 0.0,
+) -> "Iterator[np.ndarray]":
+    """A seeded, chunk-at-a-time synthetic event stream.
+
+    Yields ``n_chunks`` uint8 arrays of ``chunk_size`` events each — the
+    shape the streaming subsystem (:mod:`repro.streaming`) consumes.
+    With ``drift == 0`` every chunk is drawn uniformly (so the
+    concatenation is statistically identical to
+    :func:`random_database`).  A positive ``drift`` makes the
+    per-symbol frequencies take a log-normal random walk between
+    chunks — ``log w += Normal(0, drift)`` per symbol, renormalized —
+    so later chunks over- and under-represent different symbols, the
+    non-stationarity that exercises streaming promotion/demotion.
+
+    Everything is derived from one :class:`numpy.random.Generator`, so
+    a fixed integer ``seed`` reproduces the exact chunk sequence.
+    Passing a ``Generator`` continues its state instead (chunks drawn
+    in sequence, never reset).
+    """
+    if n_chunks < 0:
+        raise ValidationError(f"n_chunks must be >= 0, got {n_chunks}")
+    if chunk_size < 0:
+        raise ValidationError(f"chunk_size must be >= 0, got {chunk_size}")
+    if drift < 0:
+        raise ValidationError(f"drift must be >= 0, got {drift}")
+    rng = make_rng(seed)
+    log_weights = np.zeros(alphabet.size, dtype=np.float64)
+    for _ in range(n_chunks):
+        if drift > 0.0:
+            log_weights += rng.normal(0.0, drift, alphabet.size)
+            weights = np.exp(log_weights - log_weights.max())
+            yield random_database(chunk_size, alphabet, seed=rng,
+                                  weights=weights)
+        else:
+            yield random_database(chunk_size, alphabet, seed=rng)
 
 
 def paper_database(

@@ -20,6 +20,14 @@ A single JSON object::
       "host": "2f0c9ab14d3e",      # host_fingerprint(), or "*" (fixture
                                    # profiles valid on any host)
       "created": "2026-07-27T12:00:00+00:00",
+      "created_at": "2026-07-27T12:00:00+00:00",  # same value; the
+                                   # documented key ("created" kept for
+                                   # pre-staleness readers).  Profiles
+                                   # older than the staleness horizon
+                                   # (DEFAULT_MAX_PROFILE_AGE_DAYS, or
+                                   # REPRO_CALIBRATION_MAX_AGE_DAYS)
+                                   # warn once per process on load —
+                                   # and are still used.
       "grid": {"sizes": [...], "episodes": [...], "repeats": 2},
       "thresholds": {              # per-policy AutoEngine boundaries
         "subsequence": {"sweep_max_n": 8192,
@@ -89,6 +97,8 @@ __all__ = [
     "CALIBRATION_SCHEMA",
     "ANY_HOST",
     "ENV_VAR",
+    "MAX_AGE_ENV_VAR",
+    "DEFAULT_MAX_PROFILE_AGE_DAYS",
     "PolicyThresholds",
     "ShardingCosts",
     "CalibrationProfile",
@@ -115,6 +125,14 @@ ANY_HOST = "*"
 
 #: environment variable naming a profile path (precedence step 3)
 ENV_VAR = "REPRO_CALIBRATION"
+
+#: environment variable overriding the staleness age limit, in days
+#: (``0`` or negative disables the staleness warning entirely)
+MAX_AGE_ENV_VAR = "REPRO_CALIBRATION_MAX_AGE_DAYS"
+
+#: default staleness horizon: profiles older than this warn (once per
+#: process) that the measured crossovers may have drifted
+DEFAULT_MAX_PROFILE_AGE_DAYS = 30.0
 
 #: probe grid of the full calibration run (policy-sensitive engines are
 #: timed on every (n, E) cell); sized so a full run stays in seconds
@@ -225,6 +243,20 @@ class ShardingCosts:
         work = int(4.0 * self.dispatch_s * self.ops_per_sec)
         return max(MIN_SHARD_WORK_FLOOR, min(work, MIN_SHARD_WORK_CEIL))
 
+    def per_candidate_dispatch_ms(self) -> float:
+        """Measured host-side handling cost per dispatched record (ms).
+
+        The dispatch probe times a ``probed_workers``-record MapReduce
+        round trip, so per record it measured
+        ``dispatch_s / probed_workers`` — the per-candidate host
+        overhead :class:`~repro.mining.pipeline.PipelinedMiner` charges
+        for generation/reconciliation work hidden behind a kernel
+        (previously a hard-coded default).  Floored at 1 µs so a
+        degenerate probe never models free host work.
+        """
+        per_record_s = self.dispatch_s / max(1, self.probed_workers)
+        return max(1e-6, per_record_s) * 1e3
+
     def as_dict(self) -> dict:
         return {
             "pool_spawn_s": float(self.pool_spawn_s),
@@ -252,11 +284,28 @@ class CalibrationProfile:
     def matches_host(self) -> bool:
         return self.host == ANY_HOST or self.host == host_fingerprint()
 
+    def age_days(self, now: "datetime | None" = None) -> "float | None":
+        """Profile age in days, or ``None`` when ``created`` is absent
+        or unparsable (legacy files; staleness then cannot be judged)."""
+        if not self.created:
+            return None
+        try:
+            created = datetime.fromisoformat(self.created)
+        except ValueError:
+            return None
+        if created.tzinfo is None:
+            created = created.replace(tzinfo=timezone.utc)
+        now = now if now is not None else datetime.now(timezone.utc)
+        return (now - created).total_seconds() / 86_400.0
+
     def to_payload(self) -> dict:
         return {
             "schema": self.schema,
             "host": self.host,
+            # both spellings: "created_at" is the documented key,
+            # "created" keeps pre-staleness readers working
             "created": self.created,
+            "created_at": self.created,
             "grid": self.grid,
             "thresholds": {
                 policy: t.as_dict() for policy, t in sorted(self.thresholds.items())
@@ -298,7 +347,7 @@ class CalibrationProfile:
             thresholds=thresholds,
             sharding=sharding,
             host=str(payload.get("host", ANY_HOST)),
-            created=str(payload.get("created", "")),
+            created=str(payload.get("created_at") or payload.get("created", "")),
             schema=int(schema),
             grid=payload.get("grid", {}) or {},
             measurements=tuple(payload.get("measurements", ())),
@@ -313,8 +362,64 @@ def save_profile(profile: CalibrationProfile, path: "Path | str") -> Path:
     return path
 
 
+#: one-time latch for the staleness warning (advisory: a stale profile
+#: is still *used*, unlike host/schema mismatches); reset alongside the
+#: ambient cache by :func:`reset_active_profile`
+_stale_warned = False
+
+
+def _resolved_max_age_days(max_age_days: "float | None") -> float:
+    if max_age_days is not None:
+        return float(max_age_days)
+    env = os.environ.get(MAX_AGE_ENV_VAR)
+    if env:
+        try:
+            return float(env)
+        except ValueError:
+            warnings.warn(
+                f"ignoring non-numeric {MAX_AGE_ENV_VAR}={env!r}",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+    return DEFAULT_MAX_PROFILE_AGE_DAYS
+
+
+def _warn_if_stale(
+    profile: CalibrationProfile, path: Path, max_age_days: "float | None"
+) -> None:
+    """Once per process, flag a profile past the staleness horizon.
+
+    Staleness is advisory — measured crossovers drift with OS/library
+    updates but never affect exactness — so the profile is still used;
+    the warning just carries the recalibration hint.  A profile without
+    a parsable ``created_at`` (legacy files) cannot be judged and stays
+    silent.
+    """
+    global _stale_warned
+    if _stale_warned:
+        return
+    limit = _resolved_max_age_days(max_age_days)
+    if limit <= 0:
+        return  # staleness checking disabled
+    age = profile.age_days()
+    if age is None or age <= limit:
+        return
+    _stale_warned = True
+    warnings.warn(
+        f"calibration profile {path} is {age:.0f} days old "
+        f"(staleness limit {limit:g} days; configure via "
+        f"{MAX_AGE_ENV_VAR}); the measured crossovers may have drifted "
+        "— refresh with `repro calibrate`",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def load_profile(
-    path: "Path | str", *, require_host: bool = True
+    path: "Path | str",
+    *,
+    require_host: bool = True,
+    max_age_days: "float | None" = None,
 ) -> "CalibrationProfile | None":
     """Load a profile, degrading to ``None`` instead of crashing.
 
@@ -323,7 +428,11 @@ def load_profile(
     constants).  When ``require_host`` is true, a fingerprint mismatch
     also warns — with recalibration advice — and returns ``None``;
     explicit CLI paths pass ``require_host=False`` to honor the user's
-    choice while still surfacing the advice.
+    choice while still surfacing the advice.  A profile older than
+    ``max_age_days`` (default :data:`DEFAULT_MAX_PROFILE_AGE_DAYS`,
+    overridable via the :data:`MAX_AGE_ENV_VAR` environment variable;
+    ``<= 0`` disables) warns once per process — and is still used:
+    staleness is advice, not an error.
     """
     path = Path(path)
     if not path.exists():
@@ -351,6 +460,7 @@ def load_profile(
         )
         if require_host:
             return None
+    _warn_if_stale(profile, path, max_age_days)
     return profile
 
 
@@ -369,9 +479,15 @@ def set_active_profile(profile: "CalibrationProfile | None") -> None:
 
 
 def reset_active_profile() -> None:
-    """Forget any pinned/cached ambient profile (re-resolve lazily)."""
-    global _active
+    """Forget any pinned/cached ambient profile (re-resolve lazily).
+
+    Also re-arms the one-time staleness warning: after ``repro
+    calibrate`` rewrites the file (or a test swaps profiles), the next
+    stale load should speak up again.
+    """
+    global _active, _stale_warned
     _active = _UNSET
+    _stale_warned = False
 
 
 def active_profile() -> "CalibrationProfile | None":

@@ -44,6 +44,41 @@ class LevelResult:
         return dict(zip(self.frequent, self.counts))
 
 
+def eliminate_level(
+    level: int,
+    candidates: list[Episode],
+    counts: np.ndarray,
+    n: int,
+    threshold: float,
+    extra_keep: "np.ndarray | None" = None,
+) -> "tuple[LevelResult, list[Episode]]":
+    """Apply the support threshold to one level's counts.
+
+    The single home of the elimination rule (``count / n > threshold``,
+    paper §3.1) and the :class:`LevelResult` shape.  The batch miner,
+    the pipelined miner, and the streaming miner all eliminate through
+    here — the streaming batch-equivalence contract
+    (:mod:`repro.streaming`) requires them to agree bit-for-bit, so the
+    rule must never be re-implemented per driver.  ``extra_keep``
+    optionally ANDs in a further mask (the pipelined miner's
+    speculative-prefix reconciliation).  Returns ``(level_result,
+    frequent_episodes)``.
+    """
+    keep = counts / n > threshold
+    if extra_keep is not None:
+        keep = keep & extra_keep
+    frequent = [c for c, k in zip(candidates, keep) if k]
+    kept_counts = [int(c) for c, k in zip(counts, keep) if k]
+    result = LevelResult(
+        level=level,
+        n_candidates=len(candidates),
+        n_frequent=len(frequent),
+        frequent=tuple(frequent),
+        counts=tuple(kept_counts),
+    )
+    return result, frequent
+
+
 @dataclass(frozen=True)
 class MiningResult:
     """Full mining outcome: per-level results plus the union set S_A."""
@@ -180,18 +215,10 @@ class FrequentEpisodeMiner:
                         f"engine returned shape {counts.shape} for "
                         f"{len(candidates)} candidates"
                     )
-                keep = counts / n > self.threshold
-                frequent = [c for c, k in zip(candidates, keep) if k]
-                kept_counts = [int(c) for c, k in zip(counts, keep) if k]
-                levels.append(
-                    LevelResult(
-                        level=level,
-                        n_candidates=len(candidates),
-                        n_frequent=len(frequent),
-                        frequent=tuple(frequent),
-                        counts=tuple(kept_counts),
-                    )
+                result, frequent = eliminate_level(
+                    level, candidates, counts, n, self.threshold
                 )
+                levels.append(result)
                 if not frequent:
                     break
                 level += 1
@@ -204,3 +231,44 @@ class FrequentEpisodeMiner:
                         contiguous=self.policy.is_contiguous,
                     )
         return MiningResult(threshold=self.threshold, levels=tuple(levels))
+
+    def mine_stream(
+        self,
+        source,
+        mode: str = "landmark",
+        horizon: "int | None" = None,
+    ) -> MiningResult:
+        """Mine a chunked event feed instead of one in-memory database.
+
+        ``source`` is anything :func:`repro.streaming.as_stream_source`
+        accepts (a :class:`~repro.streaming.StreamSource`, a 1-D array,
+        or an iterable of chunk arrays).  In landmark mode the result
+        is exactly ``mine(concatenated_stream)`` — counting is carried
+        incrementally across chunks by a
+        :class:`~repro.streaming.StreamingMiner` configured like this
+        miner (same alphabet/threshold/policy/engine/calibration);
+        windowed mode mines the trailing ``horizon`` events.  Requires
+        a registry engine (plain callables cannot be dispatched
+        per-chunk).
+        """
+        from repro.mining.engines import BoundEngine
+        from repro.streaming import StreamingMiner
+
+        if not isinstance(self._engine, BoundEngine):
+            raise ValidationError(
+                "mine_stream requires a registry counting engine; this "
+                "miner was built with a plain callable"
+            )
+        streaming = StreamingMiner(
+            self.alphabet,
+            self.threshold,
+            policy=self.policy,
+            window=self.window,
+            # the bound engine already carries with_profile(calibration)
+            engine=self._engine.engine,
+            mode=mode,
+            horizon=horizon,
+            max_level=self.max_level,
+            exhaustive_candidates=self.exhaustive_candidates,
+        )
+        return streaming.mine_stream(source)

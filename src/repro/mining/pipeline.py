@@ -37,7 +37,7 @@ from repro.mining.candidates import (
     generate_next_level,
 )
 from repro.mining.engines import CountingEngine, get_engine
-from repro.mining.miner import LevelResult, MiningResult
+from repro.mining.miner import LevelResult, MiningResult, eliminate_level
 from repro.mining.policies import MatchPolicy
 from repro.algos.base import MiningProblem
 from repro.algos.registry import get_algorithm
@@ -67,8 +67,14 @@ class PipelinedMiner:
 
     Parameters mirror :class:`~repro.mining.miner.FrequentEpisodeMiner`;
     ``host_ms_per_candidate`` models the host-side generation cost the
-    pipeline hides (measured host cost of the non-pipelined loop is a
-    reasonable setting; the default is deliberately modest).
+    pipeline hides.  Left ``None`` it is *measured*, not guessed: the
+    active calibration profile's pool-dispatch probe
+    (:meth:`~repro.mining.calibration.ShardingCosts.
+    per_candidate_dispatch_ms`) supplies the per-record host overhead —
+    the explicit ``calibration`` profile first, else the ambient one —
+    falling back to the historical ``DEFAULT_HOST_MS_PER_CANDIDATE``
+    when no profile (or no sharding probe) is available.
+    ``host_ms_source`` records which of the three applied.
     ``max_speculative`` caps how many candidates one speculative level
     may materialize; levels beyond the cap run sequentially on
     ``engine`` (a counting-engine registry name or instance).
@@ -77,13 +83,17 @@ class PipelinedMiner:
     engine (``with_profile``); ambient resolution applies otherwise.
     """
 
+    #: fallback host-side cost per candidate (ms) when neither an
+    #: explicit value nor a measured profile applies
+    DEFAULT_HOST_MS_PER_CANDIDATE = 0.001
+
     def __init__(
         self,
         device: DeviceSpecs,
         alphabet: Alphabet,
         threshold: float,
         max_level: int = 3,
-        host_ms_per_candidate: float = 0.001,
+        host_ms_per_candidate: "float | None" = None,
         concurrent_kernels: bool = False,
         max_speculative: int = 200_000,
         engine: "str | CountingEngine" = "auto",
@@ -101,7 +111,25 @@ class PipelinedMiner:
         self.alphabet = alphabet
         self.threshold = threshold
         self.max_level = max_level
-        self.host_ms_per_candidate = host_ms_per_candidate
+        if host_ms_per_candidate is not None:
+            self.host_ms_per_candidate = host_ms_per_candidate
+            self.host_ms_source = "explicit"
+        else:
+            from repro.mining import calibration as _calibration
+
+            profile = (
+                calibration if calibration is not None
+                else _calibration.active_profile()
+            )
+            sharding = getattr(profile, "sharding", None)
+            if sharding is not None:
+                self.host_ms_per_candidate = (
+                    sharding.per_candidate_dispatch_ms()
+                )
+                self.host_ms_source = "calibrated"
+            else:
+                self.host_ms_per_candidate = self.DEFAULT_HOST_MS_PER_CANDIDATE
+                self.host_ms_source = "default"
         self.concurrent_kernels = concurrent_kernels
         self.max_speculative = max_speculative
         self._engine = get_engine(engine)
@@ -166,7 +194,6 @@ class PipelinedMiner:
         exhausted = False
         for level, candidates, counts in pending:
             assert counts is not None
-            keep = counts / n > self.threshold
             # reconcile speculation: a level-k candidate also needs its
             # prefix frequent at level k-1 (Algorithm 1's generation rule)
             if prev_frequent is not None:
@@ -175,18 +202,13 @@ class PipelinedMiner:
                     dtype=bool,
                     count=len(candidates),
                 )
-                keep = keep & prefix_ok
-            frequent = [c for c, k in zip(candidates, keep) if k]
-            kept_counts = [int(x) for x, k in zip(counts, keep) if k]
-            levels.append(
-                LevelResult(
-                    level=level,
-                    n_candidates=len(candidates),
-                    n_frequent=len(frequent),
-                    frequent=tuple(frequent),
-                    counts=tuple(kept_counts),
-                )
+            else:
+                prefix_ok = None
+            result, frequent = eliminate_level(
+                level, candidates, np.asarray(counts), n, self.threshold,
+                extra_keep=prefix_ok,
             )
+            levels.append(result)
             prev_frequent = {c.items for c in frequent}
             last_frequent = frequent
             if not frequent:
@@ -209,18 +231,10 @@ class PipelinedMiner:
                     counts = self._engine.count(
                         db, candidates, self.alphabet.size, MatchPolicy.RESET
                     )
-                    keep = counts / n > self.threshold
-                    frequent = [c for c, k in zip(candidates, keep) if k]
-                    kept_counts = [int(x) for x, k in zip(counts, keep) if k]
-                    levels.append(
-                        LevelResult(
-                            level=level,
-                            n_candidates=len(candidates),
-                            n_frequent=len(frequent),
-                            frequent=tuple(frequent),
-                            counts=tuple(kept_counts),
-                        )
+                    result, frequent = eliminate_level(
+                        level, candidates, counts, n, self.threshold
                     )
+                    levels.append(result)
                     last_frequent = frequent
                     level += 1
 

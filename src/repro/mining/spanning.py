@@ -41,8 +41,12 @@ of Patnaik et al.'s accelerator-oriented transformation (PAPERS.md):
 
 :func:`count_segmented` uses the same machinery serially; the sharded
 counting engine (:mod:`repro.mining.engines`) dispatches pass 1 across
-process-pool workers.  Characterization 3's cost-of-spanning trend is
-precisely the growth of this carry work with segment count.
+process-pool workers; the streaming subsystem (:mod:`repro.streaming`)
+treats each arriving chunk as the next segment of an unbounded database
+and carries the composed exit state between chunks via
+:func:`advance_subsequence` / :func:`advance_expiring`.
+Characterization 3's cost-of-spanning trend is precisely the growth of
+this carry work with segment count.
 """
 
 from __future__ import annotations
@@ -282,6 +286,19 @@ def expiring_segment_summary(
     return ExpiringSummary(counts=counts, exit_times=exit_times)
 
 
+def advance_subsequence(
+    summary: SubsequenceSummary, entry: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """One compose step: ``(counts, exit_states)`` for a segment entered
+    in states ``entry``.  Pure table lookup into the pass-1 summary —
+    O(E) regardless of segment length.  Shared by
+    :func:`compose_subsequence` and the streaming state store
+    (:mod:`repro.streaming`), which must never drift apart.
+    """
+    lane = np.arange(entry.size)
+    return summary.counts[entry, lane], summary.exits[entry, lane]
+
+
 def compose_subsequence(
     summaries: "list[SubsequenceSummary]", n_episodes: int
 ) -> "tuple[np.ndarray, np.ndarray]":
@@ -292,10 +309,8 @@ def compose_subsequence(
     """
     seg_counts = np.zeros((len(summaries), n_episodes), dtype=np.int64)
     entry = np.zeros(n_episodes, dtype=np.int64)
-    lane = np.arange(n_episodes)
     for i, summary in enumerate(summaries):
-        seg_counts[i] = summary.counts[entry, lane]
-        entry = summary.exits[entry, lane]
+        seg_counts[i], entry = advance_subsequence(summary, entry)
     return seg_counts, entry
 
 
@@ -351,6 +366,29 @@ def _expiring_fix(
     return summary.counts + (counts_a - counts_b), a
 
 
+def advance_expiring(
+    db_seg: np.ndarray,
+    matrix: np.ndarray,
+    window: int,
+    entry_times: np.ndarray,
+    t0: int,
+    summary: ExpiringSummary,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """One compose step: ``(counts, exit_times)`` for a segment entered
+    in the absolute timestamp snapshot ``entry_times``.
+
+    A provably-dead entry (every carried prefix already outside the
+    window at segment start) accepts the speculative pass-1 result O(1);
+    a live entry pays the bounded lockstep fix-up.  Shared by
+    :func:`compose_expiring` and the streaming state store
+    (:mod:`repro.streaming`), which must never drift apart.
+    """
+    length = matrix.shape[1]
+    if length == 1 or bool(np.all(entry_times[:, 1:length] < t0 - window)):
+        return summary.counts, summary.exit_times
+    return _expiring_fix(db_seg, matrix, window, entry_times, t0, summary)
+
+
 def compose_expiring(
     db: np.ndarray,
     matrix: np.ndarray,
@@ -360,10 +398,8 @@ def compose_expiring(
 ) -> np.ndarray:
     """Thread the true EXPIRING entry state through pass-1 summaries.
 
-    Per segment: a provably-dead entry (every carried prefix already
-    outside the window at segment start) accepts the speculative result
-    O(1); a live entry pays the bounded lockstep fix-up.  Returns
-    per-segment counts ``(n_segments, E)``.
+    Per segment one :func:`advance_expiring` step.  Returns per-segment
+    counts ``(n_segments, E)``.
     """
     n_eps, length = matrix.shape
     db = np.asarray(db)
@@ -372,11 +408,7 @@ def compose_expiring(
     for i, ((lo, hi), summary) in enumerate(zip(bounds, summaries)):
         if hi <= lo:
             continue  # zero-width segment: state passes through
-        if length == 1 or bool(np.all(entry[:, 1:length] < lo - window)):
-            seg_counts[i] = summary.counts
-            entry = summary.exit_times
-            continue
-        seg_counts[i], entry = _expiring_fix(
+        seg_counts[i], entry = advance_expiring(
             db[lo:hi], matrix, window, entry, lo, summary
         )
     return seg_counts

@@ -1,0 +1,76 @@
+"""Streaming episode mining: incremental counting over live event feeds.
+
+The paper's characterization is strictly batch — one database, one
+mining run — but its segment/state-carry decomposition (§3.3.3, Fig. 5;
+:mod:`repro.mining.spanning`) is exactly the primitive needed to count
+episodes *incrementally* as events arrive.  This package makes that
+transformation online: an unbounded event stream is consumed one chunk
+at a time, and mining state is carried between chunks so results are
+always **exactly** what batch mining over the concatenated prefix would
+produce.
+
+The chunk / summary / compose contract
+--------------------------------------
+A *chunk* is a 1-D uint8 code array of any size (including empty); the
+stream is the concatenation of all chunks in arrival order, and chunk
+boundaries are an arrival accident that must never change counts (the
+chunking-invariance property suite, ``tests/test_streaming.py``,
+asserts streaming == batch ``scalar-oracle`` for randomized boundaries
+including size-0/size-1 chunks, under all three policies).
+
+Each arriving chunk is treated as the next *segment* of the unbounded
+database.  Counting it takes two steps, split exactly as in the sharded
+engine's two-pass database-axis carry:
+
+1. **summary** (pass 1, prefix-independent): the chunk's standalone
+   behaviour.  Under RESET this is a plain engine count of the chunk
+   (any :mod:`repro.mining.engines` REGISTRY engine — ``sharded``
+   included, its run scope opened per chunk — with calibration
+   profiles steering dispatch as in batch mining); under SUBSEQUENCE
+   the full entry-state table; under EXPIRING the speculative
+   empty-entry run with absolute timestamps.
+2. **compose** (carry, chunk-bounded): the carried state threads
+   through the summary — RESET replays the boundary window (the last
+   ``L-1`` retained events against the chunk head), SUBSEQUENCE
+   composes by table lookup, EXPIRING resumes the snapshot in bounded
+   lockstep.  The composed exit state is persisted in the
+   :class:`~repro.streaming.store.EpisodeStateStore` for the next
+   chunk.
+
+Window semantics
+----------------
+``mode="landmark"`` (default) counts every episode over the entire
+stream since the first chunk: support after chunk ``k`` is
+``count / total_events``, and per-chunk work is proportional to the
+chunk (the retained prefix is touched only to backfill episodes newly
+*promoted* into tracking when their prefix's support crossed the
+threshold).  ``mode="windowed"`` counts over the trailing ``horizon``
+events only: the buffer is bounded, each update recounts the window
+through the engine, and results equal batch mining of the window —
+the right mode when old events must stop influencing the frequent set
+(drift) or memory must stay bounded.
+"""
+
+from repro.streaming.miner import StreamingMiner, StreamUpdate
+from repro.streaming.sources import (
+    ArrayStreamSource,
+    FileStreamSource,
+    IterableStreamSource,
+    StreamSource,
+    SyntheticStreamSource,
+    as_stream_source,
+)
+from repro.streaming.store import EpisodeStateStore, TrackedLevel
+
+__all__ = [
+    "StreamingMiner",
+    "StreamUpdate",
+    "StreamSource",
+    "ArrayStreamSource",
+    "FileStreamSource",
+    "IterableStreamSource",
+    "SyntheticStreamSource",
+    "as_stream_source",
+    "EpisodeStateStore",
+    "TrackedLevel",
+]

@@ -1,0 +1,313 @@
+"""Incremental level-wise mining over an unbounded chunk feed.
+
+:class:`StreamingMiner` maintains, after every arriving chunk, exactly
+the mining result the batch :class:`~repro.mining.miner.
+FrequentEpisodeMiner` would produce over the concatenated prefix (the
+batch-equivalence contract of :mod:`repro.streaming`) — without
+recounting the prefix.  Per chunk it:
+
+1. *advances* every tracked candidate's carried FSM state through the
+   :class:`~repro.streaming.store.EpisodeStateStore` (cost proportional
+   to the chunk, never the prefix);
+2. *reconciles* the tracked candidate sets against what level-wise
+   A-priori generation now yields: candidates whose support crossed the
+   threshold promote their extensions into tracking (backfilled over
+   the retained prefix), candidates that fell below demote theirs —
+   the lazy promotion/demotion that keeps the tracked set equal to the
+   batch miner's candidate sets at all times.
+
+Counting dispatch goes through the engine registry: each ``update``
+call is wrapped in the engine's run scope, so a ``sharded`` engine
+acquires its worker pool once per chunk and an explicit or ambient
+calibration profile (:mod:`repro.mining.calibration`) steers the
+``auto`` tier exactly as it does in batch mining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ValidationError
+from repro.mining.alphabet import Alphabet
+from repro.mining.candidates import generate_level, generate_next_level
+from repro.mining.engines import (
+    CountingEngine as RegistryEngine,
+    get_engine,
+)
+from repro.mining.episode import Episode
+from repro.mining.miner import LevelResult, MiningResult, eliminate_level
+from repro.mining.policies import MatchPolicy, validate_window
+from repro.streaming.sources import StreamSource, as_stream_source
+from repro.streaming.store import EpisodeStateStore
+
+__all__ = ["StreamingMiner", "StreamUpdate"]
+
+#: window-mode names accepted by :class:`StreamingMiner`
+MODES = ("landmark", "windowed")
+
+
+@dataclass(frozen=True)
+class StreamUpdate:
+    """Outcome of folding one chunk into the stream state."""
+
+    chunk_index: int
+    chunk_events: int
+    total_events: int
+    #: candidates currently tracked across all levels (after reconcile)
+    n_tracked: int
+    #: episodes promoted into / demoted out of tracking by this chunk
+    promoted: "tuple[Episode, ...]"
+    demoted: "tuple[Episode, ...]"
+    #: frequent episodes across all levels, as of this chunk
+    n_frequent: int
+
+
+class StreamingMiner:
+    """Level-wise frequent-episode mining over a live chunk feed.
+
+    Parameters mirror :class:`~repro.mining.miner.FrequentEpisodeMiner`
+    where they overlap; ``engine`` must be a registry name or
+    :class:`~repro.mining.engines.CountingEngine` instance (plain
+    callables cannot be dispatched per-chunk).
+
+    ``mode`` selects the window semantics (documented in
+    :mod:`repro.streaming`): ``"landmark"`` counts over the entire
+    stream since the first chunk, carrying state incrementally;
+    ``"windowed"`` counts over the trailing ``horizon`` events,
+    recounting the (bounded) window buffer through the engine on every
+    update.
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        threshold: float,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        engine: "str | RegistryEngine | None" = None,
+        calibration: "object | None" = None,
+        mode: str = "landmark",
+        horizon: "int | None" = None,
+        max_level: int = 8,
+        exhaustive_candidates: bool = False,
+    ) -> None:
+        if not 0.0 <= threshold < 1.0:
+            raise ValidationError(
+                f"threshold alpha must be in [0, 1), got {threshold}"
+            )
+        if max_level < 1:
+            raise ValidationError(f"max_level must be >= 1, got {max_level}")
+        validate_window(policy, window)
+        if mode not in MODES:
+            raise ConfigError(f"mode must be one of {MODES}, got {mode!r}")
+        if mode == "windowed":
+            if horizon is None or horizon < 1:
+                raise ConfigError(
+                    f"windowed mode requires horizon >= 1, got {horizon}"
+                )
+        elif horizon is not None:
+            raise ConfigError("horizon only applies to windowed mode")
+        if engine is not None and not isinstance(engine, (str, RegistryEngine)):
+            raise ValidationError(
+                "streaming mining needs a registry engine (name or "
+                "CountingEngine instance), not a plain callable"
+            )
+        self.alphabet = alphabet
+        self.threshold = threshold
+        self.policy = policy
+        self.window = window
+        self.mode = mode
+        self.horizon = horizon
+        self.max_level = max_level
+        self.exhaustive_candidates = exhaustive_candidates
+        self.calibration = calibration
+        resolved = get_engine(engine or "auto")
+        if calibration is not None:
+            resolved = resolved.with_profile(calibration)
+        self._engine = resolved
+        self._store = EpisodeStateStore(
+            alphabet.size, policy, window, max_level, self._count_with_engine
+        )
+        self._chunks: "list[np.ndarray]" = []
+        self._prefix_cache: "np.ndarray | None" = None
+        self._total = 0
+        self._chunk_index = 0
+        self._levels: "tuple[LevelResult, ...]" = ()
+
+    # -- public surface ------------------------------------------------
+
+    @property
+    def total_events(self) -> int:
+        """Events consumed so far (landmark and windowed alike)."""
+        return self._total
+
+    @property
+    def n_tracked(self) -> int:
+        """Candidates currently tracked (landmark mode; 0 in windowed)."""
+        return self._store.n_tracked
+
+    def update(self, chunk: np.ndarray) -> StreamUpdate:
+        """Fold one arriving chunk into the mining state.
+
+        The engine's run scope brackets the whole update, so run-scoped
+        engines (``sharded``) spawn at most one worker pool per chunk.
+        """
+        chunk = self._validate_chunk(chunk)
+        with self._engine:
+            if self.mode == "landmark":
+                promoted, demoted = self._update_landmark(chunk)
+            else:
+                promoted, demoted = self._update_windowed(chunk)
+        self._chunk_index += 1
+        return StreamUpdate(
+            chunk_index=self._chunk_index - 1,
+            chunk_events=int(chunk.size),
+            total_events=self._total,
+            n_tracked=self._store.n_tracked,
+            promoted=promoted,
+            demoted=demoted,
+            n_frequent=sum(lvl.n_frequent for lvl in self._levels),
+        )
+
+    def consume(self, source) -> "list[StreamUpdate]":
+        """Drain a stream source (or array / iterable of chunks)."""
+        return [self.update(c) for c in as_stream_source(source).chunks()]
+
+    def result(self) -> MiningResult:
+        """The mining result as of the last consumed chunk.
+
+        In landmark mode this equals
+        ``FrequentEpisodeMiner(...).mine(prefix)`` for the concatenated
+        prefix; in windowed mode, the same over the trailing
+        ``horizon`` events.  Before any events arrive the result is
+        empty (a batch miner has nothing to mine yet).
+        """
+        return MiningResult(threshold=self.threshold, levels=self._levels)
+
+    def mine_stream(self, source) -> MiningResult:
+        """Drain ``source`` and return the final result."""
+        self.consume(source)
+        return self.result()
+
+    # -- internals -----------------------------------------------------
+
+    def _validate_chunk(self, chunk: np.ndarray) -> np.ndarray:
+        chunk = np.asarray(chunk)
+        if chunk.ndim != 1:
+            raise ValidationError(
+                f"chunk must be 1-D, got shape {chunk.shape}"
+            )
+        if chunk.size == 0:
+            # an empty poll: keep dtype canonical, skip the max() check
+            return chunk.astype(np.uint8)
+        return self.alphabet.validate_database(chunk)
+
+    def _count_with_engine(self, db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+        """The store's counting hook: one engine dispatch, RESET policy.
+
+        (SUBSEQUENCE/EXPIRING chunk pass-1 runs through the spanning
+        summaries — the engine hook covers RESET chunks and backfills.)
+        """
+        return self._engine.count(
+            db, matrix, self.alphabet.size, MatchPolicy.RESET, None
+        )
+
+    def _prefix(self) -> np.ndarray:
+        if self._prefix_cache is None:
+            if len(self._chunks) > 1:
+                # collapse the chunk list into the cache so the retained
+                # prefix is stored once, not once per chunk plus once
+                self._prefix_cache = np.concatenate(self._chunks)
+                self._chunks = [self._prefix_cache]
+            elif self._chunks:
+                self._prefix_cache = self._chunks[0]
+            else:
+                self._prefix_cache = np.zeros(0, dtype=np.uint8)
+        return self._prefix_cache
+
+    def _update_landmark(self, chunk):
+        self._store.advance(chunk)
+        self._chunks.append(chunk)
+        self._prefix_cache = None
+        self._total += int(chunk.size)
+        return self._reconcile()
+
+    def _reconcile(self):
+        """Re-derive the level-wise candidate sets and their supports.
+
+        Mirrors the batch miner's level loop exactly — including
+        recording the first level with zero survivors and stopping
+        there — but counts come from the state store: carried for
+        episodes that stayed tracked, backfilled over the retained
+        prefix for episodes promoted by this chunk.
+        """
+        n = self._total
+        promoted: "list[Episode]" = []
+        demoted: "list[Episode]" = []
+        levels: "list[LevelResult]" = []
+        if n == 0:
+            self._levels = ()
+            return (), ()
+        used_levels: "set[int]" = set()
+        candidates = generate_level(self.alphabet, 1)
+        level = 1
+        while candidates and level <= self.max_level:
+            pro, dem = self._store.retrack(level, candidates, self._prefix)
+            promoted.extend(pro)
+            demoted.extend(dem)
+            used_levels.add(level)
+            counts = self._store.levels[level].counts
+            result, frequent = eliminate_level(
+                level, candidates, counts, n, self.threshold
+            )
+            levels.append(result)
+            if not frequent:
+                break
+            level += 1
+            if self.exhaustive_candidates:
+                candidates = generate_level(self.alphabet, level)
+            else:
+                candidates = generate_next_level(
+                    frequent,
+                    self.alphabet,
+                    contiguous=self.policy.is_contiguous,
+                )
+        for lvl in [k for k in self._store.levels if k not in used_levels]:
+            demoted.extend(self._store.untrack(lvl))
+        self._levels = tuple(levels)
+        return tuple(promoted), tuple(demoted)
+
+    def _update_windowed(self, chunk):
+        self._chunks.append(chunk)
+        self._total += int(chunk.size)
+        # trim the buffer to the horizon (chunk granularity first, then
+        # a partial head slice so the window is exactly the horizon)
+        kept: "list[np.ndarray]" = []
+        remaining = self.horizon
+        for part in reversed(self._chunks):
+            if remaining <= 0:
+                break
+            take = part[-remaining:] if part.size > remaining else part
+            kept.append(take)
+            remaining -= int(take.size)
+        self._chunks = list(reversed(kept))
+        self._prefix_cache = None
+        window_db = self._prefix()
+        if window_db.size == 0:
+            self._levels = ()
+            return (), ()
+        from repro.mining.miner import FrequentEpisodeMiner
+
+        miner = FrequentEpisodeMiner(
+            self.alphabet,
+            self.threshold,
+            policy=self.policy,
+            window=self.window,
+            engine=self._engine,
+            max_level=self.max_level,
+            exhaustive_candidates=self.exhaustive_candidates,
+        )
+        self._levels = miner.mine(window_db).levels
+        return (), ()

@@ -1,0 +1,172 @@
+"""Stream sources: chunk-at-a-time adapters over every event origin.
+
+A *stream source* is anything with a ``chunks()`` method yielding 1-D
+``uint8`` code arrays — the unit of arrival the streaming miner
+consumes (:class:`~repro.streaming.miner.StreamingMiner`).  Chunks may
+be any size, including empty (a poll that saw no events); the
+concatenation of all chunks is the logical event database.
+
+Adapters are provided for the repo's existing event origins:
+
+* :class:`ArrayStreamSource` — replay an in-memory database in fixed
+  chunks (how the chunking-invariance property tests drive the miner);
+* :class:`FileStreamSource` — replay a database persisted by
+  :mod:`repro.data.io` (``.npy`` or ``.txt``);
+* :class:`SyntheticStreamSource` — the seeded, optionally drifting
+  generator of :func:`repro.data.synthetic.stream_chunks`;
+* :class:`IterableStreamSource` — wrap any iterable of arrays (a
+  socket reader, a queue drain, a generator).
+
+:func:`as_stream_source` coerces arrays and iterables to sources, so
+driver APIs accept all of the above uniformly.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.data.io import load_database
+from repro.data.synthetic import stream_chunks
+from repro.errors import ConfigError, ValidationError
+from repro.mining.alphabet import Alphabet, UPPERCASE
+
+__all__ = [
+    "StreamSource",
+    "ArrayStreamSource",
+    "FileStreamSource",
+    "SyntheticStreamSource",
+    "IterableStreamSource",
+    "as_stream_source",
+]
+
+
+@runtime_checkable
+class StreamSource(Protocol):
+    """Anything that can yield event chunks in arrival order."""
+
+    def chunks(self) -> "Iterator[np.ndarray]": ...
+
+
+def _check_chunk_size(chunk_size: int) -> int:
+    if chunk_size < 1:
+        raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+    return int(chunk_size)
+
+
+class ArrayStreamSource:
+    """Replay an in-memory database as fixed-size chunks.
+
+    The final chunk carries the remainder; an empty database yields no
+    chunks.  Re-iterable: each ``chunks()`` call replays from the
+    start.
+    """
+
+    def __init__(self, db: np.ndarray, chunk_size: int = 4096) -> None:
+        db = np.asarray(db)
+        if db.ndim != 1:
+            raise ValidationError(
+                f"stream database must be 1-D, got shape {db.shape}"
+            )
+        self.db = db
+        self.chunk_size = _check_chunk_size(chunk_size)
+
+    def chunks(self) -> "Iterator[np.ndarray]":
+        for lo in range(0, self.db.size, self.chunk_size):
+            yield self.db[lo : lo + self.chunk_size]
+
+
+class FileStreamSource:
+    """Replay a database persisted by :mod:`repro.data.io` in chunks.
+
+    ``.txt`` files need an alphabet to decode symbols (defaults to the
+    paper's A-Z); ``.npy`` files load directly.  Re-iterable.
+    """
+
+    def __init__(
+        self,
+        path: "str | Path",
+        chunk_size: int = 4096,
+        alphabet: "Alphabet | None" = None,
+    ) -> None:
+        self.path = Path(path)
+        self.chunk_size = _check_chunk_size(chunk_size)
+        self.alphabet = alphabet if alphabet is not None else UPPERCASE
+
+    def chunks(self) -> "Iterator[np.ndarray]":
+        db = load_database(self.path, alphabet=self.alphabet)
+        yield from ArrayStreamSource(db, self.chunk_size).chunks()
+
+
+class SyntheticStreamSource:
+    """The seeded synthetic feed: ``n_chunks`` chunks, optional drift.
+
+    Thin re-iterable wrapper over
+    :func:`repro.data.synthetic.stream_chunks` — each ``chunks()`` call
+    with an integer ``seed`` replays the identical sequence (benchmarks
+    replay the same feed across engines/modes this way).
+    """
+
+    def __init__(
+        self,
+        n_chunks: int,
+        chunk_size: int,
+        alphabet: Alphabet = UPPERCASE,
+        seed: "int | None" = None,
+        drift: float = 0.0,
+    ) -> None:
+        if n_chunks < 0:
+            raise ConfigError(f"n_chunks must be >= 0, got {n_chunks}")
+        self.n_chunks = n_chunks
+        self.chunk_size = _check_chunk_size(chunk_size)
+        self.alphabet = alphabet
+        self.seed = seed
+        self.drift = drift
+
+    def chunks(self) -> "Iterator[np.ndarray]":
+        return stream_chunks(
+            self.n_chunks,
+            self.chunk_size,
+            alphabet=self.alphabet,
+            seed=self.seed,
+            drift=self.drift,
+        )
+
+
+class IterableStreamSource:
+    """Wrap any iterable of 1-D arrays as a stream source.
+
+    A reusable iterable (a list of chunks) makes a re-iterable source;
+    a one-shot iterator (a generator, a network reader) makes a
+    one-shot source — each chunk is consumed exactly once either way.
+    """
+
+    def __init__(self, iterable: "Iterable[np.ndarray]") -> None:
+        self._iterable = iterable
+
+    def chunks(self) -> "Iterator[np.ndarray]":
+        for chunk in self._iterable:
+            yield np.asarray(chunk)
+
+
+def as_stream_source(
+    source: "StreamSource | np.ndarray | Iterable[np.ndarray]",
+    chunk_size: int = 4096,
+) -> StreamSource:
+    """Coerce ``source`` to a :class:`StreamSource`.
+
+    Sources pass through; a 1-D array becomes an
+    :class:`ArrayStreamSource` chunked at ``chunk_size``; any other
+    iterable (of chunk arrays) becomes an :class:`IterableStreamSource`.
+    """
+    if isinstance(source, StreamSource):
+        return source
+    if isinstance(source, np.ndarray):
+        return ArrayStreamSource(source, chunk_size)
+    if isinstance(source, Iterable):
+        return IterableStreamSource(source)
+    raise ValidationError(
+        f"cannot adapt {type(source).__name__!r} to a stream source"
+    )

@@ -1,0 +1,296 @@
+"""Per-episode FSM state persisted between stream chunks.
+
+The :class:`EpisodeStateStore` is the streaming subsystem's exactness
+core: it holds, for every tracked candidate episode, the running
+occurrence count over the stream prefix *and* the FSM summary needed to
+resume counting when the next chunk arrives — so streaming counts are
+exactly the batch counts over the concatenated prefix, for any chunking
+(the contract :mod:`repro.streaming` documents and the
+chunking-invariance property suite asserts).
+
+Each arriving chunk is treated as the next *segment* of an unbounded
+database and advanced with the segment/state-carry machinery of
+:mod:`repro.mining.spanning` (paper §3.3.3 / Fig. 5, made incremental):
+
+* ``RESET`` — the chunk is counted standalone through the configured
+  counting engine (contiguous occurrences decompose cleanly), plus a
+  *boundary-window replay*: the store keeps the last ``L-1`` events of
+  the prefix and counts occurrences that start in that tail and finish
+  inside the new chunk (:func:`~repro.mining.spanning.count_starts_in`,
+  the Fig. 5 span fix applied at the chunk seam).
+* ``SUBSEQUENCE`` — pass 1 tabulates the chunk's behaviour from every
+  entry state
+  (:func:`~repro.mining.spanning.subsequence_segment_summary`); the
+  carried entry state composes by table lookup
+  (:func:`~repro.mining.spanning.advance_subsequence`).
+* ``EXPIRING`` — pass 1 runs the chunk speculatively from the empty
+  state (:func:`~repro.mining.spanning.expiring_segment_summary`,
+  absolute timestamps); the carried timestamp snapshot composes via
+  the bounded lockstep resume
+  (:func:`~repro.mining.spanning.advance_expiring`).
+
+Tracking is mutable: :meth:`EpisodeStateStore.retrack` promotes newly
+needed candidates (backfilling count and entry state over the retained
+prefix with the resumable sweeps of :mod:`repro.mining.counting`) and
+demotes candidates no longer generated, preserving the carried state of
+every episode that stays tracked.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.mining.counting import (
+    _NEG,
+    resume_expiring_batch,
+    resume_subsequence_batch,
+)
+from repro.mining.episode import Episode, episodes_to_matrix
+from repro.mining.policies import MatchPolicy, validate_window
+from repro.mining.spanning import (
+    advance_expiring,
+    advance_subsequence,
+    count_starts_in,
+    expiring_segment_summary,
+    subsequence_segment_summary,
+)
+
+__all__ = ["EpisodeStateStore", "TrackedLevel"]
+
+
+class TrackedLevel:
+    """Carried state for one level's tracked candidate batch.
+
+    ``counts[e]`` is the exact occurrence count of ``episodes[e]`` over
+    the whole stream prefix.  ``sub_states`` (SUBSEQUENCE, shape ``E``)
+    and ``exp_times`` (EXPIRING, shape ``(E, L+1)``, absolute indices)
+    hold the FSM summaries the next chunk resumes from; RESET carries
+    nothing per-episode (the store's tail buffer covers the seam).
+    """
+
+    def __init__(
+        self,
+        episodes: "tuple[Episode, ...]",
+        matrix: np.ndarray,
+        counts: np.ndarray,
+        sub_states: "np.ndarray | None" = None,
+        exp_times: "np.ndarray | None" = None,
+    ) -> None:
+        self.episodes = episodes
+        self.matrix = matrix
+        self.counts = counts
+        self.sub_states = sub_states
+        self.exp_times = exp_times
+
+    @property
+    def length(self) -> int:
+        return int(self.matrix.shape[1])
+
+
+class EpisodeStateStore:
+    """Exact per-episode state carry across an unbounded chunk feed.
+
+    Parameters
+    ----------
+    alphabet_size, policy, window:
+        Counting semantics, fixed for the store's lifetime.
+    max_length:
+        Upper bound on tracked episode length (the miner's
+        ``max_level``); sizes the RESET tail buffer (``max_length - 1``
+        events).
+    count_chunk:
+        ``(db, matrix) -> counts`` callable used for standalone chunk
+        and backfill counting under RESET — the hook through which the
+        configured counting engine (any REGISTRY engine) does the
+        chunk's pass-1 work.
+    """
+
+    def __init__(
+        self,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        window: "int | None",
+        max_length: int,
+        count_chunk,
+    ) -> None:
+        validate_window(policy, window)
+        if max_length < 1:
+            raise ValidationError(
+                f"max_length must be >= 1, got {max_length}"
+            )
+        self.alphabet_size = alphabet_size
+        self.policy = policy
+        self.window = window
+        self.max_length = max_length
+        self._count_chunk = count_chunk
+        self.levels: "dict[int, TrackedLevel]" = {}
+        #: absolute index of the next arriving event
+        self.events = 0
+        #: last ``max_length - 1`` events seen (RESET boundary replay)
+        self._tail = np.zeros(0, dtype=np.uint8)
+
+    @property
+    def n_tracked(self) -> int:
+        return sum(len(lvl.episodes) for lvl in self.levels.values())
+
+    def tracked_episodes(self, level: int) -> "tuple[Episode, ...]":
+        lvl = self.levels.get(level)
+        return lvl.episodes if lvl is not None else ()
+
+    # -- chunk arrival -------------------------------------------------
+
+    def advance(self, chunk: np.ndarray) -> None:
+        """Fold one arriving chunk into every tracked level's state."""
+        chunk = np.asarray(chunk)
+        t0 = self.events
+        for lvl in self.levels.values():
+            if self.policy is MatchPolicy.RESET:
+                inc = self._advance_reset(lvl, chunk)
+            elif self.policy is MatchPolicy.SUBSEQUENCE:
+                summary = subsequence_segment_summary(chunk, lvl.matrix)
+                inc, lvl.sub_states = advance_subsequence(
+                    summary, lvl.sub_states
+                )
+            else:
+                summary = expiring_segment_summary(
+                    chunk, lvl.matrix, int(self.window), t0
+                )
+                inc, lvl.exp_times = advance_expiring(
+                    chunk, lvl.matrix, int(self.window), lvl.exp_times, t0,
+                    summary,
+                )
+            lvl.counts = lvl.counts + inc
+        self.events = t0 + int(chunk.size)
+        keep = self.max_length - 1
+        if keep > 0:
+            self._tail = np.concatenate([self._tail, chunk])[-keep:]
+
+    def _advance_reset(self, lvl: TrackedLevel, chunk: np.ndarray) -> np.ndarray:
+        """Engine count of the chunk alone + boundary-window replay.
+
+        A contiguous occurrence lies wholly inside the chunk, wholly in
+        the past (already counted), or spans the seam; spanning ones
+        start in the retained tail, so replaying ``tail + head`` with
+        starts restricted to the tail recovers exactly them (the tail
+        is at most ``L-1`` events, so no occurrence fits inside it).
+        """
+        inc = np.asarray(self._count_chunk(chunk, lvl.matrix), dtype=np.int64)
+        length = lvl.length
+        if length > 1 and self._tail.size and chunk.size:
+            tail = self._tail[-(length - 1):]
+            seam = np.concatenate([tail, chunk[: length - 1]])
+            inc = inc + count_starts_in(
+                seam, lvl.matrix, self.alphabet_size,
+                start_lo=0, start_hi=int(tail.size),
+            )
+        return inc
+
+    # -- tracking lifecycle --------------------------------------------
+
+    def retrack(
+        self,
+        level: int,
+        episodes: "list[Episode] | tuple[Episode, ...]",
+        history,
+    ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
+        """Make ``level`` track exactly ``episodes`` (in that order).
+
+        Episodes already tracked keep their carried count and state;
+        new ones are backfilled over ``history`` — the full retained
+        prefix as an array, or a zero-argument callable returning it
+        (only invoked when a backfill actually happens, so steady-state
+        updates never materialize the prefix).  The prefix must equal
+        the ``self.events`` events seen so far.  Returns
+        ``(promoted, demoted)``.
+        """
+        episodes = tuple(episodes)
+        if not episodes:
+            demoted = self.untrack(level)
+            return (), demoted
+        old = self.levels.get(level)
+        old_index = (
+            {ep: i for i, ep in enumerate(old.episodes)} if old else {}
+        )
+        if old is not None and old.episodes == episodes:
+            return (), ()
+        matrix = episodes_to_matrix(list(episodes))
+        if matrix.shape[1] > self.max_length:
+            raise ValidationError(
+                f"episode length {matrix.shape[1]} exceeds the store's "
+                f"max_length {self.max_length}"
+            )
+        new_rows = [
+            j for j, ep in enumerate(episodes) if ep not in old_index
+        ]
+        counts = np.zeros(len(episodes), dtype=np.int64)
+        sub_states = exp_times = None
+        if self.policy is MatchPolicy.SUBSEQUENCE:
+            sub_states = np.zeros(len(episodes), dtype=np.int64)
+        elif self.policy is MatchPolicy.EXPIRING:
+            exp_times = np.full(
+                (len(episodes), matrix.shape[1] + 1), _NEG, dtype=np.int64
+            )
+        for j, ep in enumerate(episodes):
+            i = old_index.get(ep)
+            if i is None:
+                continue
+            counts[j] = old.counts[i]
+            if sub_states is not None:
+                sub_states[j] = old.sub_states[i]
+            if exp_times is not None:
+                exp_times[j] = old.exp_times[i]
+        if new_rows:
+            prefix = np.asarray(history() if callable(history) else history)
+            if int(prefix.size) != self.events:
+                raise ValidationError(
+                    f"history has {prefix.size} events but the store has "
+                    f"seen {self.events}; backfill would be inexact"
+                )
+            sub = matrix[new_rows]
+            b_counts, b_state = self._backfill(sub, prefix)
+            counts[new_rows] = b_counts
+            if sub_states is not None:
+                sub_states[new_rows] = b_state
+            if exp_times is not None:
+                exp_times[new_rows] = b_state
+        self.levels[level] = TrackedLevel(
+            episodes, matrix, counts, sub_states, exp_times
+        )
+        promoted = tuple(episodes[j] for j in new_rows)
+        new_set = set(episodes)
+        demoted = tuple(
+            ep for ep in (old.episodes if old else ()) if ep not in new_set
+        )
+        return promoted, demoted
+
+    def untrack(self, level: int) -> "tuple[Episode, ...]":
+        """Drop a level's tracking entirely; returns the demoted episodes."""
+        old = self.levels.pop(level, None)
+        return old.episodes if old is not None else ()
+
+    def _backfill(
+        self, matrix: np.ndarray, history: np.ndarray
+    ) -> "tuple[np.ndarray, np.ndarray | None]":
+        """Exact ``(counts, carry_state)`` of fresh episodes over the prefix.
+
+        RESET counts go through the configured engine (no per-episode
+        state to rebuild); SUBSEQUENCE/EXPIRING use the resumable
+        sweeps so the exit state lands exactly where the carried
+        episodes already are.
+        """
+        if self.policy is MatchPolicy.RESET:
+            counts = np.asarray(
+                self._count_chunk(history, matrix), dtype=np.int64
+            )
+            return counts, None
+        if self.policy is MatchPolicy.SUBSEQUENCE:
+            return resume_subsequence_batch(
+                history, matrix, np.zeros(matrix.shape[0], dtype=np.int64)
+            )
+        times = np.full(
+            (matrix.shape[0], matrix.shape[1] + 1), _NEG, dtype=np.int64
+        )
+        return resume_expiring_batch(
+            history, matrix, int(self.window), times, 0
+        )

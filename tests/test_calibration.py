@@ -482,3 +482,127 @@ class TestAutoVsFixedProbe:
             assert row["chosen"] == "position-hop"  # profile forces hop
             assert row["best_engine"] in ("vector-sweep", "position-hop")
             assert row["auto_s"] > 0 and row["ratio_vs_best"] > 0
+
+
+class TestProfileStaleness:
+    """created_at round-trip + the one-time stale-profile warning."""
+
+    def _dated_profile(self, created):
+        profile = make_profile(4096, 8.0)
+        return CalibrationProfile(
+            thresholds=profile.thresholds, host=ANY_HOST, created=created
+        )
+
+    def test_created_at_written_and_preferred_on_read(self, tmp_path):
+        path = save_profile(
+            self._dated_profile("2026-07-01T00:00:00+00:00"),
+            tmp_path / "calibration.json",
+        )
+        payload = json.loads(path.read_text())
+        assert payload["created_at"] == "2026-07-01T00:00:00+00:00"
+        assert payload["created"] == payload["created_at"]
+        payload["created_at"] = "2026-07-02T00:00:00+00:00"
+        assert (
+            CalibrationProfile.from_payload(payload).created
+            == "2026-07-02T00:00:00+00:00"
+        )
+
+    def test_age_days(self):
+        from datetime import datetime, timezone
+
+        now = datetime(2026, 7, 27, tzinfo=timezone.utc)
+        fresh = self._dated_profile("2026-07-26T00:00:00+00:00")
+        assert fresh.age_days(now) == pytest.approx(1.0)
+        naive = self._dated_profile("2026-07-17T00:00:00")  # assumed UTC
+        assert naive.age_days(now) == pytest.approx(10.0)
+        assert self._dated_profile("").age_days(now) is None
+        assert self._dated_profile("not-a-date").age_days(now) is None
+
+    def test_stale_profile_warns_once_with_hint(self, tmp_path):
+        path = save_profile(
+            self._dated_profile("2020-01-01T00:00:00+00:00"),
+            tmp_path / "calibration.json",
+        )
+        with pytest.warns(RuntimeWarning, match="repro calibrate"):
+            profile = load_profile(path)
+        assert profile is not None  # stale profiles are still used
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # second load: silence
+            assert load_profile(path) is not None
+
+    def test_reset_rearms_the_warning(self, tmp_path):
+        path = save_profile(
+            self._dated_profile("2020-01-01T00:00:00+00:00"),
+            tmp_path / "calibration.json",
+        )
+        with pytest.warns(RuntimeWarning, match="days old"):
+            load_profile(path)
+        cal.reset_active_profile()
+        with pytest.warns(RuntimeWarning, match="days old"):
+            load_profile(path)
+
+    def test_fresh_profile_stays_silent(self, tmp_path):
+        from datetime import datetime, timezone
+
+        path = save_profile(
+            self._dated_profile(
+                datetime.now(timezone.utc).isoformat(timespec="seconds")
+            ),
+            tmp_path / "calibration.json",
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_profile(path) is not None
+
+    def test_legacy_profile_without_created_stays_silent(self, tmp_path):
+        path = save_profile(
+            self._dated_profile(""), tmp_path / "calibration.json"
+        )
+        payload = json.loads(path.read_text())
+        del payload["created_at"]
+        del payload["created"]
+        path.write_text(json.dumps(payload))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_profile(path) is not None
+
+    def test_age_limit_configurable(self, tmp_path, monkeypatch):
+        path = save_profile(
+            self._dated_profile("2026-07-20T00:00:00+00:00"),  # ~1 week old
+            tmp_path / "calibration.json",
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # inside the default horizon
+            assert load_profile(path) is not None
+        with pytest.warns(RuntimeWarning, match="days old"):
+            load_profile(path, max_age_days=1.0)
+        cal.reset_active_profile()
+        monkeypatch.setenv(cal.MAX_AGE_ENV_VAR, "2")
+        with pytest.warns(RuntimeWarning, match="days old"):
+            load_profile(path)
+
+    def test_age_limit_zero_disables(self, tmp_path, monkeypatch):
+        path = save_profile(
+            self._dated_profile("2020-01-01T00:00:00+00:00"),
+            tmp_path / "calibration.json",
+        )
+        monkeypatch.setenv(cal.MAX_AGE_ENV_VAR, "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert load_profile(path) is not None
+
+
+class TestPerCandidateDispatchCost:
+    def test_derived_from_dispatch_probe(self):
+        costs = ShardingCosts(
+            pool_spawn_s=0.05, dispatch_s=0.004, ops_per_sec=2e8,
+            probed_workers=4,
+        )
+        assert costs.per_candidate_dispatch_ms() == pytest.approx(1.0)
+
+    def test_floored_against_degenerate_probes(self):
+        costs = ShardingCosts(
+            pool_spawn_s=0.0, dispatch_s=0.0, ops_per_sec=1e8,
+            probed_workers=0,
+        )
+        assert costs.per_candidate_dispatch_ms() >= 1e-3

@@ -19,6 +19,7 @@ from repro.data import (
     paper_database,
     random_database,
     save_database,
+    stream_chunks,
 )
 
 
@@ -177,3 +178,61 @@ class TestPersistence:
     def test_bad_dtype_rejected(self, tmp_path):
         with pytest.raises(ValidationError):
             save_database(tmp_path / "x.npy", np.zeros(4, dtype=np.int64))
+
+
+class TestStreamChunks:
+    """The chunked/drifting synthetic feed (streaming bench + tests)."""
+
+    def test_yields_requested_chunks(self):
+        parts = list(stream_chunks(5, 40, seed=1))
+        assert [p.size for p in parts] == [40] * 5
+        assert all(p.dtype == np.uint8 for p in parts)
+        assert max(int(p.max()) for p in parts) < UPPERCASE.size
+
+    def test_seeded_determinism(self):
+        for a, b in zip(stream_chunks(4, 30, seed=7, drift=0.4),
+                        stream_chunks(4, 30, seed=7, drift=0.4)):
+            assert np.array_equal(a, b)
+
+    def test_generator_seed_continues_state(self):
+        rng = np.random.default_rng(3)
+        first = list(stream_chunks(2, 25, seed=rng))
+        second = list(stream_chunks(2, 25, seed=rng))
+        assert not all(
+            np.array_equal(a, b) for a, b in zip(first, second)
+        )
+
+    def test_drift_skews_symbol_frequencies(self):
+        """With heavy drift, late chunks concentrate on few symbols;
+        without drift the distribution stays flat."""
+        flat = list(stream_chunks(12, 2_000, seed=11, drift=0.0))
+        drifted = list(stream_chunks(12, 2_000, seed=11, drift=1.0))
+
+        def top_share(chunk):
+            counts = np.bincount(chunk, minlength=UPPERCASE.size)
+            return counts.max() / chunk.size
+
+        assert top_share(drifted[-1]) > 2 * top_share(flat[-1])
+
+    def test_zero_drift_matches_uniform_stream(self):
+        """drift=0 must stay byte-identical to random_database drawn
+        from the same generator (the stationary baseline)."""
+        chunks = list(stream_chunks(3, 50, seed=5, drift=0.0))
+        reference = [
+            random_database(50, seed=rng)
+            for rng in [np.random.default_rng(5)]
+            for _ in range(3)
+        ]
+        for a, b in zip(chunks, reference):
+            assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            list(stream_chunks(-1, 10))
+        with pytest.raises(ValidationError):
+            list(stream_chunks(1, -5))
+        with pytest.raises(ValidationError):
+            list(stream_chunks(1, 10, drift=-0.1))
+
+    def test_empty_feed(self):
+        assert list(stream_chunks(0, 100, seed=2)) == []
