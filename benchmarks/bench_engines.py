@@ -494,7 +494,11 @@ def main(argv: "list[str] | None" = None) -> int:
         # machine-independent checksum equality is gated on them)
         streaming=dict(n_chunks=4, chunk_events=1500) if args.quick else None,
     )
-    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    # atomic: an interrupted benchmark run must not tear the committed
+    # trajectory file the conformance harness diffs against
+    from repro.resilience.atomic import atomic_write_text
+
+    atomic_write_text(args.out, json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     return 0
 

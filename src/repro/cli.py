@@ -183,6 +183,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore any calibration profile and use the fixed engine "
         "heuristics",
     )
+    strm.add_argument(
+        "--checkpoint", type=Path, default=None, metavar="PATH",
+        help="write an atomic, digest-sealed checkpoint after every "
+        "chunk (see repro.streaming.checkpoint); an interrupted run "
+        "leaves the last completed chunk's checkpoint on disk",
+    )
+    strm.add_argument(
+        "--resume", type=Path, default=None, metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint: mining "
+        "configuration (threshold/policy/window/mode/horizon/max-level) "
+        "comes from the file, already-consumed chunks of the feed are "
+        "skipped, and results are bit-identical to an uninterrupted run",
+    )
 
     cal = sub.add_parser(
         "calibrate",
@@ -386,35 +399,82 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"synthetic feed ({n_chunks} chunks x {args.chunk_size} "
             f"events, drift {drift:g})"
         )
-    miner = StreamingMiner(
-        alphabet,
-        threshold=args.threshold,
-        policy=policy,
-        window=args.window,
-        engine=engine,
-        calibration=profile,
-        mode=args.mode,
-        horizon=args.horizon,
-        max_level=args.max_level,
-    )
-    print(
-        f"streaming {feed}: mode={args.mode} policy={policy.value} "
-        f"alpha={args.threshold} engine={engine_name}"
-    )
-    t0 = time.perf_counter()
-    for update in map(miner.update, source.chunks()):
-        line = (
-            f"  chunk {update.chunk_index:>3}: +{update.chunk_events:,} "
-            f"events ({update.total_events:,} total), "
-            f"{update.n_frequent} frequent"
+    skip = 0
+    if args.resume is not None:
+        # mining configuration comes from the checkpoint — the feed
+        # flags above still define the (re-iterable) source, whose
+        # already-consumed chunks are skipped
+        miner = StreamingMiner.resume(
+            args.resume, engine=engine, calibration=profile
         )
-        if args.mode == "landmark":
-            line += f", {update.n_tracked} tracked"
-            if update.promoted:
-                line += f", +{len(update.promoted)} promoted"
-            if update.demoted:
-                line += f", -{len(update.demoted)} demoted"
-        print(line)
+        skip = miner.chunk_index
+        mode = miner.mode
+        print(
+            f"resumed from {args.resume}: {miner.total_events:,} events "
+            f"across {skip} chunk(s) already consumed "
+            f"(mode={miner.mode} policy={miner.policy.value} "
+            f"alpha={miner.threshold})"
+        )
+    else:
+        miner = StreamingMiner(
+            alphabet,
+            threshold=args.threshold,
+            policy=policy,
+            window=args.window,
+            engine=engine,
+            calibration=profile,
+            mode=args.mode,
+            horizon=args.horizon,
+            max_level=args.max_level,
+        )
+        mode = args.mode
+    print(
+        f"streaming {feed}: mode={mode} policy={miner.policy.value} "
+        f"alpha={miner.threshold} engine={engine_name}"
+    )
+    interrupted = False
+    last_checkpoint = None
+    t0 = time.perf_counter()
+    try:
+        for i, chunk in enumerate(source.chunks()):
+            if i < skip:
+                continue
+            update = miner.update(chunk)
+            line = (
+                f"  chunk {update.chunk_index:>3}: +{update.chunk_events:,} "
+                f"events ({update.total_events:,} total), "
+                f"{update.n_frequent} frequent"
+            )
+            if mode == "landmark":
+                line += f", {update.n_tracked} tracked"
+                if update.promoted:
+                    line += f", +{len(update.promoted)} promoted"
+                if update.demoted:
+                    line += f", -{len(update.demoted)} demoted"
+            if update.events:
+                line += f", {len(update.events)} supervision event(s)"
+            print(line)
+            if args.checkpoint is not None:
+                # after every completed chunk, so an interrupt or crash
+                # at any point leaves a consistent resume point
+                last_checkpoint = miner.checkpoint(args.checkpoint)
+    except KeyboardInterrupt:
+        # a mid-update interrupt leaves the in-memory state partially
+        # advanced, so no checkpoint is written *here* — the per-chunk
+        # checkpoint after the last completed chunk is the resume point
+        interrupted = True
+        print()
+        if last_checkpoint is not None:
+            print(
+                f"interrupted; resume with --resume {last_checkpoint} "
+                f"(state as of chunk {miner.chunk_index - 1})"
+            )
+        elif args.checkpoint is not None:
+            print("interrupted before the first chunk completed; "
+                  "no checkpoint written by this run")
+        else:
+            print("interrupted (run with --checkpoint PATH to make "
+                  "streams resumable)")
     elapsed = time.perf_counter() - t0
     result = miner.result()
     for lvl in result.levels:
@@ -424,7 +484,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         )
     top = sorted(result.all_frequent.items(), key=lambda kv: -kv[1])[:10]
     for ep, count in top:
-        print(f"  {ep.to_symbols(alphabet)}: {count:,}")
+        print(f"  {ep.to_symbols(miner.alphabet)}: {count:,}")
     rate = miner.total_events / elapsed if elapsed > 0 else float("inf")
     print(
         f"consumed {miner.total_events:,} events in {elapsed * 1e3:.1f} ms "
@@ -435,7 +495,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"sharded over {engine.workers} workers "
             f"({engine.pools_spawned} pool spawn(s))"
         )
-    return 0
+    return 130 if interrupted else 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
@@ -500,10 +560,18 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     alphabet = config.alphabet()
     stream = generate_market_stream(config)
     t0 = time.perf_counter()
-    result = FrequentEpisodeMiner(
-        alphabet, threshold=args.threshold, policy=policy, window=args.window,
-        engine=engine, max_level=4, calibration=profile,
-    ).mine(stream)
+    try:
+        result = FrequentEpisodeMiner(
+            alphabet, threshold=args.threshold, policy=policy,
+            window=args.window, engine=engine, max_level=4,
+            calibration=profile,
+        ).mine(stream)
+    except KeyboardInterrupt:
+        # batch mining has no resumable state; discard cleanly (worker
+        # pools shut down via the engine scope's __exit__)
+        print("\ninterrupted: partial batch mining state discarded",
+              file=sys.stderr)
+        return 130
     elapsed = time.perf_counter() - t0
     print(
         f"mined {stream.size:,} events at alpha={args.threshold} "
@@ -612,6 +680,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        # commands with resumable state (stream) catch this themselves
+        # to report their last checkpoint; everything else exits with
+        # the conventional SIGINT status instead of a traceback
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

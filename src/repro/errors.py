@@ -40,3 +40,12 @@ class ExperimentError(ReproError):
 
 class MiningError(ReproError):
     """The mining driver was asked to do something unsupported."""
+
+
+class CheckpointError(ReproError):
+    """A stream checkpoint is unreadable, torn, corrupt, or mismatched.
+
+    Raised by :mod:`repro.streaming.checkpoint` when a file fails its
+    digest or schema validation, and by resume when the checkpoint's
+    recorded configuration contradicts the resuming miner's.
+    """

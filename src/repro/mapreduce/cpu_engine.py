@@ -127,6 +127,34 @@ class ProcessPoolEngine(MapReduceEngine):
         """True inside a ``with`` scope holding a live executor."""
         return self._executor is not None
 
+    def submit(self, mapper, record):
+        """Submit one record's map as a tracked future.
+
+        Requires an active scope executor (``with engine:``); the
+        supervised sharding path (:mod:`repro.resilience.supervisor`)
+        dispatches through here so each shard can carry its own
+        deadline and be individually re-dispatched after a pool death.
+        The future resolves to ``list(mapper(record))``.
+        """
+        if self._executor is None:
+            raise ConfigError(
+                "submit requires an entered engine scope (with engine:)"
+            )
+        return self._executor.submit(_run_mapper, mapper, record)
+
+    def abandon(self) -> None:
+        """Drop the scope executor without waiting on its workers.
+
+        The escape hatch for a pool known to be poisoned (a hung or
+        dead worker): pending futures are cancelled, nothing is joined,
+        and the scope's eventual ``__exit__`` becomes a no-op.  Workers
+        still executing finish (or die) on their own; their results are
+        never observed.
+        """
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
     def __enter__(self) -> "ProcessPoolEngine":
         if self._depth == 0:
             self._executor = self._spawn()

@@ -355,11 +355,18 @@ class CalibrationProfile:
 
 
 def save_profile(profile: CalibrationProfile, path: "Path | str") -> Path:
-    """Write ``profile`` as ``calibration.json`` at ``path``."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(profile.to_payload(), indent=2) + "\n")
-    return path
+    """Write ``profile`` as ``calibration.json`` at ``path``.
+
+    The write is atomic (temp file + ``os.replace``;
+    :mod:`repro.resilience.atomic`): a crash or ^C mid-calibrate leaves
+    any previous profile intact instead of a half-written file that
+    every later run would reject with a corrupt-profile warning.
+    """
+    from repro.resilience.atomic import atomic_write_text
+
+    return atomic_write_text(
+        path, json.dumps(profile.to_payload(), indent=2) + "\n"
+    )
 
 
 #: one-time latch for the staleness warning (advisory: a stale profile

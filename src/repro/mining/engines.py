@@ -59,6 +59,34 @@ protocol while reusing one :class:`DatabaseIndex` per database
 (staleness-checked by fingerprint, so in-place mutation of a database
 array rebuilds instead of silently serving stale counts).
 
+Failure semantics
+-----------------
+Pooled execution is *supervised* (:mod:`repro.resilience.supervisor`):
+every shard of a sharding call is a tracked future, and the contract on
+failure is explicit rather than a silent whole-call recompute:
+
+* **worker death** (``BrokenProcessPool``): the run-scoped pool is
+  respawned once with seeded exponential backoff and only *unfinished*
+  shards are re-dispatched — completed shard results are kept;
+* **hang**: shards pending past ``shard_deadline_s`` (when set) are
+  reclaimed and recounted in-process, their late results ignored, and
+  the poisoned pool is dropped without waiting on the hung worker;
+* **repeated failure** (respawn budget exhausted, or the pool cannot
+  spawn at all): the run degrades down the explicit chain *sharded ->
+  calibrated single-process inner engine* for the rest of the scope;
+* **shard exceptions are never retried**: a mapper raising is a
+  programming error, not an infrastructure failure, and propagates as
+  itself (the PR-3 contract, now directly testable through fault
+  injection).
+
+Every decision lands as a structured
+:class:`~repro.resilience.supervisor.DegradationEvent` on
+``ShardedEngine.events`` (cleared when a new run scope opens), so
+drivers surface degradation instead of discovering it from timing.
+Recovery moves *where* counting happens, never what is counted — the
+resilience property suite (``tests/test_resilience.py``) asserts exact
+result equality under every injected fault.
+
 Measured calibration
 --------------------
 The dispatch boundaries above are hardware facts, so they can be
@@ -85,13 +113,20 @@ dispatch choices, never counts.
 from __future__ import annotations
 
 import os
-from concurrent.futures.process import BrokenProcessPool
+import time
 from typing import Callable, Iterable
 
 import numpy as np
 
 from repro.errors import ConfigError, ValidationError
+from repro.mapreduce.combiner import group_by_key
 from repro.mapreduce.types import KeyValue, MapReduceJob
+from repro.resilience import faults as _faults
+from repro.resilience.supervisor import (
+    BackoffPolicy,
+    DegradationEvent,
+    ShardSupervisor,
+)
 from repro.mining import calibration as _calibration
 from repro.mining.counting import (
     DatabaseIndex,
@@ -264,6 +299,13 @@ class BoundEngine:
     def total_kernel_ms(self) -> float:
         """Accumulated simulated kernel time (0.0 for host engines)."""
         return float(getattr(self.engine, "total_kernel_ms", 0.0))
+
+    @property
+    def events(self) -> tuple:
+        """Supervision :class:`~repro.resilience.supervisor.
+        DegradationEvent` records from the underlying engine's current
+        run scope (empty for engines without supervised pooling)."""
+        return tuple(getattr(self.engine, "events", ()))
 
 
 class ScalarOracleEngine(CountingEngine):
@@ -516,6 +558,20 @@ def _cached_worker_index(db: np.ndarray, key: "str | None") -> DatabaseIndex:
 def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
     """Count one shard (module-level so process pools can pickle it)."""
     payload = record.value
+    # deterministic fault injection (tests only): the parent stamps a
+    # consumed fault into the *submitted* payload copy — the clean
+    # record stays parent-side for exact in-process recounts.  "crash"
+    # simulates a worker death (no cleanup, no exception — the pool
+    # breaks); "hang" sleeps past any parent-side deadline and then
+    # computes normally (the late result must be ignored); "raise"
+    # exercises the mapper-exceptions-propagate contract.
+    fault = payload.get("fault") if isinstance(payload, dict) else None
+    if fault == "crash":
+        os._exit(86)
+    elif fault == "hang":
+        time.sleep(float(payload.get("fault_hang_s", 5.0)))
+    elif fault == "raise":
+        raise RuntimeError(f"injected mapper fault (shard {record.key!r})")
     policy = MatchPolicy(payload["policy"])
     kind = payload["kind"]
     if kind == "boundary":
@@ -581,6 +637,81 @@ def _first_reducer(key, values: list) -> object:
     return values[0]
 
 
+class _ShardJobHost:
+    """:class:`~repro.resilience.supervisor.PoolHost` for one job run.
+
+    The supervisor owns the tracked-future mechanics; this host owns
+    recovery *policy* on behalf of its :class:`ShardedEngine`:
+
+    * ``submit`` consults the active fault plan and stamps a drawn
+      fault into a *copy* of the shard payload — the clean record stays
+      parent-side, so ``inline`` recounts are exact by construction;
+    * ``respawn`` is budgeted (per-job attempts against
+      ``max_pool_respawns``, and for the run-scoped pool also against
+      the scope's total spawn budget) and slept through the engine's
+      seeded backoff; an exhausted budget pins the scope to the
+      single-process chain (``_pool_failed``) — the supervisor records
+      the ``"degraded"`` event;
+    * ``abandon`` drops a poisoned pool without waiting on hung
+      workers; a scope pool is detached so the next sharding call can
+      lazily respawn while budget remains.
+    """
+
+    def __init__(self, engine: "ShardedEngine", mapper, pool, owned: bool):
+        self.engine = engine
+        self.mapper = mapper
+        self.pool = pool
+        self.owned = owned
+
+    @staticmethod
+    def _stamped(record: KeyValue) -> KeyValue:
+        plan = _faults.active_plan()
+        if plan is None:
+            return record
+        fault = plan.take_shard_fault()
+        if fault is None or not isinstance(record.value, dict):
+            return record
+        payload = dict(record.value)
+        payload["fault"] = fault.kind
+        if fault.kind == "hang":
+            payload["fault_hang_s"] = fault.hang_s
+        return KeyValue(record.key, payload)
+
+    def submit(self, record: KeyValue):
+        return self.pool.submit(self.mapper, self._stamped(record))
+
+    def inline(self, record: KeyValue) -> list:
+        return list(self.mapper(record))
+
+    def respawn(self, attempt: int) -> bool:
+        engine = self.engine
+        self.pool.abandon()
+        if not self.owned:
+            engine._pool = None
+        if attempt <= engine.max_pool_respawns and (
+            self.owned or engine._scope_spawn_budget > 0
+        ):
+            engine.backoff.sleep(attempt - 1)
+            pool = engine._make_pool()
+            if pool is not None:
+                if not self.owned:
+                    engine._pool = pool
+                    engine._scope_spawn_budget -= 1
+                self.pool = pool
+                return True
+        if not self.owned:
+            # budget spent (or the respawn itself failed): the rest of
+            # the scope counts on the single-process chain; the
+            # supervisor records the "degraded" event
+            engine._pool_failed = True
+        return False
+
+    def abandon(self) -> None:
+        self.pool.abandon()
+        if not self.owned:
+            self.engine._pool = None
+
+
 class ShardedEngine(CountingEngine):
     """Split one counting call across workers via MapReduce.
 
@@ -602,11 +733,20 @@ class ShardedEngine(CountingEngine):
     scope shares it; runs whose calls all stay below ``min_shard_work``
     never spawn workers at all.  Outside a scope each sharding call
     builds and tears down its own pool — correct, but paying the spawn
-    cost the ``sharded_scaling`` benchmark series quantifies.  Mapper
-    exceptions always propagate; only pool *creation* failures
-    (sandboxes without working process pools) and a pool broken mid-job
-    (a killed worker) fall back to serial execution, preserving
-    exactness.
+    cost the ``sharded_scaling`` benchmark series quantifies.
+
+    Pooled shards run *supervised* (see the module's "Failure
+    semantics"): every shard is a tracked future with an optional
+    ``shard_deadline_s`` deadline; a pool broken mid-job (a killed
+    worker) is respawned up to ``max_pool_respawns`` times with seeded
+    exponential ``backoff`` and only unfinished shards re-dispatched;
+    hung shards are reclaimed and recounted in-process; once the spawn
+    budget for the scope is spent, the run degrades to the calibrated
+    single-process inner engine, recording a structured
+    :class:`~repro.resilience.supervisor.DegradationEvent` on
+    ``events`` (cleared when a new run scope opens).  Mapper exceptions
+    always propagate — they are never confused with infrastructure
+    failure.
 
     Small problems (``db chars x episodes < min_shard_work``) run
     inline on the inner engine.
@@ -637,11 +777,20 @@ class ShardedEngine(CountingEngine):
         min_shard_work: int | None = None,
         axis: str = "auto",
         profile: "_calibration.CalibrationProfile | None" = None,
+        shard_deadline_s: float | None = None,
+        backoff: "BackoffPolicy | None" = None,
+        max_pool_respawns: int = 1,
     ) -> None:
         if workers is not None and workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
         if min_shard_work is not None and min_shard_work < 0:
             raise ConfigError("min_shard_work must be >= 0")
+        if shard_deadline_s is not None and shard_deadline_s <= 0:
+            raise ConfigError(
+                f"shard_deadline_s must be > 0, got {shard_deadline_s}"
+            )
+        if max_pool_respawns < 0:
+            raise ConfigError("max_pool_respawns must be >= 0")
         if axis not in self.AXES:
             raise ConfigError(
                 f"axis must be one of {self.AXES}, got {axis!r}"
@@ -716,11 +865,22 @@ class ShardedEngine(CountingEngine):
             else None
         )
         self.axis = axis
+        self.shard_deadline_s = shard_deadline_s
+        self.backoff = backoff if backoff is not None else BackoffPolicy()
+        self.max_pool_respawns = max_pool_respawns
+        #: structured supervision record for the current/most recent run
+        #: scope (see :mod:`repro.resilience.supervisor`); cleared when
+        #: a new scope opens
+        self.events: "list[DegradationEvent]" = []
         #: process pools spawned by this engine (lifecycle accounting:
-        #: one per run scope, or one per call outside a scope)
+        #: one per run scope plus respawns, or one per call outside a
+        #: scope)
         self.pools_spawned = 0
         self._pool = None  # run-scoped ProcessPoolEngine
-        self._pool_failed = False  # pool creation failed for this scope
+        self._pool_failed = False  # pool unavailable for this scope
+        # total spawns a scope may consume: the initial pool plus the
+        # respawn budget ("respawned once" at the default of 1)
+        self._scope_spawn_budget = 1 + max_pool_respawns
         self._depth = 0
 
     def with_profile(self, profile):
@@ -732,6 +892,9 @@ class ShardedEngine(CountingEngine):
             min_shard_work=self._explicit_min_shard_work,
             axis=self.axis,
             profile=profile,
+            shard_deadline_s=self.shard_deadline_s,
+            backoff=self.backoff,
+            max_pool_respawns=self.max_pool_respawns,
         )
 
     def _effective_workers(self, total_work: int) -> int:
@@ -758,6 +921,9 @@ class ShardedEngine(CountingEngine):
         # the pool itself is acquired lazily by the first count that
         # actually shards — a run whose every call stays inline (below
         # min_shard_work) must not pay worker spawns for nothing
+        if self._depth == 0:
+            self.events = []
+            self._scope_spawn_budget = 1 + self.max_pool_respawns
         self._depth += 1
         return self
 
@@ -770,16 +936,30 @@ class ShardedEngine(CountingEngine):
             self._pool_failed = False
         return False
 
+    def _record(self, kind: str, detail: str, shards=(), attempt: int = 0):
+        self.events.append(
+            DegradationEvent(kind=kind, detail=detail,
+                             shards=tuple(sorted(shards)), attempt=attempt)
+        )
+
     def _make_pool(self):
         """Spawn+probe a pool engine; None where pools cannot spawn."""
         from repro.mapreduce.cpu_engine import ProcessPoolEngine
 
+        plan = _faults.active_plan()
+        if plan is not None and plan.take_pool_spawn_failure():
+            self._record("pool-spawn-failed", "injected pool-spawn failure")
+            return None
         pool = ProcessPoolEngine(workers=self.workers)
         try:
             pool.__enter__()
-        except (OSError, RuntimeError):
+        except (OSError, RuntimeError) as exc:
             # the probe raised: this platform cannot spawn worker
             # processes (sandbox); stay exact on the serial path
+            self._record(
+                "pool-spawn-failed",
+                f"pool spawn failed: {type(exc).__name__}: {exc}",
+            )
             return None
         self.pools_spawned += 1
         return pool
@@ -897,8 +1077,11 @@ class ShardedEngine(CountingEngine):
         lookups for SUBSEQUENCE, bounded lockstep fix-up for EXPIRING.
         The pool is acquired *before* committing to the decomposition:
         pass 1 costs ~L sweeps of the database, pure overhead without
-        workers to spread it over, so a pool-less platform (or a pool
-        broken mid-job) counts inline on the inner engine instead.
+        workers to spread it over, so a pool-less platform counts
+        inline on the inner engine instead.  A pool failing mid-job is
+        the supervisor's problem: completed summary shards are kept and
+        unfinished ones recomputed (re-dispatched or in-process), so
+        the compose below always sees a full summary set.
         """
         bounds = [
             (lo, hi)
@@ -928,16 +1111,7 @@ class ShardedEngine(CountingEngine):
         ]
         job = MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
                            reducer=_first_reducer)
-        try:
-            results = pool.run(job)
-        except BrokenProcessPool:
-            if not owned:
-                self._retire_scope_pool()
-            return self._local_inner.count(db, matrix, alphabet_size, policy,
-                                           window, index=index)
-        finally:
-            if owned:
-                pool.__exit__(None, None, None)
+        results = self._run_supervised(job, pool, owned)
         summaries = [results[i] for i in range(len(bounds))]
         if policy is MatchPolicy.SUBSEQUENCE:
             seg_counts, _ = compose_subsequence(summaries, matrix.shape[0])
@@ -949,23 +1123,37 @@ class ShardedEngine(CountingEngine):
 
     def _acquire_run_pool(self):
         """``(pool, owned)``: the scope's pool (lazily spawned on the
-        first sharding call), or a caller-owned per-call pool outside a
-        scope, or ``(None, False)`` where pools cannot spawn."""
+        first sharding call, and lazily *re*-spawned while the scope's
+        spawn budget lasts), or a caller-owned per-call pool outside a
+        scope, or ``(None, ...)`` once the scope has degraded."""
         if self._depth > 0:
             if self._pool is None and not self._pool_failed:
-                self._pool = self._make_pool()
-                self._pool_failed = self._pool is None
+                if self._scope_spawn_budget > 0:
+                    self._pool = self._make_pool()
+                    if self._pool is not None:
+                        self._scope_spawn_budget -= 1
+                if self._pool is None:
+                    self._mark_degraded()
             return self._pool, False
-        return self._make_pool(), True
+        pool = self._make_pool()
+        if pool is None:
+            self._record(
+                "degraded",
+                "no process pool; counting falls back to the "
+                f"single-process {self.inner.name!r} engine",
+            )
+        return pool, True
 
-    def _retire_scope_pool(self) -> None:
-        """Drop a scope pool broken mid-job; the rest of the run stays
-        on the fallback path (BrokenProcessPool means a worker *died* —
-        a mapper exception would have propagated as itself)."""
-        if self._pool is not None:
-            self._pool.__exit__(None, None, None)
-            self._pool = None
-        self._pool_failed = True
+    def _mark_degraded(self) -> None:
+        """Pin the rest of the scope to the single-process chain."""
+        if not self._pool_failed:
+            self._pool_failed = True
+            self._record(
+                "degraded",
+                "pool unavailable for the rest of this run scope; "
+                "degrading to the single-process "
+                f"{self.inner.name!r} engine",
+            )
 
     def _run(self, job: MapReduceJob) -> dict:
         from repro.mapreduce.cpu_engine import SerialEngine
@@ -976,15 +1164,33 @@ class ShardedEngine(CountingEngine):
             # would do (segment/boundary/chunk shards, unlike the carry
             # above), so exactness is free and overhead negligible
             return SerialEngine().run(job)
+        return self._run_supervised(job, pool, owned)
+
+    def _run_supervised(self, job: MapReduceJob, pool, owned: bool) -> dict:
+        """Run ``job``'s shards under supervision and reduce.
+
+        The host below owns recovery policy (fault stamping at submit,
+        budgeted respawns with backoff, degrading the scope); the
+        supervisor owns the tracked-future mechanics.  The reduce side
+        is the framework's own pipeline (intermediate -> group -> reduce)
+        applied to the supervised map output, so results are identical
+        to an unsupervised ``pool.run(job)`` on the happy path.
+        """
+        host = _ShardJobHost(self, job.mapper, pool, owned)
         try:
-            return pool.run(job)
-        except BrokenProcessPool:
-            if not owned:
-                self._retire_scope_pool()
-            return SerialEngine().run(job)
+            mapped = ShardSupervisor(
+                host,
+                deadline_s=self.shard_deadline_s,
+                events=self.events,
+            ).map(list(job.inputs))
         finally:
             if owned:
-                pool.__exit__(None, None, None)
+                host.pool.__exit__(None, None, None)
+        if job.intermediate is not None:
+            mapped = list(job.intermediate(mapped))
+        grouped = group_by_key(mapped)
+        return {key: job.reducer(key, values)
+                for key, values in grouped.items()}
 
 
 # ---------------------------------------------------------------------------

@@ -193,6 +193,19 @@ class FrequentEpisodeMiner:
             return engine
         return nullcontext()
 
+    @property
+    def degradation_events(self) -> tuple:
+        """Supervision events from the most recent mining run.
+
+        :class:`~repro.resilience.supervisor.DegradationEvent` records
+        surfaced by a supervised engine (the ``sharded`` tier) — pool
+        respawns, reclaimed shards, degradations to the single-process
+        chain.  Empty for unsupervised engines and plain callables, and
+        reset when a new run opens its engine scope.  Results are exact
+        either way; this is how callers *see* that recovery happened.
+        """
+        return tuple(getattr(self._engine, "events", ()))
+
     def mine(self, db: np.ndarray) -> MiningResult:
         """Run Algorithm 1 over ``db`` and return all frequent episodes.
 

@@ -53,6 +53,10 @@ class PipelineReport:
     overlapped_ms: float
     host_ms_hidden: float
     kernels_launched: int
+    #: supervision records from the sequential continuation's engine
+    #: scope (see :mod:`repro.resilience.supervisor`); empty when no
+    #: capped levels ran or the engine is unsupervised
+    degradation_events: tuple = ()
 
     @property
     def overlap_speedup(self) -> float:
@@ -219,6 +223,7 @@ class PipelinedMiner:
         # from the reconciled survivors, counted host-side on the engine.
         # The engine's run scope brackets the whole continuation so a
         # run-scoped engine (sharded) spawns its pool once, not per level.
+        degradation_events: tuple = ()
         if first_capped_level is not None and not exhausted:
             level = first_capped_level
             with self._engine:
@@ -237,6 +242,9 @@ class PipelinedMiner:
                     levels.append(result)
                     last_frequent = frequent
                     level += 1
+                degradation_events = tuple(
+                    getattr(self._engine, "events", ())
+                )
 
         return PipelineReport(
             result=MiningResult(threshold=self.threshold, levels=tuple(levels)),
@@ -244,4 +252,5 @@ class PipelinedMiner:
             overlapped_ms=ceiling.overlapped_ms,
             host_ms_hidden=host_hidden,
             kernels_launched=len(timeline.events),
+            degradation_events=degradation_events,
         )

@@ -1,0 +1,57 @@
+"""Fault tolerance for long-running mining: supervision, faults, atomicity.
+
+The paper's engines are exact but assume a healthy host: a worker death
+used to silently recompute the whole counting call in-process, a killed
+stream run lost all carried state, and an interrupted profile write
+could leave a torn JSON file behind.  This package gives the counting
+engines and the streaming subsystem explicit *failure semantics*:
+
+* :mod:`repro.resilience.supervisor` — supervised shard execution:
+  every shard of a pooled counting call is a tracked future with an
+  optional per-shard deadline; a broken pool is respawned once with
+  seeded exponential backoff and only *unfinished* shards are
+  re-dispatched; hung shards past their deadline are reclaimed and
+  recounted in-process; repeated failure degrades down an explicit
+  chain (sharded -> calibrated single-process engine) with a structured
+  :class:`~repro.resilience.supervisor.DegradationEvent` recorded on
+  the run scope.  :class:`~repro.mining.engines.ShardedEngine` runs
+  every pooled job through this supervisor.
+* :mod:`repro.resilience.faults` — deterministic fault injection: a
+  seeded :class:`~repro.resilience.faults.FaultPlan` names exactly
+  which shard submission crashes its worker, hangs, or raises, how many
+  pool spawns fail, and whether a checkpoint write is torn or
+  corrupted.  The engines and the streaming checkpoint writer honor the
+  installed plan, which is what lets ``tests/test_resilience.py``
+  assert *exact result equality* under every failure mode instead of
+  hoping a real worker dies at the right moment.  No plan installed
+  (production) means zero overhead and zero behaviour change.
+* :mod:`repro.resilience.atomic` — write-temp + ``os.replace`` file
+  updates, so an interrupted writer can never leave a torn
+  ``calibration.json``, ``BENCH_engines.json``, or stream checkpoint:
+  readers observe either the old complete file or the new complete
+  file, never a prefix.
+
+Everything here is advisory-to-exactness: supervision and fault
+recovery move *where* counting happens (pool, respawned pool, or
+in-process), never what is counted — the same invariant the calibration
+layer already obeys.
+"""
+
+from repro.resilience.atomic import atomic_open, atomic_write_bytes, atomic_write_text
+from repro.resilience.faults import FaultPlan, ShardFault, active_plan, clear_plan, inject, install_plan
+from repro.resilience.supervisor import BackoffPolicy, DegradationEvent, ShardSupervisor
+
+__all__ = [
+    "atomic_open",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "FaultPlan",
+    "ShardFault",
+    "active_plan",
+    "clear_plan",
+    "inject",
+    "install_plan",
+    "BackoffPolicy",
+    "DegradationEvent",
+    "ShardSupervisor",
+]

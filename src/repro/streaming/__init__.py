@@ -49,8 +49,37 @@ events only: the buffer is bounded, each update recounts the window
 through the engine, and results equal batch mining of the window —
 the right mode when old events must stop influencing the frequent set
 (drift) or memory must stay bounded.
+
+Checkpoint / resume
+-------------------
+:meth:`StreamingMiner.checkpoint` snapshots the complete mining state
+to one file at any chunk boundary, and :meth:`StreamingMiner.resume`
+rebuilds a miner whose subsequent updates are **bit-identical** to the
+uninterrupted run — the streaming extension of the batch-equivalence
+contract, asserted at randomized kill points by
+``tests/test_resilience.py``.
+
+The file format (:mod:`repro.streaming.checkpoint`) is a single
+``.npz`` archive: a ``meta`` member holding one canonical JSON object
+(``schema`` version — currently 1, bumped on any incompatible layout
+change — mining config, chunk/event progress, per-level results, and
+the store's tracked-episode layout) plus named arrays (the retained
+prefix or window buffer, the RESET tail, and each tracked level's
+counts / FSM state).  A SHA-256 ``digest`` over the canonical meta and
+every array's name/dtype/shape/bytes seals the file; writes are atomic
+(temp + ``os.replace``), so readers see the old checkpoint or the new
+one, never a prefix, and any torn/corrupt/mismatched file fails as
+:class:`~repro.errors.CheckpointError` rather than resuming wrong.
+``repro stream --checkpoint PATH`` writes one after every chunk;
+``--resume PATH`` validates and continues, skipping already-consumed
+chunks of the re-iterable source.
 """
 
+from repro.streaming.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    read_checkpoint,
+    write_checkpoint,
+)
 from repro.streaming.miner import StreamingMiner, StreamUpdate
 from repro.streaming.sources import (
     ArrayStreamSource,
@@ -73,4 +102,7 @@ __all__ = [
     "as_stream_source",
     "EpisodeStateStore",
     "TrackedLevel",
+    "CHECKPOINT_SCHEMA",
+    "read_checkpoint",
+    "write_checkpoint",
 ]

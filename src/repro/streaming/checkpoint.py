@@ -1,0 +1,157 @@
+"""Versioned, digest-validated stream checkpoints (one ``.npz`` file).
+
+Format (schema 1)
+-----------------
+A checkpoint is a single uncompressed ``.npz`` archive.  The ``meta``
+member is a 0-d unicode array holding one canonical JSON object::
+
+    {
+      "schema": 1,            # bumped on any incompatible layout change
+      "digest": "<sha256>",   # over everything else (see below)
+      ...                     # writer-defined: config / progress / state
+    }
+
+Every other member is a named numpy array (the stream prefix, the
+store's tail buffer, per-level counts and FSM state under ``lvl{k}_*``
+keys — see :meth:`repro.streaming.store.EpisodeStateStore.
+export_state` and :meth:`repro.streaming.miner.StreamingMiner.
+checkpoint`).
+
+The ``digest`` is a SHA-256 fingerprint over the canonical (sorted-key,
+separator-free) JSON of the meta object *without* the digest field,
+followed by each array's name, dtype, shape, and raw bytes in sorted
+name order.  :func:`read_checkpoint` recomputes and compares it, so a
+torn or bit-flipped file — and a file whose arrays and meta disagree —
+fails loudly as :class:`~repro.errors.CheckpointError` instead of
+resuming from silently wrong state.
+
+Writes go through :func:`repro.resilience.atomic.atomic_open`
+(temp file + ``os.replace``), so a crash mid-write leaves the previous
+checkpoint intact: the only way to observe a torn checkpoint is genuine
+disk corruption — or the deterministic fault hook
+(:meth:`repro.resilience.faults.FaultPlan.take_checkpoint_fault`),
+which damages the file *after* the atomic rename precisely so tests
+can prove the reader rejects it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CheckpointError
+from repro.resilience import faults as _faults
+from repro.resilience.atomic import atomic_open
+
+__all__ = ["CHECKPOINT_SCHEMA", "write_checkpoint", "read_checkpoint"]
+
+#: current checkpoint layout version
+CHECKPOINT_SCHEMA = 1
+
+
+def _canonical(meta: dict) -> bytes:
+    return json.dumps(meta, sort_keys=True, separators=(",", ":")).encode()
+
+
+def _digest(meta_sans_digest: dict, arrays: "dict[str, np.ndarray]") -> str:
+    h = hashlib.sha256()
+    h.update(_canonical(meta_sans_digest))
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def _apply_checkpoint_fault(path: Path) -> None:
+    """Damage a just-written checkpoint per the active fault plan."""
+    plan = _faults.active_plan()
+    if plan is None:
+        return
+    fault = plan.take_checkpoint_fault()
+    if fault is None:
+        return
+    data = path.read_bytes()
+    if fault == "torn":
+        damaged = data[: max(1, len(data) // 2)]
+    else:  # "corrupt": flip one byte in the middle
+        mid = len(data) // 2
+        damaged = data[:mid] + bytes([data[mid] ^ 0xFF]) + data[mid + 1:]
+    path.write_bytes(damaged)
+
+
+def write_checkpoint(
+    path: "str | Path", meta: dict, arrays: "dict[str, np.ndarray]"
+) -> Path:
+    """Atomically write a schema-stamped, digest-sealed checkpoint.
+
+    ``meta`` must be JSON-serializable and must not use the reserved
+    keys ``schema``/``digest`` for its own payload (they are
+    overwritten); array names must not collide with ``meta``.
+    """
+    if "meta" in arrays:
+        raise CheckpointError("'meta' is a reserved checkpoint member name")
+    meta = dict(meta)
+    meta.pop("digest", None)
+    meta["schema"] = CHECKPOINT_SCHEMA
+    meta["digest"] = _digest(meta, arrays)
+    path = Path(path)
+    with atomic_open(path, "wb") as fh:
+        np.savez(fh, meta=np.array(json.dumps(meta)), **arrays)
+    _apply_checkpoint_fault(path)
+    return path
+
+
+def read_checkpoint(path: "str | Path") -> "tuple[dict, dict[str, np.ndarray]]":
+    """Load and validate a checkpoint; ``(meta, arrays)`` on success.
+
+    Every failure mode — missing file, torn archive, unknown schema,
+    digest mismatch — raises :class:`~repro.errors.CheckpointError`
+    naming the file, so drivers distinguish "cannot resume" from a
+    mining error.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "meta" not in data.files:
+                raise CheckpointError(
+                    f"checkpoint {path} has no meta member"
+                )
+            meta = json.loads(str(data["meta"][()]))
+            arrays = {
+                name: np.array(data[name])
+                for name in data.files
+                if name != "meta"
+            }
+    except CheckpointError:
+        raise
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"checkpoint {path} does not exist") from exc
+    except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable (torn or truncated): {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"checkpoint {path} meta is not an object")
+    schema = meta.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint {path} has schema {schema!r}; this reader "
+            f"supports schema {CHECKPOINT_SCHEMA}"
+        )
+    recorded = meta.get("digest")
+    expected = _digest(
+        {k: v for k, v in meta.items() if k != "digest"}, arrays
+    )
+    if recorded != expected:
+        raise CheckpointError(
+            f"checkpoint {path} failed digest validation (corrupt): "
+            f"recorded {str(recorded)[:16]}..., computed {expected[:16]}..."
+        )
+    return meta, arrays

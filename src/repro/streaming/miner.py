@@ -26,10 +26,11 @@ calibration profile (:mod:`repro.mining.calibration`) steers the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ConfigError, ValidationError
+from repro.errors import CheckpointError, ConfigError, ValidationError
 from repro.mining.alphabet import Alphabet
 from repro.mining.candidates import generate_level, generate_next_level
 from repro.mining.engines import (
@@ -39,6 +40,7 @@ from repro.mining.engines import (
 from repro.mining.episode import Episode
 from repro.mining.miner import LevelResult, MiningResult, eliminate_level
 from repro.mining.policies import MatchPolicy, validate_window
+from repro.streaming.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.sources import StreamSource, as_stream_source
 from repro.streaming.store import EpisodeStateStore
 
@@ -62,6 +64,9 @@ class StreamUpdate:
     demoted: "tuple[Episode, ...]"
     #: frequent episodes across all levels, as of this chunk
     n_frequent: int
+    #: supervision records from this chunk's engine run scope (see
+    #: :mod:`repro.resilience.supervisor`); empty on clean updates
+    events: tuple = ()
 
 
 class StreamingMiner:
@@ -148,6 +153,11 @@ class StreamingMiner:
         """Candidates currently tracked (landmark mode; 0 in windowed)."""
         return self._store.n_tracked
 
+    @property
+    def chunk_index(self) -> int:
+        """Chunks consumed so far (== the next chunk's index)."""
+        return self._chunk_index
+
     def update(self, chunk: np.ndarray) -> StreamUpdate:
         """Fold one arriving chunk into the mining state.
 
@@ -169,6 +179,7 @@ class StreamingMiner:
             promoted=promoted,
             demoted=demoted,
             n_frequent=sum(lvl.n_frequent for lvl in self._levels),
+            events=tuple(getattr(self._engine, "events", ())),
         )
 
     def consume(self, source) -> "list[StreamUpdate]":
@@ -190,6 +201,130 @@ class StreamingMiner:
         """Drain ``source`` and return the final result."""
         self.consume(source)
         return self.result()
+
+    # -- checkpoint / resume -------------------------------------------
+
+    def checkpoint(self, path) -> "Path":
+        """Write this miner's exact state to ``path`` (atomic; see
+        :mod:`repro.streaming.checkpoint` for format and versioning).
+
+        Callable at any chunk boundary.  A miner resumed from the file
+        produces, for every subsequent chunk, results bit-identical to
+        this miner continuing uninterrupted — the retained prefix
+        (landmark) or trailing window buffer (windowed), the state
+        store's carried counts and FSM state, the per-level results,
+        and the chunk/event clocks are all captured.
+        """
+        store_meta, arrays = self._store.export_state()
+        if "prefix" in arrays:  # impossible today; guard the layout
+            raise ConfigError("store arrays may not use the 'prefix' key")
+        arrays = dict(arrays)
+        arrays["prefix"] = self._prefix()
+        meta = {
+            "kind": "stream-miner",
+            "config": {
+                "alphabet": list(self.alphabet.symbols),
+                "threshold": float(self.threshold),
+                "policy": self.policy.value,
+                "window": self.window,
+                "mode": self.mode,
+                "horizon": self.horizon,
+                "max_level": int(self.max_level),
+                "exhaustive_candidates": bool(self.exhaustive_candidates),
+            },
+            "progress": {
+                "chunk_index": int(self._chunk_index),
+                "total_events": int(self._total),
+            },
+            "store": store_meta,
+            "results": [
+                {
+                    "level": int(lvl.level),
+                    "n_candidates": int(lvl.n_candidates),
+                    "frequent": [list(map(int, ep.items))
+                                 for ep in lvl.frequent],
+                    "counts": [int(c) for c in lvl.counts],
+                }
+                for lvl in self._levels
+            ],
+        }
+        return write_checkpoint(path, meta, arrays)
+
+    @classmethod
+    def resume(
+        cls,
+        path,
+        engine: "str | RegistryEngine | None" = None,
+        calibration: "object | None" = None,
+    ) -> "StreamingMiner":
+        """Rebuild a miner from a :meth:`checkpoint` file.
+
+        Mining configuration (alphabet, threshold, policy, window,
+        mode, horizon, level cap) comes from the checkpoint; ``engine``
+        and ``calibration`` may differ from the writer's — every
+        registry engine is exact, so the choice moves speed, never
+        counts.  Feeding the resumed miner the chunks the writer had
+        not yet consumed yields results bit-identical to an
+        uninterrupted run (``tests/test_resilience.py`` asserts this at
+        randomized kill points under all three policies).  Raises
+        :class:`~repro.errors.CheckpointError` for torn, corrupt, or
+        schema-mismatched files.
+        """
+        meta, arrays = read_checkpoint(path)
+        if meta.get("kind") != "stream-miner":
+            raise CheckpointError(
+                f"checkpoint {path} is not a stream-miner checkpoint "
+                f"(kind={meta.get('kind')!r})"
+            )
+        cfg = meta["config"]
+        try:
+            miner = cls(
+                Alphabet(tuple(cfg["alphabet"])),
+                cfg["threshold"],
+                policy=MatchPolicy(cfg["policy"]),
+                window=cfg["window"],
+                engine=engine,
+                calibration=calibration,
+                mode=cfg["mode"],
+                horizon=cfg["horizon"],
+                max_level=cfg["max_level"],
+                exhaustive_candidates=cfg["exhaustive_candidates"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has an incomplete config: {exc}"
+            ) from exc
+        prefix = np.array(arrays["prefix"], dtype=np.uint8)
+        store_arrays = {k: v for k, v in arrays.items() if k != "prefix"}
+        miner._store.restore_state(meta["store"], store_arrays)
+        progress = meta["progress"]
+        miner._chunk_index = int(progress["chunk_index"])
+        miner._total = int(progress["total_events"])
+        miner._chunks = [prefix] if prefix.size else []
+        miner._prefix_cache = None
+        if miner.mode == "landmark" and int(prefix.size) != miner._store.events:
+            raise CheckpointError(
+                f"checkpoint {path} is inconsistent: prefix has "
+                f"{prefix.size} events, store clock says "
+                f"{miner._store.events}"
+            )
+        levels = []
+        for entry in meta["results"]:
+            frequent = tuple(
+                Episode(tuple(int(i) for i in items))
+                for items in entry["frequent"]
+            )
+            levels.append(
+                LevelResult(
+                    level=int(entry["level"]),
+                    n_candidates=int(entry["n_candidates"]),
+                    n_frequent=len(frequent),
+                    frequent=frequent,
+                    counts=tuple(int(c) for c in entry["counts"]),
+                )
+            )
+        miner._levels = tuple(levels)
+        return miner
 
     # -- internals -----------------------------------------------------
 

@@ -83,6 +83,12 @@ class FileStreamSource:
 
     ``.txt`` files need an alphabet to decode symbols (defaults to the
     paper's A-Z); ``.npy`` files load directly.  Re-iterable.
+
+    I/O failures surface as :class:`~repro.errors.ValidationError`
+    naming the file — and, for a failure after streaming began (a
+    truncated read, a disk error mid-replay), the chunk index at which
+    the stream died, so a consumer holding partial state knows exactly
+    how much of the feed it saw.
     """
 
     def __init__(
@@ -96,8 +102,32 @@ class FileStreamSource:
         self.alphabet = alphabet if alphabet is not None else UPPERCASE
 
     def chunks(self) -> "Iterator[np.ndarray]":
-        db = load_database(self.path, alphabet=self.alphabet)
-        yield from ArrayStreamSource(db, self.chunk_size).chunks()
+        try:
+            db = load_database(self.path, alphabet=self.alphabet)
+        except (OSError, ValueError) as exc:
+            # a short .npy (header claims more data than the file holds)
+            # raises ValueError from numpy; missing/unreadable files
+            # raise OSError — both mean "this feed cannot start"
+            raise ValidationError(
+                f"stream source {self.path} is unreadable or truncated: "
+                f"{exc}"
+            ) from exc
+        index = 0
+        iterator = ArrayStreamSource(db, self.chunk_size).chunks()
+        while True:
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                return
+            except (OSError, ValueError) as exc:  # pragma: no cover -
+                # in-memory replay cannot fail today; kept so a future
+                # lazily-mapped source dies with the same diagnosis
+                raise ValidationError(
+                    f"stream source {self.path} failed at chunk "
+                    f"{index}: {exc}"
+                ) from exc
+            yield chunk
+            index += 1
 
 
 class SyntheticStreamSource:

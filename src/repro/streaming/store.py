@@ -269,6 +269,72 @@ class EpisodeStateStore:
         old = self.levels.pop(level, None)
         return old.episodes if old is not None else ()
 
+    # -- checkpoint serialization --------------------------------------
+
+    def export_state(self) -> "tuple[dict, dict[str, np.ndarray]]":
+        """``(meta, arrays)`` snapshot of every carried exactness input.
+
+        ``meta`` is JSON-serializable (event clock plus per-level
+        episode item tuples, in tracked order); ``arrays`` carries the
+        RESET tail buffer and each level's counts / FSM state under
+        ``lvl{k}_*`` keys.  :meth:`restore_state` on an identically
+        configured store rebuilds a store whose every subsequent
+        ``advance``/``retrack`` is bit-identical — the foundation of
+        the checkpoint/resume exactness contract
+        (:mod:`repro.streaming.checkpoint`).
+        """
+        meta = {
+            "events": int(self.events),
+            "levels": [
+                {
+                    "level": int(k),
+                    "episodes": [list(map(int, ep.items))
+                                 for ep in lvl.episodes],
+                }
+                for k, lvl in sorted(self.levels.items())
+            ],
+        }
+        arrays: "dict[str, np.ndarray]" = {"tail": self._tail}
+        for k, lvl in sorted(self.levels.items()):
+            arrays[f"lvl{k}_counts"] = lvl.counts
+            if lvl.sub_states is not None:
+                arrays[f"lvl{k}_sub"] = lvl.sub_states
+            if lvl.exp_times is not None:
+                arrays[f"lvl{k}_exp"] = lvl.exp_times
+        return meta, arrays
+
+    def restore_state(
+        self, meta: dict, arrays: "dict[str, np.ndarray]"
+    ) -> None:
+        """Rebuild the carried state captured by :meth:`export_state`.
+
+        Replaces this store's state wholesale; the store must be
+        configured (alphabet size / policy / window / max_length) as
+        the exporting one was — the checkpoint layer validates that
+        before calling here.
+        """
+        levels: "dict[int, TrackedLevel]" = {}
+        for entry in meta["levels"]:
+            k = int(entry["level"])
+            episodes = tuple(
+                Episode(tuple(int(i) for i in items))
+                for items in entry["episodes"]
+            )
+            matrix = episodes_to_matrix(list(episodes))
+            counts = np.array(arrays[f"lvl{k}_counts"], dtype=np.int64)
+            sub = arrays.get(f"lvl{k}_sub")
+            exp = arrays.get(f"lvl{k}_exp")
+            levels[k] = TrackedLevel(
+                episodes,
+                matrix,
+                counts,
+                None if sub is None else np.array(sub, dtype=np.int64),
+                None if exp is None else np.array(exp, dtype=np.int64),
+            )
+        self.levels = levels
+        self.events = int(meta["events"])
+        self._tail = np.array(arrays["tail"], dtype=np.uint8)
+
     def _backfill(
         self, matrix: np.ndarray, history: np.ndarray
     ) -> "tuple[np.ndarray, np.ndarray | None]":
