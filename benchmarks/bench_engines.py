@@ -149,28 +149,30 @@ def run_bench(
                 index = DatabaseIndex(db)
 
                 def measure_cell(engine=engine, index=index):
-                    counts = engine.count(
-                        db, matrix, UPPERCASE.size, policy, window, index=index
-                    )
-                    if simulated:
-                        # the metric is the *simulated* kernel time: the
-                        # analytic model is deterministic, so this cell
-                        # also pins the timing model against silent drift
-                        return counts, engine.reports[-1].total_ms / 1e3
-                    return counts, _time_call(
-                        lambda: engine.count(
-                            db, matrix, UPPERCASE.size, policy, window, index=index
-                        )
-                    )
-
-                if name == "sharded":
-                    # bench inside a run scope — the intended usage: the
-                    # pool is acquired once for the cell, not per timed
-                    # call, and released even if a count raises
+                    # one run scope per cell — the intended usage
+                    # (REP003): a no-op for the stateless tiers; for
+                    # sharded, the pool is acquired once for the cell,
+                    # not per timed call, and released even if a count
+                    # raises
                     with engine:
-                        counts, seconds = measure_cell()
-                else:
-                    counts, seconds = measure_cell()
+                        counts = engine.count(
+                            db, matrix, UPPERCASE.size, policy, window,
+                            index=index,
+                        )
+                        if simulated:
+                            # the metric is the *simulated* kernel time:
+                            # the analytic model is deterministic, so this
+                            # cell also pins the timing model against
+                            # silent drift
+                            return counts, engine.reports[-1].total_ms / 1e3
+                        return counts, _time_call(
+                            lambda: engine.count(
+                                db, matrix, UPPERCASE.size, policy, window,
+                                index=index,
+                            )
+                        )
+
+                counts, seconds = measure_cell()
                 if not simulated:
                     host_seconds[name] = seconds
                 ops = n * len(episodes) / seconds

@@ -52,7 +52,6 @@ pre-series snapshots pass untouched.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 
@@ -60,6 +59,9 @@ HERE = Path(__file__).parent
 SRC = HERE.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+from repro.errors import ArtifactError
+from repro.resilience.artifacts import read_json_artifact
 
 REFERENCE = HERE / "BENCH_engines.json"
 DEFAULT_TOLERANCE = 0.30
@@ -352,16 +354,25 @@ def main(argv: "list[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if not args.reference.exists():
-        print(
-            f"error: reference file {args.reference} not found; generate it "
-            "with benchmarks/bench_engines.py", file=sys.stderr,
+    try:
+        # the schema-checked loader (see repro.resilience.artifacts)
+        # turns a missing or truncated trajectory into one clear
+        # message + exit 2 instead of a traceback
+        reference = read_json_artifact(
+            args.reference,
+            expect_keys=("results",),
+            regenerate_hint="generate it with benchmarks/bench_engines.py",
         )
+        if args.fresh is not None:
+            fresh = read_json_artifact(
+                args.fresh,
+                expect_keys=("results",),
+                regenerate_hint="generate it with benchmarks/bench_engines.py",
+            )
+    except ArtifactError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
-    reference = json.loads(args.reference.read_text())
-    if args.fresh is not None:
-        fresh = json.loads(args.fresh.read_text())
-    else:
+    if args.fresh is None:
         import bench_engines
 
         fresh = bench_engines.run_bench(

@@ -1,0 +1,93 @@
+"""Contract-enforcing static analysis for the repro codebase.
+
+The repo runs on a handful of written-down contracts — run-scoped
+engines, propagate-don't-swallow mapper failures, atomic artifact
+writes, seeded determinism, bit-identical checkpoint replay.  This
+package turns each of them into a machine-checked AST rule so a
+contract break fails ``repro lint`` (and CI) instead of surfacing as a
+corrupted result three PRs later.  The prose versions of the contracts,
+with the rule id that enforces each, live in ``CONTRACTS.md`` at the
+repo root.
+
+Layout
+------
+:mod:`repro.analysis.findings`
+    :class:`Finding` value objects and severities.
+:mod:`repro.analysis.core`
+    Visitor core: :class:`FileContext`, the :class:`Rule` base class and
+    registry, inline ``# repro: noqa REPxxx`` suppressions, the
+    fingerprint baseline, and the :class:`Analyzer` driver.
+:mod:`repro.analysis.rules`
+    The built-in REP001–REP006 rules (importing this package registers
+    them).
+:mod:`repro.analysis.report`
+    Text and JSON reporters.
+
+Usage
+-----
+``repro lint [paths...]`` from the CLI, or ``python -m repro.analysis``
+— both run the same gate: parse every ``.py`` under the given paths
+(default: ``src`` plus ``benchmarks``/``examples`` when present), apply
+every registered rule, and exit nonzero on any finding that is neither
+inline-suppressed nor baselined.  Programmatic use::
+
+    from repro.analysis import Analyzer, load_baseline
+    report = Analyzer(baseline=load_baseline("lint-baseline.json")).run(["src"])
+    assert report.ok, report.findings
+"""
+
+from repro.analysis.findings import SEVERITIES, Finding, Severity
+from repro.analysis.core import (
+    Analyzer,
+    AnalysisReport,
+    BASELINE_SCHEMA,
+    DEFAULT_REGISTRY,
+    FileContext,
+    Rule,
+    RuleRegistry,
+    ScopedVisitor,
+    baseline_payload,
+    iter_source_files,
+    load_baseline,
+    register_rule,
+)
+from repro.analysis import rules as _builtin_rules  # registers REP001-006
+from repro.analysis.report import REPORT_SCHEMA, render_json, render_text
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "SEVERITIES",
+    "Analyzer",
+    "AnalysisReport",
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "ScopedVisitor",
+    "DEFAULT_REGISTRY",
+    "register_rule",
+    "load_baseline",
+    "baseline_payload",
+    "iter_source_files",
+    "BASELINE_SCHEMA",
+    "REPORT_SCHEMA",
+    "render_text",
+    "render_json",
+    "DEFAULT_BASELINE",
+    "default_lint_paths",
+]
+
+#: conventional baseline filename at the repo root
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def default_lint_paths() -> "list[str]":
+    """The trees ``repro lint`` gates when no paths are given: ``src``
+    always, plus ``benchmarks`` and ``examples`` when they exist."""
+    from pathlib import Path
+
+    paths = ["src"]
+    for extra in ("benchmarks", "examples"):
+        if Path(extra).is_dir():
+            paths.append(extra)
+    return paths

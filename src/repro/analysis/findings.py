@@ -1,0 +1,69 @@
+"""Structured findings: what a rule reports and how it serializes.
+
+A :class:`Finding` is one machine-checkable contract violation at one
+source location.  Findings are value objects (frozen, ordered) so the
+reporters can sort them deterministically and the baseline layer can
+fingerprint them: a baseline entry matches on ``(rule_id, path,
+snippet)`` rather than the line number, so unrelated edits above a
+baselined finding do not resurrect it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "SEVERITIES"]
+
+#: recognized severities, in increasing order of how loudly CI fails
+SEVERITIES = ("warning", "error")
+
+# Severity is a plain string ("warning" | "error") validated at Finding
+# construction; a str subtype keeps JSON serialization trivial.
+Severity = str
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One contract violation at one source location.
+
+    ``path`` is repo-relative (POSIX separators) so reports and
+    baselines are portable across checkouts; ``snippet`` is the
+    stripped source line the finding anchors to, used both for human
+    context and as the location-independent part of the baseline
+    fingerprint.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str = field(compare=False)
+    severity: Severity = field(default="error", compare=False)
+    fix_hint: str = field(default="", compare=False)
+    snippet: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def fingerprint(self) -> "tuple[str, str, str]":
+        """Line-number-independent identity used by the baseline."""
+        return (self.rule_id, self.path, self.snippet)
+
+    def to_payload(self) -> "dict[str, object]":
+        """JSON-serializable form (the ``--format json`` row shape)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "snippet": self.snippet,
+        }
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"

@@ -1,0 +1,84 @@
+"""Reporters: render an :class:`~repro.analysis.core.AnalysisReport`.
+
+Two formats, one contract: the *text* reporter is for humans at a
+terminal (one ``path:line:col`` line per finding, clickable in most
+editors, fix hint indented below); the *JSON* reporter is for CI and
+tooling (stable schema, sorted findings, summary block).  Both render
+from the same :class:`~repro.analysis.findings.Finding` payloads, so a
+finding never means different things in different formats.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.analysis.core import AnalysisReport
+from repro.analysis.findings import Finding
+
+__all__ = ["render_text", "render_json", "REPORT_SCHEMA"]
+
+#: bumped on any incompatible ``--format json`` layout change
+REPORT_SCHEMA = 1
+
+
+def _summary_counts(findings: "Sequence[Finding]") -> "dict[str, int]":
+    counts: "dict[str, int]" = {}
+    for finding in findings:
+        counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_text(report: AnalysisReport, verbose: bool = False) -> str:
+    """Human-oriented rendering; empty reports say so explicitly."""
+    lines: "list[str]" = []
+    for path, message in report.parse_errors:
+        lines.append(f"{path}: parse error: {message}")
+    for finding in report.findings:
+        lines.append(
+            f"{finding.location()}: {finding.severity} "
+            f"{finding.rule_id}: {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        if finding.fix_hint:
+            lines.append(f"    hint: {finding.fix_hint}")
+    if verbose and report.baselined:
+        lines.append("")
+        lines.append(f"baselined ({len(report.baselined)}):")
+        for finding in report.baselined:
+            lines.append(
+                f"  {finding.location()}: {finding.rule_id}: {finding.message}"
+            )
+    lines.append("")
+    per_rule = _summary_counts(report.findings)
+    breakdown = (
+        " (" + ", ".join(f"{r}: {n}" for r, n in per_rule.items()) + ")"
+        if per_rule else ""
+    )
+    lines.append(
+        f"{len(report.findings)} finding(s){breakdown}, "
+        f"{len(report.baselined)} baselined, "
+        f"{report.files_checked} file(s) checked"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-oriented rendering (schema :data:`REPORT_SCHEMA`)."""
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "ok": report.ok,
+        "files_checked": report.files_checked,
+        "findings": [f.to_payload() for f in report.findings],
+        "baselined": [f.to_payload() for f in report.baselined],
+        "parse_errors": [
+            {"path": path, "message": message}
+            for path, message in report.parse_errors
+        ],
+        "summary": {
+            "total": len(report.findings),
+            "by_rule": _summary_counts(report.findings),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

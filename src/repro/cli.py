@@ -16,7 +16,10 @@ regenerated without writing Python:
 * ``calibrate`` — measure this host's engine crossovers and write a
   ``calibration.json`` profile the ``auto``/``sharded`` engines consult
   (see :mod:`repro.mining.calibration` for format and precedence);
-* ``probe`` — run the §6 micro-benchmark suite on a card.
+* ``probe`` — run the §6 micro-benchmark suite on a card;
+* ``lint`` — run the contract linter (:mod:`repro.analysis`, rules
+  REP001-REP006 per ``CONTRACTS.md``) over the source trees; also
+  reachable as ``python -m repro.analysis``.
 """
 
 from __future__ import annotations
@@ -229,6 +232,44 @@ def _build_parser() -> argparse.ArgumentParser:
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
     probe.add_argument("--card", default="GTX280")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the contract linter (rules REP001-REP006, see "
+        "CONTRACTS.md); exits 1 on any unbaselined finding",
+    )
+    lint.add_argument(
+        "paths", nargs="*", type=Path, metavar="PATH",
+        help="files or directories to lint (default: src plus "
+        "benchmarks/examples when present)",
+    )
+    lint.add_argument(
+        "--format", dest="lint_format", default="text",
+        choices=("text", "json"),
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", type=Path, default=None, metavar="PATH",
+        help="baseline file of tolerated findings (default: "
+        "lint-baseline.json at the repo root; missing file = empty)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit "
+        "0 (adoption escape hatch; the committed baseline stays empty)",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also show baselined findings in text output",
+    )
     return parser
 
 
@@ -660,8 +701,55 @@ def _cmd_probe(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        DEFAULT_BASELINE,
+        DEFAULT_REGISTRY,
+        Analyzer,
+        baseline_payload,
+        default_lint_paths,
+        load_baseline,
+        render_json,
+        render_text,
+    )
+    from repro.resilience.atomic import atomic_write_text
+
+    if args.list_rules:
+        for rule in DEFAULT_REGISTRY:
+            print(f"{rule.id}  [{rule.severity:7s}]  {rule.title}")
+        return 0
+    only = (
+        [r.strip().upper() for r in args.rules.split(",") if r.strip()]
+        if args.rules is not None
+        else None
+    )
+    baseline_path = (
+        args.baseline if args.baseline is not None else Path(DEFAULT_BASELINE)
+    )
+    paths = [str(p) for p in args.paths] or default_lint_paths()
+    analyzer = Analyzer(rules=only, baseline=load_baseline(baseline_path))
+    report = analyzer.run(paths)
+    if args.write_baseline:
+        import json as _json
+
+        atomic_write_text(
+            baseline_path,
+            _json.dumps(baseline_payload(report.findings), indent=2) + "\n",
+        )
+        print(
+            f"wrote {len(report.findings)} finding(s) to {baseline_path}"
+        )
+        return 0
+    if args.lint_format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
 _COMMANDS = {
     "tables": _cmd_tables,
+    "lint": _cmd_lint,
     "stream": _cmd_stream,
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,

@@ -8,12 +8,17 @@ import numpy as np
 
 from repro.errors import ValidationError
 from repro.mining.alphabet import Alphabet
+from repro.resilience.atomic import atomic_open, atomic_write_text
 
 
 def save_database(
     path: "str | Path", db: np.ndarray, alphabet: Alphabet | None = None
 ) -> Path:
-    """Save a database; ``.txt`` writes symbols, anything else ``.npy``."""
+    """Save a database; ``.txt`` writes symbols, anything else ``.npy``.
+
+    Writes are atomic (REP002): an interrupted save leaves any previous
+    database file intact rather than a torn one.
+    """
     path = Path(path)
     db = np.asarray(db)
     if db.ndim != 1 or db.dtype != np.uint8:
@@ -21,10 +26,11 @@ def save_database(
     if path.suffix == ".txt":
         if alphabet is None:
             raise ValidationError("saving .txt requires an alphabet")
-        path.write_text(alphabet.decode(db))
+        atomic_write_text(path, alphabet.decode(db))
     else:
-        np.save(path.with_suffix(".npy"), db)
         path = path.with_suffix(".npy")
+        with atomic_open(path, "wb") as fh:
+            np.save(fh, db)
     return path
 
 

@@ -42,6 +42,17 @@ class MiningError(ReproError):
     """The mining driver was asked to do something unsupported."""
 
 
+class ArtifactError(ReproError):
+    """A JSON artifact is missing, truncated, or structurally wrong.
+
+    Raised by :mod:`repro.resilience.artifacts` when a file that should
+    hold a JSON object (a benchmark trajectory, a calibration profile,
+    a lint baseline) cannot be read as one.  Distinct from
+    :class:`ValidationError` so callers can answer "regenerate the
+    artifact" instead of "fix the input data".
+    """
+
+
 class CheckpointError(ReproError):
     """A stream checkpoint is unreadable, torn, corrupt, or mismatched.
 

@@ -567,11 +567,13 @@ def probe_engine_grid(
                 (MatchPolicy.EXPIRING, PROBE_WINDOW),
             ):
                 t_sweep = _time_best(
+                    # repro: noqa REP003 probe times the bare counting call; scope entry would pollute the measurement
                     lambda: sweep.count(db, matrix, alphabet_size, policy,
                                         window),
                     repeats,
                 )
                 t_hop = _time_best(
+                    # repro: noqa REP003 probe times the bare counting call; scope entry would pollute the measurement
                     lambda: hop.count(db, matrix, alphabet_size, policy,
                                       window, index=index),
                     repeats,
@@ -637,11 +639,13 @@ def probe_auto_vs_fixed(
                     t_sweep, t_hop = prior["sweep_s"], prior["hop_s"]
                 else:
                     t_sweep = _time_best(
+                        # repro: noqa REP003 probe times the bare counting call; scope entry would pollute the measurement
                         lambda: sweep.count(db, matrix, alphabet_size, policy,
                                             window),
                         repeats,
                     )
                     t_hop = _time_best(
+                        # repro: noqa REP003 probe times the bare counting call; scope entry would pollute the measurement
                         lambda: hop.count(db, matrix, alphabet_size, policy,
                                           window, index=index),
                         repeats,
@@ -764,6 +768,7 @@ def probe_sharding_costs(
     index = DatabaseIndex(db)
     hop = get_engine("position-hop")
     inline_s = _time_best(
+        # repro: noqa REP003 probe times the bare counting call; scope entry would pollute the measurement
         lambda: hop.count(db, matrix, alphabet_size,
                           MatchPolicy.SUBSEQUENCE, None, index=index),
         repeats,
@@ -777,12 +782,12 @@ def probe_sharding_costs(
     )
 
 
-def _identity_mapper(record):
+def _identity_mapper(record: object) -> "list[object]":
     """Trivial mapper for the dispatch probe (module-level: picklable)."""
     return [record]
 
 
-def _first_value_reducer(key, values):
+def _first_value_reducer(key: object, values: list) -> object:
     return values[0]
 
 

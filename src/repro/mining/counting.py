@@ -203,9 +203,13 @@ def count_batch(
     validate_window(policy, window)
     from repro.mining.engines import get_engine  # lazy: avoids import cycle
 
-    return get_engine(engine or "auto").count(
-        db, matrix, alphabet_size, policy, window, index=index
-    )
+    resolved = get_engine(engine or "auto")
+    with resolved:
+        # one call = one run scope (REP003); a no-op for the stateless
+        # tiers, pool acquire/release for engines that hold resources
+        return resolved.count(
+            db, matrix, alphabet_size, policy, window, index=index
+        )
 
 
 def count_reset_batch(

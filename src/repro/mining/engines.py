@@ -114,7 +114,14 @@ from __future__ import annotations
 
 import os
 import time
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep import cycles cut
+    from concurrent.futures import Future
+    from types import TracebackType
+
+    from repro.algos.selector import AdaptiveSelector
+    from repro.mapreduce.cpu_engine import ProcessPoolEngine
 
 import numpy as np
 
@@ -209,7 +216,12 @@ class CountingEngine:
         """Open a run scope (no-op for stateless tiers; see module docs)."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> bool:
         return False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -274,7 +286,12 @@ class BoundEngine:
         self.engine.__enter__()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> bool:
         return self.engine.__exit__(exc_type, exc, tb)
 
     def __call__(
@@ -313,8 +330,15 @@ class ScalarOracleEngine(CountingEngine):
 
     name = "scalar-oracle"
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         matrix = as_episode_matrix(episodes)
         return count_matrix_reference(db, matrix, policy, window)
 
@@ -324,8 +348,15 @@ class VectorSweepEngine(CountingEngine):
 
     name = "vector-sweep"
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         matrix = as_episode_matrix(episodes)
         validate_window(policy, window)
         if policy is MatchPolicy.RESET:
@@ -340,8 +371,15 @@ class PositionHopEngine(CountingEngine):
 
     name = "position-hop"
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         matrix = as_episode_matrix(episodes)
         validate_window(policy, window)
         if policy is MatchPolicy.RESET:
@@ -380,7 +418,9 @@ class AutoEngine(CountingEngine):
     ) -> None:
         self.profile = profile
 
-    def with_profile(self, profile):
+    def with_profile(
+        self, profile: "_calibration.CalibrationProfile | None"
+    ) -> "CountingEngine":
         if profile is None or profile is self.profile:
             return self
         return AutoEngine(profile=profile)
@@ -415,8 +455,15 @@ class AutoEngine(CountingEngine):
             return get_engine("vector-sweep")
         return get_engine("position-hop")
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         matrix = as_episode_matrix(episodes)
         chosen = self.select(int(np.asarray(db).size), matrix.shape[0], policy)
         return chosen.count(db, matrix, alphabet_size, policy, window, index=index)
@@ -484,7 +531,7 @@ class GpuSimEngine(CountingEngine):
         self.reports: list = []
 
     @property
-    def selector(self):
+    def selector(self) -> "AdaptiveSelector | None":
         """The memoizing :class:`AdaptiveSelector` (None for fixed algos)."""
         return self._selector
 
@@ -493,8 +540,15 @@ class GpuSimEngine(CountingEngine):
         """Accumulated simulated kernel time across counting calls."""
         return float(sum(r.total_ms for r in self.reports))
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         from repro.algos.base import MiningProblem, coerce_database
         from repro.algos.registry import get_algorithm
 
@@ -617,6 +671,7 @@ def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
             profile = _calibration.CalibrationProfile(thresholds={})
         engine = engine.with_profile(profile)
         index = _cached_worker_index(payload["db"], payload.get("db_key"))
+        # repro: noqa REP003 worker-side shard count; the parent ShardedEngine scope owns the run lifecycle
         out = engine.count(
             payload["db"],
             payload["matrix"],
@@ -628,11 +683,11 @@ def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
     return [KeyValue(record.key, out)]
 
 
-def _sum_reducer(key, values: "list[np.ndarray]") -> np.ndarray:
+def _sum_reducer(key: object, values: "list[np.ndarray]") -> np.ndarray:
     return np.sum(values, axis=0)
 
 
-def _first_reducer(key, values: list) -> object:
+def _first_reducer(key: object, values: list) -> object:
     """Pass-through for jobs keyed one record per shard (summaries)."""
     return values[0]
 
@@ -657,7 +712,13 @@ class _ShardJobHost:
       lazily respawn while budget remains.
     """
 
-    def __init__(self, engine: "ShardedEngine", mapper, pool, owned: bool):
+    def __init__(
+        self,
+        engine: "ShardedEngine",
+        mapper: "Callable[[KeyValue], list]",
+        pool: "ProcessPoolEngine",
+        owned: bool,
+    ) -> None:
         self.engine = engine
         self.mapper = mapper
         self.pool = pool
@@ -677,7 +738,7 @@ class _ShardJobHost:
             payload["fault_hang_s"] = fault.hang_s
         return KeyValue(record.key, payload)
 
-    def submit(self, record: KeyValue):
+    def submit(self, record: KeyValue) -> "Future":
         return self.pool.submit(self.mapper, self._stamped(record))
 
     def inline(self, record: KeyValue) -> list:
@@ -876,14 +937,16 @@ class ShardedEngine(CountingEngine):
         #: one per run scope plus respawns, or one per call outside a
         #: scope)
         self.pools_spawned = 0
-        self._pool = None  # run-scoped ProcessPoolEngine
+        self._pool: "ProcessPoolEngine | None" = None  # run-scoped pool
         self._pool_failed = False  # pool unavailable for this scope
         # total spawns a scope may consume: the initial pool plus the
         # respawn budget ("respawned once" at the default of 1)
         self._scope_spawn_budget = 1 + max_pool_respawns
         self._depth = 0
 
-    def with_profile(self, profile):
+    def with_profile(
+        self, profile: "_calibration.CalibrationProfile | None"
+    ) -> "CountingEngine":
         if profile is None or profile is self.profile:
             return self
         return ShardedEngine(
@@ -927,7 +990,12 @@ class ShardedEngine(CountingEngine):
         self._depth += 1
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: "type[BaseException] | None",
+        exc: "BaseException | None",
+        tb: "TracebackType | None",
+    ) -> bool:
         self._depth -= 1
         if self._depth == 0:
             if self._pool is not None:
@@ -936,13 +1004,16 @@ class ShardedEngine(CountingEngine):
             self._pool_failed = False
         return False
 
-    def _record(self, kind: str, detail: str, shards=(), attempt: int = 0):
+    def _record(
+        self, kind: str, detail: str, shards: "Iterable[int]" = (),
+        attempt: int = 0,
+    ) -> None:
         self.events.append(
             DegradationEvent(kind=kind, detail=detail,
                              shards=tuple(sorted(shards)), attempt=attempt)
         )
 
-    def _make_pool(self):
+    def _make_pool(self) -> "ProcessPoolEngine | None":
         """Spawn+probe a pool engine; None where pools cannot spawn."""
         from repro.mapreduce.cpu_engine import ProcessPoolEngine
 
@@ -964,8 +1035,15 @@ class ShardedEngine(CountingEngine):
         self.pools_spawned += 1
         return pool
 
-    def count(self, db, episodes, alphabet_size, policy=MatchPolicy.RESET,
-              window=None, index=None):
+    def count(
+        self,
+        db: np.ndarray,
+        episodes: "list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: "int | None" = None,
+        index: "DatabaseIndex | None" = None,
+    ) -> np.ndarray:
         matrix = as_episode_matrix(episodes)
         validate_window(policy, window)
         db = np.asarray(db)
@@ -1010,8 +1088,15 @@ class ShardedEngine(CountingEngine):
             workers = self.workers
         return "episode" if n_eps >= workers else "database"
 
-    def _payload(self, db, matrix, alphabet_size, policy, window,
-                 db_key=None) -> dict:
+    def _payload(
+        self,
+        db: np.ndarray,
+        matrix: np.ndarray,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        window: "int | None",
+        db_key: "str | None" = None,
+    ) -> dict:
         payload = {
             "kind": "segment",
             "db": db,
@@ -1026,8 +1111,14 @@ class ShardedEngine(CountingEngine):
             payload["db_key"] = db_key
         return payload
 
-    def _database_axis_job(self, db, matrix, alphabet_size, policy,
-                           workers: int) -> MapReduceJob:
+    def _database_axis_job(
+        self,
+        db: np.ndarray,
+        matrix: np.ndarray,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        workers: int,
+    ) -> MapReduceJob:
         length = matrix.shape[1]
         bounds = segment_bounds(db.size, workers)
         inputs = [
@@ -1046,8 +1137,16 @@ class ShardedEngine(CountingEngine):
         return MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
                             reducer=_sum_reducer)
 
-    def _episode_axis_job(self, db, matrix, alphabet_size, policy, window,
-                          workers: int, index=None) -> MapReduceJob:
+    def _episode_axis_job(
+        self,
+        db: np.ndarray,
+        matrix: np.ndarray,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        window: "int | None",
+        workers: int,
+        index: "DatabaseIndex | None" = None,
+    ) -> MapReduceJob:
         chunk = -(-matrix.shape[0] // workers)
         # workers cache their index under this key; a caller-supplied
         # index for this very database already carries the hash
@@ -1067,8 +1166,14 @@ class ShardedEngine(CountingEngine):
                             reducer=_sum_reducer)
 
     def _count_database_axis_carry(
-        self, db, matrix, alphabet_size, policy, window, workers: int,
-        index=None,
+        self,
+        db: np.ndarray,
+        matrix: np.ndarray,
+        alphabet_size: int,
+        policy: MatchPolicy,
+        window: "int | None",
+        workers: int,
+        index: "DatabaseIndex | None" = None,
     ) -> np.ndarray:
         """Two-pass state-summarization split along the database axis.
 
@@ -1121,7 +1226,7 @@ class ShardedEngine(CountingEngine):
             )
         return seg_counts.sum(axis=0)
 
-    def _acquire_run_pool(self):
+    def _acquire_run_pool(self) -> "tuple[ProcessPoolEngine | None, bool]":
         """``(pool, owned)``: the scope's pool (lazily spawned on the
         first sharding call, and lazily *re*-spawned while the scope's
         spawn budget lasts), or a caller-owned per-call pool outside a
@@ -1166,7 +1271,9 @@ class ShardedEngine(CountingEngine):
             return SerialEngine().run(job)
         return self._run_supervised(job, pool, owned)
 
-    def _run_supervised(self, job: MapReduceJob, pool, owned: bool) -> dict:
+    def _run_supervised(
+        self, job: MapReduceJob, pool: "ProcessPoolEngine", owned: bool
+    ) -> dict:
         """Run ``job``'s shards under supervision and reduce.
 
         The host below owns recovery policy (fault stamping at submit,

@@ -30,6 +30,13 @@ engines and the streaming subsystem explicit *failure semantics*:
   ``calibration.json``, ``BENCH_engines.json``, or stream checkpoint:
   readers observe either the old complete file or the new complete
   file, never a prefix.
+* :mod:`repro.resilience.artifacts` — schema-checked JSON artifact IO:
+  :func:`~repro.resilience.artifacts.read_json_artifact` turns missing
+  and truncated files into :class:`~repro.errors.ArtifactError` with a
+  regeneration hint, and
+  :func:`~repro.resilience.artifacts.write_json_artifact` is the
+  matching atomic writer (the fix the REP002 lint rule points at; see
+  ``CONTRACTS.md``).
 
 Everything here is advisory-to-exactness: supervision and fault
 recovery move *where* counting happens (pool, respawned pool, or
@@ -37,11 +44,14 @@ in-process), never what is counted — the same invariant the calibration
 layer already obeys.
 """
 
+from repro.resilience.artifacts import read_json_artifact, write_json_artifact
 from repro.resilience.atomic import atomic_open, atomic_write_bytes, atomic_write_text
 from repro.resilience.faults import FaultPlan, ShardFault, active_plan, clear_plan, inject, install_plan
 from repro.resilience.supervisor import BackoffPolicy, DegradationEvent, ShardSupervisor
 
 __all__ = [
+    "read_json_artifact",
+    "write_json_artifact",
     "atomic_open",
     "atomic_write_bytes",
     "atomic_write_text",

@@ -40,7 +40,7 @@ import time
 from concurrent.futures import CancelledError, FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Iterable, Protocol
 
 __all__ = ["DegradationEvent", "BackoffPolicy", "ShardSupervisor", "PoolHost"]
 
@@ -121,8 +121,8 @@ class BackoffPolicy:
 class PoolHost(Protocol):
     """What the supervisor needs from the pool's owner."""
 
-    def submit(self, record) -> "object": ...  # -> concurrent Future
-    def inline(self, record) -> list: ...       # exact in-process compute
+    def submit(self, record: object) -> "object": ...  # -> concurrent Future
+    def inline(self, record: object) -> list: ...       # exact in-process compute
     def respawn(self, attempt: int) -> bool: ...  # replace a dead pool
     def abandon(self) -> None: ...              # drop a poisoned pool
 
@@ -147,7 +147,10 @@ class ShardSupervisor:
         self.deadline_s = deadline_s
         self.events = events if events is not None else []
 
-    def _record(self, kind: str, detail: str, shards=(), attempt: int = 0) -> None:
+    def _record(
+        self, kind: str, detail: str, shards: "Iterable[int]" = (),
+        attempt: int = 0,
+    ) -> None:
         self.events.append(
             DegradationEvent(
                 kind=kind, detail=detail,
@@ -163,14 +166,16 @@ class ShardSupervisor:
         attempt = 0
         poisoned = False  # a hang was reclaimed: the pool has a stuck worker
 
-        def dispatch(indices) -> None:
+        def dispatch(indices: "Iterable[int]") -> None:
             for i in sorted(indices):
                 fut = self.host.submit(records[i])
                 pending[fut] = i
                 if self.deadline_s is not None:
                     deadlines[fut] = time.monotonic() + self.deadline_s
 
-        def reclaim_inline(indices, kind: str, detail: str) -> None:
+        def reclaim_inline(
+            indices: "Iterable[int]", kind: str, detail: str
+        ) -> None:
             self._record(kind, detail, shards=indices, attempt=attempt)
             for i in sorted(indices):
                 outputs[i] = self.host.inline(records[i])

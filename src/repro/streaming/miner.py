@@ -26,6 +26,7 @@ calibration profile (:mod:`repro.mining.calibration`) steers the
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 from pathlib import Path
 
 import numpy as np
@@ -182,7 +183,9 @@ class StreamingMiner:
             events=tuple(getattr(self._engine, "events", ())),
         )
 
-    def consume(self, source) -> "list[StreamUpdate]":
+    def consume(
+        self, source: "StreamSource | np.ndarray | Iterable[np.ndarray]"
+    ) -> "list[StreamUpdate]":
         """Drain a stream source (or array / iterable of chunks)."""
         return [self.update(c) for c in as_stream_source(source).chunks()]
 
@@ -197,14 +200,16 @@ class StreamingMiner:
         """
         return MiningResult(threshold=self.threshold, levels=self._levels)
 
-    def mine_stream(self, source) -> MiningResult:
+    def mine_stream(
+        self, source: "StreamSource | np.ndarray | Iterable[np.ndarray]"
+    ) -> MiningResult:
         """Drain ``source`` and return the final result."""
         self.consume(source)
         return self.result()
 
     # -- checkpoint / resume -------------------------------------------
 
-    def checkpoint(self, path) -> "Path":
+    def checkpoint(self, path: "str | Path") -> "Path":
         """Write this miner's exact state to ``path`` (atomic; see
         :mod:`repro.streaming.checkpoint` for format and versioning).
 
@@ -253,7 +258,7 @@ class StreamingMiner:
     @classmethod
     def resume(
         cls,
-        path,
+        path: "str | Path",
         engine: "str | RegistryEngine | None" = None,
         calibration: "object | None" = None,
     ) -> "StreamingMiner":
@@ -362,14 +367,18 @@ class StreamingMiner:
                 self._prefix_cache = np.zeros(0, dtype=np.uint8)
         return self._prefix_cache
 
-    def _update_landmark(self, chunk):
+    def _update_landmark(
+        self, chunk: np.ndarray
+    ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         self._store.advance(chunk)
         self._chunks.append(chunk)
         self._prefix_cache = None
         self._total += int(chunk.size)
         return self._reconcile()
 
-    def _reconcile(self):
+    def _reconcile(
+        self,
+    ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         """Re-derive the level-wise candidate sets and their supports.
 
         Mirrors the batch miner's level loop exactly — including
@@ -414,7 +423,9 @@ class StreamingMiner:
         self._levels = tuple(levels)
         return tuple(promoted), tuple(demoted)
 
-    def _update_windowed(self, chunk):
+    def _update_windowed(
+        self, chunk: np.ndarray
+    ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         self._chunks.append(chunk)
         self._total += int(chunk.size)
         # trim the buffer to the horizon (chunk granularity first, then

@@ -38,6 +38,8 @@ every episode that stays tracked.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.errors import ValidationError
@@ -112,7 +114,7 @@ class EpisodeStateStore:
         policy: MatchPolicy,
         window: "int | None",
         max_length: int,
-        count_chunk,
+        count_chunk: "Callable[[np.ndarray, np.ndarray], np.ndarray]",
     ) -> None:
         validate_window(policy, window)
         if max_length < 1:
@@ -192,7 +194,7 @@ class EpisodeStateStore:
         self,
         level: int,
         episodes: "list[Episode] | tuple[Episode, ...]",
-        history,
+        history: np.ndarray,
     ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         """Make ``level`` track exactly ``episodes`` (in that order).
 

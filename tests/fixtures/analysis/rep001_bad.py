@@ -1,0 +1,13 @@
+"""REP001 bad fixture: ambient global-state RNG calls (never executed)."""
+import random
+
+import numpy as np
+
+
+def scramble(db):
+    np.random.shuffle(db)          # module-state numpy RNG
+    noise = np.random.rand(10)     # module-state numpy RNG
+    rng = np.random.default_rng()  # seedless generator: OS entropy
+    jitter = random.random()       # stdlib global-state RNG
+    coin = random.Random()         # seedless stdlib generator
+    return noise, rng, jitter, coin

@@ -1,0 +1,15 @@
+"""REP001 good fixture: every draw flows from an explicit seed."""
+import random
+
+import numpy as np
+
+from repro.util.rng import make_rng
+
+
+def scramble(db, seed):
+    rng = make_rng(seed)
+    rng.shuffle(db)
+    other = np.random.default_rng(seed)      # explicit seed: fine
+    stdlib = random.Random(seed)             # explicit seed: fine
+    seq = np.random.SeedSequence(seed)       # seeding machinery: fine
+    return other.random(), stdlib.random(), seq

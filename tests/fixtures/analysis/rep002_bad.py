@@ -1,0 +1,12 @@
+"""REP002 bad fixture: artifacts written in place (never executed)."""
+import json
+from pathlib import Path
+
+import numpy as np
+
+
+def persist(payload, arr):
+    with open("results/run.json", "w") as fh:  # torn file on crash
+        json.dump(payload, fh)
+    np.save("results/db.npy", arr)             # in-place numpy write
+    Path("results/meta.json").write_text("{}")  # in-place replace

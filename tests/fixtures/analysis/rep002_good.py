@@ -1,0 +1,18 @@
+"""REP002 good fixture: artifact writes routed through atomic helpers."""
+import json
+
+import numpy as np
+
+from repro.resilience.artifacts import write_json_artifact
+from repro.resilience.atomic import atomic_open, atomic_write_text
+
+
+def persist(payload, arr):
+    write_json_artifact("results/run.json", payload)
+    with atomic_open("results/db.npy", "wb") as fh:
+        np.save(fh, arr)
+    with atomic_open("results/meta.json", "w") as fh:
+        json.dump(payload, fh)
+    atomic_write_text("results/notes.json", json.dumps(payload))
+    with open("results/run.json") as fh:  # reading is fine
+        return json.load(fh)

@@ -1,0 +1,11 @@
+"""REP004 bad fixture: broad except swallows mapper failures."""
+
+
+def run_shards(pool, mapper, records):
+    results = []
+    for record in records:
+        try:
+            results.append(pool.submit(mapper, record))
+        except Exception:  # swallows the mapper's own bug
+            results.append(None)
+    return results

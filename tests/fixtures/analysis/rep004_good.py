@@ -1,0 +1,14 @@
+"""REP004 good fixture: only infrastructure failures are caught."""
+from concurrent.futures.process import BrokenProcessPool
+
+
+def run_shards(pool, mapper, records):
+    results = []
+    for record in records:
+        try:
+            results.append(pool.submit(mapper, record))
+        except BrokenProcessPool:  # narrow: infrastructure, not mapper
+            results.append(None)
+        except Exception as exc:  # broad but re-raises: fine
+            raise RuntimeError("shard dispatch failed") from exc
+    return results

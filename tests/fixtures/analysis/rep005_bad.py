@@ -1,0 +1,13 @@
+"""REP005 bad fixture: unpicklable callables shipped to process pools."""
+from repro.mapreduce import MapReduceJob
+
+
+def fan_out(pool, records, scale):
+    futures = [pool.submit(lambda r: r * scale, rec) for rec in records]
+
+    def local_mapper(record):  # closes over this frame: unpicklable
+        return [record * scale]
+
+    job = MapReduceJob("scaled", local_mapper, reducer=lambda k, vs: vs[0])
+    results = pool.map(lambda r: r * scale, records)
+    return futures, job, results

@@ -1,0 +1,15 @@
+"""REP006 bad fixture: wallclock reads inside a counting path.
+
+Only fires when linted under a ``repro.mining``/``repro.streaming``
+module path; the tests feed it one.
+"""
+import time
+from datetime import datetime
+
+
+def count_chunk(db, episodes):
+    started = time.perf_counter()      # timing inside the counting path
+    stamp = datetime.now()             # wallclock-dependent state
+    counts = [len(db)] * len(episodes)
+    elapsed = time.time() - started
+    return counts, stamp, elapsed

@@ -1,0 +1,9 @@
+"""REP006 good fixture: ordering from stream positions, not clocks."""
+import time
+
+
+def count_chunk(db, episodes, position):
+    counts = [len(db)] * len(episodes)
+    sequence_number = position + len(db)   # position-derived, replayable
+    time.sleep(0)                          # sleeps are not clock *reads*
+    return counts, sequence_number
