@@ -14,3 +14,8 @@ def pytest_configure(config):
         "bench_smoke: quick throughput checks against the committed "
         "BENCH_engines.json trajectory (non-blocking: regressions warn)",
     )
+    config.addinivalue_line(
+        "markers",
+        "slow: multi-second acceptance tests (full-scale grids); run by "
+        "default, deselect with -m 'not slow' for a quick loop",
+    )

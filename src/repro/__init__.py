@@ -54,6 +54,8 @@ from repro.gpu import (
 )
 from repro.mining import (
     Alphabet,
+    CandidateTrie,
+    CountCache,
     DatabaseIndex,
     Episode,
     FrequentEpisodeMiner,
@@ -63,6 +65,7 @@ from repro.mining import (
     SerialMiner,
     ShardedEngine,
     UPPERCASE,
+    cached_count_batch,
     count_batch,
     count_candidates,
     count_episode,
@@ -127,6 +130,9 @@ __all__ = [
     "UPPERCASE",
     "Episode",
     "MatchPolicy",
+    "CandidateTrie",
+    "CountCache",
+    "cached_count_batch",
     "count_batch",
     "count_episode",
     "count_candidates",

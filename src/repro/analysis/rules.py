@@ -255,6 +255,12 @@ class NonAtomicArtifactWriteRule(Rule):
 _ENGINE_SOURCES = ("get_engine", "REGISTRY.get")
 #: method names that propagate engine-ness through reassignment
 _ENGINE_PRESERVING = frozenset({"with_profile"})
+#: engine methods that require an open run scope.  ``count`` and the
+#: trie-batched ``count_batch`` (PR 8) are both run-scoped — the
+#: ``startswith("count")`` fallback below catches future ``count_*``
+#: variants, but these two are contract-named so the set is greppable
+#: from CONTRACTS.md.
+_RUN_SCOPED_METHODS = frozenset({"count", "count_batch"})
 
 
 class _Rep003Visitor(_RuleVisitor):
@@ -307,7 +313,9 @@ class _Rep003Visitor(_RuleVisitor):
 
     def visit_Call(self, node: ast.Call) -> None:
         func = node.func
-        if isinstance(func, ast.Attribute) and func.attr.startswith("count"):
+        if isinstance(func, ast.Attribute) and (
+            func.attr in _RUN_SCOPED_METHODS or func.attr.startswith("count")
+        ):
             receiver = func.value
             if isinstance(receiver, ast.Name) and self._is_engine_name(receiver.id):
                 if receiver.id not in self.with_names:

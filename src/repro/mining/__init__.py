@@ -25,6 +25,12 @@ from repro.mining.counting import (
     db_fingerprint,
 )
 from repro.mining.spanning import count_segmented, SegmentedCount
+from repro.mining.trie import (
+    CandidateTrie,
+    CountCache,
+    cached_count_batch,
+    count_positions_trie,
+)
 from repro.mining.miner import FrequentEpisodeMiner, MiningResult, LevelResult
 from repro.mining.engines import (
     BoundEngine,
@@ -70,6 +76,10 @@ __all__ = [
     "db_fingerprint",
     "count_segmented",
     "SegmentedCount",
+    "CandidateTrie",
+    "CountCache",
+    "cached_count_batch",
+    "count_positions_trie",
     "BoundEngine",
     "CountingEngine",
     "EngineRegistry",

@@ -21,6 +21,7 @@ from math import factorial, perm
 from repro.errors import ValidationError
 from repro.mining.alphabet import Alphabet
 from repro.mining.episode import Episode
+from repro.mining.trie import CandidateTrie
 
 
 def count_candidates(alphabet_size: int, level: int) -> int:
@@ -52,7 +53,7 @@ def generate_next_level(
     alphabet: Alphabet,
     prune: bool = True,
     contiguous: bool = True,
-) -> list[Episode]:
+) -> CandidateTrie:
     """A-priori generation step: level L frequent -> level L+1 candidates.
 
     A candidate ``<i1..iL, x>`` is emitted when its L-prefix is frequent;
@@ -66,9 +67,22 @@ def generate_next_level(
     are checked.  Under subsequence semantics every order-preserving
     sub-episode is implied, so ``contiguous=False`` checks them all —
     the stronger, classic A-priori prune.
+
+    Returns a :class:`~repro.mining.trie.CandidateTrie` (a drop-in
+    ``Sequence[Episode]``): the extension step inserts each candidate
+    into the shared-prefix trie directly — all extensions of one base
+    share the base's path — and trie-aware engines count it batched.
+
+    **Order invariant** (the trie's episode-index mapping relies on
+    this): the surviving ``frequent`` list is deduplicated and the
+    candidates are emitted in lexicographic order over item tuples,
+    regardless of the order (or duplication) of ``frequent``.  Bases
+    are iterated in sorted order and, since all bases share length L,
+    extending by ascending item keeps the emitted sequence globally
+    lexicographic.  Result/bench schemas index episodes by this order.
     """
     if not frequent:
-        return []
+        return CandidateTrie()
     level = frequent[0].length
     for e in frequent:
         if e.length != level:
@@ -76,17 +90,18 @@ def generate_next_level(
                 "generate_next_level requires uniform-length frequent set"
             )
     frequent_set = {e.items for e in frequent}
-    candidates: list[Episode] = []
-    for base in frequent:
+    candidates = CandidateTrie(level=level + 1)
+    for base_items in sorted(frequent_set):
+        base = Episode(base_items)
         for item in range(alphabet.size):
-            if item in base.items:
+            if item in base_items:
                 continue
             cand = base.extend(item)
             if prune and not _prunable_subepisodes_frequent(
                 cand, frequent_set, contiguous
             ):
                 continue
-            candidates.append(cand)
+            candidates.insert(cand)
     return candidates
 
 

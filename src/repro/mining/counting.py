@@ -169,12 +169,22 @@ def encode_episodes(matrix: np.ndarray, alphabet_size: int) -> np.ndarray:
 
 
 def as_episode_matrix(episodes: "list[Episode] | np.ndarray") -> np.ndarray:
-    """Normalize an episode batch (Episode list or (E, L) array) to a matrix."""
-    matrix = (
-        episodes
-        if isinstance(episodes, np.ndarray)
-        else episodes_to_matrix(list(episodes))
-    )
+    """Normalize an episode batch (Episode list, (E, L) array, or
+    :class:`~repro.mining.trie.CandidateTrie`) to a matrix.
+
+    Trie batches are recognized structurally (their cached ``matrix``
+    property) rather than by type, so this module never imports
+    :mod:`repro.mining.trie` (which imports this one).
+    """
+    if isinstance(episodes, np.ndarray):
+        matrix = episodes
+    else:
+        trie_matrix = getattr(episodes, "matrix", None)
+        matrix = (
+            trie_matrix
+            if isinstance(trie_matrix, np.ndarray)
+            else episodes_to_matrix(list(episodes))
+        )
     if matrix.ndim != 2:
         raise ValidationError(f"episode matrix must be 2-D, got {matrix.shape}")
     return matrix
@@ -197,18 +207,23 @@ def count_batch(
     fastest exact implementation for the policy and problem shape).
     ``index`` optionally carries a prebuilt :class:`DatabaseIndex` so
     repeated batches against one database share position lists.
+    :class:`~repro.mining.trie.CandidateTrie` batches keep their shared
+    structure (the engine's ``count_batch`` path); flat inputs are
+    normalized to a matrix.
     """
-    matrix = as_episode_matrix(episodes)
-    db = _check_db(db)
-    validate_window(policy, window)
     from repro.mining.engines import get_engine  # lazy: avoids import cycle
 
+    batch: object = episodes
+    if isinstance(episodes, np.ndarray) or not hasattr(episodes, "matrix"):
+        batch = as_episode_matrix(episodes)
+    db = _check_db(db)
+    validate_window(policy, window)
     resolved = get_engine(engine or "auto")
     with resolved:
         # one call = one run scope (REP003); a no-op for the stateless
         # tiers, pool acquire/release for engines that hold resources
-        return resolved.count(
-            db, matrix, alphabet_size, policy, window, index=index
+        return resolved.count_batch(
+            db, batch, alphabet_size, policy, window, index=index
         )
 
 
@@ -381,6 +396,37 @@ def _count_expiring_batch(
 # Position-list counting (the ``position-hop`` engine tier)
 # ---------------------------------------------------------------------------
 
+def _hop_positions(
+    index: DatabaseIndex,
+    ends: np.ndarray,
+    starts: np.ndarray,
+    item: int,
+    window: int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advance a completion frontier ``(ends, starts)`` by one symbol.
+
+    One searchsorted hop: for every occurrence of ``item``, find the
+    latest prefix completion strictly before it (gap bounded by
+    ``window`` when set) and extend that chain.  This is the single-edge
+    step both the flat chain (:func:`_chain_positions`) and the
+    trie-shared walk (:func:`repro.mining.trie.count_positions_trie`)
+    are built from — the frontier depends only on the prefix consumed
+    so far, never on any suffix, which is what makes sharing a parent
+    frontier across all trie children exact.
+    """
+    empty = np.empty(0, dtype=np.int64)
+    pos = index.positions(item)
+    if ends.size == 0 or pos.size == 0:
+        return empty, empty
+    # latest completed prefix strictly before each candidate position
+    idx = np.searchsorted(ends, pos, side="left") - 1
+    ok = idx >= 0
+    idx0 = np.maximum(idx, 0)
+    if window is not None:
+        ok &= (pos - ends[idx0]) <= window
+    return pos[ok], starts[idx0][ok]
+
+
 def _chain_positions(
     index: DatabaseIndex, items: "tuple[int, ...]", window: int | None
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -394,21 +440,12 @@ def _chain_positions(
     is non-decreasing (taking the latest feasible predecessor at every
     hop maximizes the start, by induction over prefix length).
     """
-    empty = np.empty(0, dtype=np.int64)
     reach = index.positions(items[0])
     starts = reach
     for item in items[1:]:
-        pos = index.positions(item)
-        if reach.size == 0 or pos.size == 0:
-            return empty, empty
-        # latest completed prefix strictly before each candidate position
-        idx = np.searchsorted(reach, pos, side="left") - 1
-        ok = idx >= 0
-        idx0 = np.maximum(idx, 0)
-        if window is not None:
-            ok &= (pos - reach[idx0]) <= window
-        reach = pos[ok]
-        starts = starts[idx0][ok]
+        reach, starts = _hop_positions(index, reach, starts, item, window)
+        if reach.size == 0:
+            return reach, starts
     return reach, starts
 
 

@@ -59,6 +59,40 @@ protocol while reusing one :class:`DatabaseIndex` per database
 (staleness-checked by fingerprint, so in-place mutation of a database
 array rebuilds instead of silently serving stale counts).
 
+Trie-batched counting
+---------------------
+``count_batch(db, batch, alphabet_size, policy, window, index=None)``
+counts a :class:`~repro.mining.trie.CandidateTrie` — the shared-prefix
+batch representation :func:`~repro.mining.candidates.generate_next_level`
+emits — with the same exactness contract as ``count``; flat inputs
+(matrices, episode lists) are accepted and flattened.  The contract
+(details in ``CONTRACTS.md``):
+
+* **index stability** — output slot ``i`` is the ``i``-th episode
+  inserted into the trie, so result/bench schemas are unchanged;
+* **scalar-oracle ground truth** — every engine's ``count_batch``
+  equals per-episode :func:`~repro.mining.counting.count_matrix_reference`
+  counts (the conformance suite asserts this over all policies,
+  repeated-symbol matrices, and degenerate tries);
+* **where sharing happens** — ``position-hop`` hops each trie edge
+  once, reusing the parent node's position-list frontier for all
+  children (exact because the frontier depends only on the consumed
+  prefix — see :func:`repro.mining.trie.count_positions_trie`);
+  ``sharded`` ships whole root subtrees per shard (prefix sharing
+  survives inside every shard; explicit index arrays scatter results
+  back exactly) under the same supervision/degradation semantics as
+  ``count``; ``vector-sweep`` flattens — its per-character sweep
+  already advances all episodes through one vectorized state table,
+  and the greedy non-overlap reset makes cross-episode FSM state
+  diverge after any completion, so there is no exact per-prefix state
+  to share; RESET always flattens to the single O(n) n-gram pass,
+  which is batch-optimal already;
+* **count caching** — :class:`BoundEngine` routes trie batches through
+  a content-addressed :class:`~repro.mining.trie.CountCache` keyed by
+  ``(db_fingerprint, episode, policy, window)``, so repeated counts
+  (across levels, pipeline speculation, streaming backfill) dedupe to
+  zero engine calls on a full hit.
+
 Failure semantics
 -----------------
 Pooled execution is *supervised* (:mod:`repro.resilience.supervisor`):
@@ -147,6 +181,12 @@ from repro.mining.counting import (
 )
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
+from repro.mining.trie import (
+    CandidateTrie,
+    CountCache,
+    cached_count_batch,
+    count_positions_trie,
+)
 from repro.mining.spanning import (
     compose_expiring,
     compose_subsequence,
@@ -190,6 +230,34 @@ class CountingEngine:
         index: DatabaseIndex | None = None,
     ) -> np.ndarray:
         raise NotImplementedError
+
+    def count_batch(
+        self,
+        db: np.ndarray,
+        episodes: "CandidateTrie | list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        index: DatabaseIndex | None = None,
+    ) -> np.ndarray:
+        """Counts for a (possibly trie-structured) episode batch.
+
+        The base implementation flattens the batch and delegates to
+        ``count`` — exact for every engine, so tiers without a shared
+        counting structure (scalar-oracle as the per-episode ground
+        truth, vector-sweep whose per-character state table already
+        advances all episodes at once, gpu-sim's single kernel launch)
+        inherit it as-is.  Tiers that can exploit the trie
+        (``position-hop``, ``sharded``) override.  Same run-scope
+        contract as ``count`` (REP003).
+        """
+        matrix = as_episode_matrix(episodes)
+        if matrix.shape[0] == 0:
+            # empty levels short-circuit: the flat paths reject
+            # zero-width (0, 0) matrices an empty trie produces
+            return np.zeros(0, dtype=np.int64)
+        return self.count(db, matrix, alphabet_size, policy, window,
+                          index=index)
 
     def bind(
         self,
@@ -239,6 +307,15 @@ class BoundEngine:
     returning counts from the stale one (the hash is memory-bandwidth
     cheap next to any counting pass).  Entering a bound engine opens
     the underlying engine's run scope.
+
+    Trie batches additionally route through a per-binding
+    content-addressed :class:`~repro.mining.trie.CountCache` (keyed by
+    ``(db_fingerprint, episode, policy, window)``): episodes re-counted
+    against an identical database — repeated level counts, pipeline
+    speculation overlap, streaming promotion backfill — are served from
+    the cache, and a fully repeated ``(db, episode set)`` count makes
+    zero engine calls.  Exact by construction: the key captures every
+    input the count depends on.
     """
 
     def __init__(
@@ -247,12 +324,15 @@ class BoundEngine:
         alphabet_size: int,
         policy: MatchPolicy,
         window: int | None,
+        cache: "CountCache | None" = None,
     ) -> None:
         validate_window(policy, window)
         self.engine = engine
         self.alphabet_size = alphabet_size
         self.policy = policy
         self.window = window
+        #: content-addressed count cache for trie/batched counting
+        self.cache = cache if cache is not None else CountCache()
         self._fingerprint: str | None = None
         self._db: np.ndarray | None = None
         self._frozen_at_index = False
@@ -295,14 +375,31 @@ class BoundEngine:
         return self.engine.__exit__(exc_type, exc, tb)
 
     def __call__(
-        self, db: np.ndarray, episodes: "list[Episode] | np.ndarray"
+        self, db: np.ndarray, episodes: "CandidateTrie | list[Episode] | np.ndarray"
     ) -> np.ndarray:
+        if isinstance(episodes, CandidateTrie):
+            return self.count_batch(db, episodes)
         return self.engine.count(
             db,
             episodes,
             self.alphabet_size,
             self.policy,
             self.window,
+            index=self.index_for(db),
+        )
+
+    def count_batch(
+        self, db: np.ndarray, episodes: "CandidateTrie | list[Episode] | np.ndarray"
+    ) -> np.ndarray:
+        """Batched counting through the content-addressed count cache."""
+        return cached_count_batch(
+            self.engine,
+            db,
+            episodes,
+            self.alphabet_size,
+            self.policy,
+            self.window,
+            cache=self.cache,
             index=self.index_for(db),
         )
 
@@ -387,6 +484,35 @@ class PositionHopEngine(CountingEngine):
         hop_window = None if policy is MatchPolicy.SUBSEQUENCE else int(window)
         return count_positions_batch(db, matrix, hop_window, index=index)
 
+    def count_batch(
+        self,
+        db: np.ndarray,
+        episodes: "CandidateTrie | list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        index: DatabaseIndex | None = None,
+    ) -> np.ndarray:
+        """Trie-shared position-list counting.
+
+        SUBSEQUENCE/EXPIRING trie batches hop each trie *edge* once,
+        reusing the parent node's completion frontier for all children
+        (:func:`repro.mining.trie.count_positions_trie`) — O(trie
+        edges) hops instead of the flat path's O(E·L).  RESET keeps
+        the single O(n) n-gram pass (already batch-optimal), and flat
+        inputs fall through to ``count``.
+        """
+        if not isinstance(episodes, CandidateTrie):
+            return super().count_batch(db, episodes, alphabet_size, policy,
+                                       window, index=index)
+        validate_window(policy, window)
+        if len(episodes) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if policy is MatchPolicy.RESET:
+            return count_reset_batch(db, episodes.matrix, alphabet_size)
+        hop_window = None if policy is MatchPolicy.SUBSEQUENCE else int(window)
+        return count_positions_trie(db, episodes, hop_window, index=index)
+
 
 class AutoEngine(CountingEngine):
     """Problem-shape dispatch between the exact tiers.
@@ -467,6 +593,26 @@ class AutoEngine(CountingEngine):
         matrix = as_episode_matrix(episodes)
         chosen = self.select(int(np.asarray(db).size), matrix.shape[0], policy)
         return chosen.count(db, matrix, alphabet_size, policy, window, index=index)
+
+    def count_batch(
+        self,
+        db: np.ndarray,
+        episodes: "CandidateTrie | list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        index: DatabaseIndex | None = None,
+    ) -> np.ndarray:
+        """Dispatch the batch to the selected tier's ``count_batch``
+        (so a trie reaching position-hop keeps its shared structure)."""
+        n_eps = (
+            len(episodes)
+            if isinstance(episodes, CandidateTrie)
+            else as_episode_matrix(episodes).shape[0]
+        )
+        chosen = self.select(int(np.asarray(db).size), n_eps, policy)
+        return chosen.count_batch(db, episodes, alphabet_size, policy,
+                                  window, index=index)
 
 
 class GpuSimEngine(CountingEngine):
@@ -671,15 +817,31 @@ def _sharded_mapper(record: KeyValue) -> "list[KeyValue]":
             profile = _calibration.CalibrationProfile(thresholds={})
         engine = engine.with_profile(profile)
         index = _cached_worker_index(payload["db"], payload.get("db_key"))
-        # repro: noqa REP003 worker-side shard count; the parent ShardedEngine scope owns the run lifecycle
-        out = engine.count(
-            payload["db"],
-            payload["matrix"],
-            payload["alphabet_size"],
-            policy,
-            payload["window"],
-            index=index,
-        )
+        if payload.get("trie"):
+            # trie-subtree shard: rebuild the shared-prefix structure
+            # from the shipped rows (tries themselves are not shipped —
+            # the matrix is the wire format) so the inner engine's
+            # count_batch keeps the per-shard prefix sharing
+            batch = CandidateTrie.from_matrix(payload["matrix"])
+            # repro: noqa REP003 worker-side shard count; the parent ShardedEngine scope owns the run lifecycle
+            out = engine.count_batch(
+                payload["db"],
+                batch,
+                payload["alphabet_size"],
+                policy,
+                payload["window"],
+                index=index,
+            )
+        else:
+            # repro: noqa REP003 worker-side shard count; the parent ShardedEngine scope owns the run lifecycle
+            out = engine.count(
+                payload["db"],
+                payload["matrix"],
+                payload["alphabet_size"],
+                policy,
+                payload["window"],
+                index=index,
+            )
     return [KeyValue(record.key, out)]
 
 
@@ -1072,6 +1234,74 @@ class ShardedEngine(CountingEngine):
         return np.concatenate(
             [results[key] for key in sorted(results, key=lambda k: k[1])]
         )
+
+    def count_batch(
+        self,
+        db: np.ndarray,
+        episodes: "CandidateTrie | list[Episode] | np.ndarray",
+        alphabet_size: int,
+        policy: MatchPolicy = MatchPolicy.RESET,
+        window: int | None = None,
+        index: DatabaseIndex | None = None,
+    ) -> np.ndarray:
+        """Episode-axis sharding by trie *subtree* instead of row range.
+
+        Each shard receives whole root-child subtrees
+        (:meth:`~repro.mining.trie.CandidateTrie.subtree_index_groups`),
+        so prefix sharing survives inside every shard — workers rebuild
+        the sub-trie from the shipped rows and run the inner engine's
+        ``count_batch``.  Results scatter back through the explicit
+        per-shard episode-index arrays, which is exact regardless of
+        how insertion order interleaved the subtrees.  Supervision,
+        degradation, and inline fallbacks are identical to ``count``:
+        the same ``_run`` path executes the job, RESET and narrow
+        batches fall back to the database-axis/flat decompositions, and
+        a degraded scope counts inline on the calibrated inner engine.
+        """
+        if not isinstance(episodes, CandidateTrie):
+            return super().count_batch(db, episodes, alphabet_size, policy,
+                                       window, index=index)
+        trie = episodes
+        validate_window(policy, window)
+        db = np.asarray(db)
+        n, n_eps = int(db.size), len(trie)
+        if n_eps == 0:
+            return np.zeros(0, dtype=np.int64)
+        workers = self._effective_workers(n * n_eps)
+        if (workers <= 1 or n == 0 or self._pool_failed
+                or n * n_eps < self.min_shard_work):
+            return self._local_inner.count_batch(
+                db, trie, alphabet_size, policy, window, index=index
+            )
+        if (policy is MatchPolicy.RESET
+                or self._pick_axis(n_eps, workers) == "database"):
+            # the n-gram pass / state-summarization carry decompose the
+            # *database*, where the trie offers nothing — flat path
+            return self.count(db, trie.matrix, alphabet_size, policy,
+                              window, index=index)
+        groups = trie.subtree_index_groups(workers)
+        if len(groups) <= 1:
+            return self._local_inner.count_batch(
+                db, trie, alphabet_size, policy, window, index=index
+            )
+        matrix = trie.matrix
+        if index is not None and index.db is db:
+            db_key = index.fingerprint
+        else:
+            db_key = db_fingerprint(db)
+        inputs: "list[KeyValue]" = []
+        for i, rows in enumerate(groups):
+            payload = self._payload(db, matrix[rows], alphabet_size, policy,
+                                    window, db_key=db_key)
+            payload["trie"] = True
+            inputs.append(KeyValue(("chunk", i), payload))
+        job = MapReduceJob(inputs=inputs, mapper=_sharded_mapper,
+                           reducer=_sum_reducer)
+        results = self._run(job)
+        out = np.zeros(n_eps, dtype=np.int64)
+        for i, rows in enumerate(groups):
+            out[rows] = results[("chunk", i)]
+        return out
 
     def _pick_axis(self, n_eps: int, workers: int | None = None) -> str:
         """SUBSEQUENCE/EXPIRING axis choice.

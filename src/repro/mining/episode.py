@@ -10,30 +10,58 @@ episodes over an N-symbol alphabet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from functools import cached_property
-
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.mining.alphabet import Alphabet
 
 
-@dataclass(frozen=True)
 class Episode:
-    """An ordered sequence of distinct item codes."""
+    """An ordered sequence of distinct item codes.
+
+    Immutable value object.  Uses ``__slots__`` with the hash
+    precomputed at construction: trie insertion
+    (:mod:`repro.mining.trie`) and the content-addressed count cache
+    key episodes by hash in hot loops, so ``hash()`` must be a slot
+    read, not a tuple re-hash per probe.
+    """
+
+    __slots__ = ("items", "_hash", "_array")
 
     items: tuple[int, ...]
 
-    def __post_init__(self) -> None:
-        if not self.items:
+    def __init__(self, items: "tuple[int, ...]") -> None:
+        items = tuple(items)
+        if not items:
             raise ValidationError("episode must contain at least one item")
-        if len(set(self.items)) != len(self.items):
+        if len(set(items)) != len(items):
             raise ValidationError(
-                f"episode items must be distinct (Table 1 semantics), got {self.items}"
+                f"episode items must be distinct (Table 1 semantics), got {items}"
             )
-        if any(i < 0 for i in self.items):
-            raise ValidationError(f"episode items must be non-negative: {self.items}")
+        if any(i < 0 for i in items):
+            raise ValidationError(f"episode items must be non-negative: {items}")
+        object.__setattr__(self, "items", items)
+        object.__setattr__(self, "_hash", hash(items))
+        object.__setattr__(self, "_array", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"Episode is immutable; cannot set {name!r}")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Episode):
+            return self.items == other.items
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[no-any-return]
+
+    def __repr__(self) -> str:
+        return f"Episode(items={self.items!r})"
+
+    def __reduce__(self) -> "tuple[type[Episode], tuple[tuple[int, ...]]]":
+        # reconstruct through __init__: the immutability guard blocks
+        # the default slot-state restore, and re-validating is cheap
+        return (Episode, (self.items,))
 
     @classmethod
     def from_symbols(cls, symbols: str, alphabet: Alphabet) -> "Episode":
@@ -44,11 +72,14 @@ class Episode:
         """The episode's level L."""
         return len(self.items)
 
-    @cached_property
+    @property
     def array(self) -> np.ndarray:
-        a = np.array(self.items, dtype=np.uint8)
-        a.setflags(write=False)
-        return a
+        cached = self._array
+        if cached is None:
+            cached = np.array(self.items, dtype=np.uint8)
+            cached.setflags(write=False)
+            object.__setattr__(self, "_array", cached)
+        return cached
 
     def to_symbols(self, alphabet: Alphabet) -> str:
         return alphabet.decode(self.array)

@@ -20,6 +20,7 @@ from repro.mining.candidates import generate_level, generate_next_level
 from repro.mining.engines import CountingEngine as RegistryEngine, get_engine
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
+from repro.mining.trie import CandidateTrie
 
 
 class CountingEngine(Protocol):
@@ -218,7 +219,11 @@ class FrequentEpisodeMiner:
         if n == 0:
             raise ValidationError("cannot mine an empty database")
         levels: list[LevelResult] = []
-        candidates = generate_level(self.alphabet, 1)
+        # every level counts through the trie batch representation:
+        # generate_next_level emits tries directly, and the exhaustive /
+        # level-1 lists are wrapped so registry engines take the shared
+        # count_batch path (index-stable, so results are unchanged)
+        candidates = CandidateTrie.from_episodes(generate_level(self.alphabet, 1))
         level = 1
         with self._engine_scope():
             while candidates and level <= self.max_level:
@@ -236,7 +241,9 @@ class FrequentEpisodeMiner:
                     break
                 level += 1
                 if self.exhaustive_candidates:
-                    candidates = generate_level(self.alphabet, level)
+                    candidates = CandidateTrie.from_episodes(
+                        generate_level(self.alphabet, level)
+                    )
                 else:
                     candidates = generate_next_level(
                         frequent,

@@ -41,6 +41,7 @@ from repro.mining.engines import (
 from repro.mining.episode import Episode
 from repro.mining.miner import LevelResult, MiningResult, eliminate_level
 from repro.mining.policies import MatchPolicy, validate_window
+from repro.mining.trie import CountCache, cached_count_batch
 from repro.streaming.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.sources import StreamSource, as_stream_source
 from repro.streaming.store import EpisodeStateStore
@@ -133,6 +134,10 @@ class StreamingMiner:
         if calibration is not None:
             resolved = resolved.with_profile(calibration)
         self._engine = resolved
+        # content-addressed count dedupe for the engine hook: promotion
+        # backfills over an unchanged retained prefix hit the cache
+        # instead of re-dispatching the engine
+        self._count_cache = CountCache()
         self._store = EpisodeStateStore(
             alphabet.size, policy, window, max_level, self._count_with_engine
         )
@@ -349,9 +354,22 @@ class StreamingMiner:
 
         (SUBSEQUENCE/EXPIRING chunk pass-1 runs through the spanning
         summaries — the engine hook covers RESET chunks and backfills.)
+        Dispatches through the content-addressed count cache so
+        promotion backfills over an unchanged retained prefix — an
+        episode demoted and re-promoted, or overlapping retrack sets —
+        dedupe to zero engine calls; keys carry the database
+        fingerprint, so every new chunk/prefix is a clean miss, never a
+        stale hit.  The caller (update/backfill path) holds the
+        engine's run scope.
         """
-        return self._engine.count(
-            db, matrix, self.alphabet.size, MatchPolicy.RESET, None
+        return cached_count_batch(
+            self._engine,
+            db,
+            matrix,
+            self.alphabet.size,
+            MatchPolicy.RESET,
+            None,
+            cache=self._count_cache,
         )
 
     def _prefix(self) -> np.ndarray:

@@ -11,3 +11,9 @@ def count_scoped(db, episodes, alphabet_size):
 def count_aliased(db, episodes, alphabet_size):
     with get_engine("sharded").with_profile(None) as eng:
         return eng.count(db, episodes, alphabet_size)
+
+
+def count_batch_scoped(db, trie, alphabet_size, policy):
+    engine = get_engine("position-hop")
+    with engine:
+        return engine.count_batch(db, trie, alphabet_size, policy)

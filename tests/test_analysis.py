@@ -52,7 +52,7 @@ FIXTURE_CASES = {
     "rep001_good.py": ("src/repro/data/fixture_mod.py", []),
     "rep002_bad.py": ("src/repro/streaming/fixture_mod.py", ["REP002"] * 4),
     "rep002_good.py": ("src/repro/streaming/fixture_mod.py", []),
-    "rep003_bad.py": ("src/repro/mining/fixture_mod.py", ["REP003"] * 2),
+    "rep003_bad.py": ("src/repro/mining/fixture_mod.py", ["REP003"] * 3),
     "rep003_good.py": ("src/repro/mining/fixture_mod.py", []),
     "rep004_bad.py": ("src/repro/resilience/fixture_mod.py", ["REP004"]),
     "rep004_good.py": ("src/repro/resilience/fixture_mod.py", []),

@@ -36,6 +36,10 @@ def test_engine_throughput_no_regression():
         # the smaller total_events never matches reference cells, so the
         # throughput comparison stays out of tier-1
         streaming=dict(n_chunks=4, chunk_events=1200),
+        # a scaled-down trie grid (N=12 -> 1,320 level-3 candidates):
+        # the flat-vs-trie checksum equality is machine-independent and
+        # gated hard below; the speedup floor stays advisory in tier-1
+        trie_batch=dict(n=8_000, alphabet_size=12),
     )
     problems = check_regression.compare(reference, fresh)
     problems += check_regression.check_invariants(fresh, min_speedup=2.0)
@@ -44,6 +48,7 @@ def test_engine_throughput_no_regression():
     problems += check_regression.check_sharded_scaling(fresh)
     problems += check_regression.check_auto_calibration(fresh)
     problems += check_regression.check_streaming(reference, fresh)
+    problems += check_regression.check_trie_batch(fresh)
     # the simulated series is deterministic, so its checksum/timing gate
     # is exact even inside tier-1 (timing drift counts as correctness:
     # it means the analytic model changed without a snapshot regen)

@@ -24,6 +24,7 @@ from repro.mining.counting import count_batch_reference, count_matrix_reference
 from repro.mining.engines import REGISTRY, get_engine, list_engines
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy
+from repro.mining.trie import CandidateTrie
 
 #: enumerated at collection time: a newly registered engine joins the
 #: conformance matrix without touching this file
@@ -134,6 +135,86 @@ class TestDegenerateShapes:
             ref = count_batch_reference(db, eps, ALPHA.size,
                                         MatchPolicy.EXPIRING, window)
             assert np.array_equal(got, ref), (name, window)
+
+
+class TestTrieBatchConformance:
+    """Every engine's ``count_batch`` over tries vs the scalar oracle.
+
+    The trie refactor (PR 8) must be pure representation: batching a
+    :class:`CandidateTrie` through any registry engine returns exactly
+    the per-episode counts the ``scalar-oracle`` produces, in the trie's
+    stable episode-index order, for all three policies — including the
+    shapes the Episode type cannot express (repeated-symbol matrices)
+    and the degenerate ones (single-node and empty tries).
+    """
+
+    @pytest.fixture(scope="class")
+    def db(self):
+        return np.random.default_rng(83).integers(0, 5, 300).astype(np.uint8)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_trie_batches_match_oracle(self, name, policy, window, db):
+        engine = fresh_engine(name)
+        for level in (1, 2, 3):
+            eps = generate_level(ALPHA, level)
+            trie = CandidateTrie.from_episodes(eps)
+            with engine:
+                got = engine.count_batch(db, trie, ALPHA.size, policy, window)
+            ref = count_batch_reference(db, eps, ALPHA.size, policy, window)
+            assert np.array_equal(got, ref), (name, policy, level)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @pytest.mark.parametrize(
+        "policy,window",
+        [(MatchPolicy.RESET, None), (MatchPolicy.SUBSEQUENCE, None),
+         (MatchPolicy.EXPIRING, 3)],
+    )
+    def test_repeated_symbol_tries(self, name, policy, window, db):
+        """Tries built from raw matrices, duplicate rows included."""
+        matrix = np.array(
+            [[0, 0, 1], [2, 2, 2], [1, 0, 1], [4, 4, 0], [0, 0, 1]],
+            dtype=np.uint8,
+        )
+        trie = CandidateTrie.from_matrix(matrix)
+        with fresh_engine(name) as engine:
+            got = engine.count_batch(db, trie, ALPHA.size, policy, window)
+        ref = count_matrix_reference(db, matrix, policy, window)
+        assert np.array_equal(got, ref), (name, policy)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_single_node_trie(self, name, policy, window, db):
+        trie = CandidateTrie.from_episodes([Episode((3,))])
+        with fresh_engine(name) as engine:
+            got = engine.count_batch(db, trie, ALPHA.size, policy, window)
+        ref = count_batch_reference(db, [Episode((3,))], ALPHA.size,
+                                    policy, window)
+        assert np.array_equal(got, ref), (name, policy)
+
+    @pytest.mark.parametrize("name", ENGINE_NAMES)
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_empty_level_trie(self, name, policy, window, db):
+        """An empty level's trie counts to shape (0,), never crashes."""
+        with fresh_engine(name) as engine:
+            got = engine.count_batch(
+                db, CandidateTrie(), ALPHA.size, policy, window
+            )
+        assert got.shape == (0,), (name, policy)
+        assert got.dtype == np.int64, (name, policy)
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_forced_sharding_trie_batch(self, policy, window, db):
+        """Subtree sharding engaged (min_shard_work=0) stays exact."""
+        from repro.mining.engines import ShardedEngine
+
+        eps = generate_level(ALPHA, 3)
+        trie = CandidateTrie.from_episodes(eps)
+        engine = ShardedEngine(workers=3, min_shard_work=0)
+        with engine:
+            got = engine.count_batch(db, trie, ALPHA.size, policy, window)
+        ref = count_batch_reference(db, eps, ALPHA.size, policy, window)
+        assert np.array_equal(got, ref), policy
 
 
 class TestUniformValidation:

@@ -1,0 +1,390 @@
+"""The shared-prefix trie refactor (PR 8): structure, caching, speed.
+
+Covers the trie/batch-count contract (see ``CONTRACTS.md``): episode
+index stability, deterministic child ordering, the Sequence drop-in
+behaviour, subtree sharding groups, the content-addressed count cache
+(including the zero-engine-calls repeat guarantee), the Episode hash
+precompute, and the level-3 acceptance floor: trie-batched position-hop
+counting >= 1.5x the flat path with bit-identical counts.
+"""
+
+import pickle
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.mining.alphabet import UPPERCASE, Alphabet
+from repro.mining.candidates import generate_level, generate_next_level
+from repro.mining.counting import (
+    DatabaseIndex,
+    count_batch_reference,
+    db_fingerprint,
+)
+from repro.mining.engines import BoundEngine, get_engine
+from repro.mining.episode import Episode
+from repro.mining.policies import MatchPolicy
+from repro.mining.trie import (
+    CandidateTrie,
+    CountCache,
+    cached_count_batch,
+    count_positions_trie,
+)
+
+ALPHA = Alphabet.of_size(6)
+
+
+def small_db(seed=11, n=400, size=6):
+    return np.random.default_rng(seed).integers(0, size, n).astype(np.uint8)
+
+
+class TestTrieStructure:
+    def test_from_episodes_preserves_input_order(self):
+        eps = [Episode((2, 1)), Episode((0, 1)), Episode((2, 3))]
+        trie = CandidateTrie.from_episodes(eps)
+        assert list(trie) == eps
+        assert [trie[i] for i in range(3)] == eps
+
+    def test_insert_returns_stable_indices(self):
+        trie = CandidateTrie()
+        assert trie.insert(Episode((3, 0))) == 0
+        assert trie.insert(Episode((3, 1))) == 1
+        assert trie.insert(Episode((0, 3))) == 2
+
+    def test_prefix_sharing_node_counts(self):
+        # <a,b>, <a,c>, <a,d> share the <a> path: 1 root + 1 + 3 nodes
+        trie = CandidateTrie.from_episodes(
+            [Episode((0, 1)), Episode((0, 2)), Episode((0, 3))]
+        )
+        assert trie.n_nodes == 5
+        assert trie.n_edges == 4  # vs 6 flat hops (3 episodes x L=2)
+
+    def test_children_sorted_regardless_of_insertion_order(self):
+        trie = CandidateTrie.from_episodes(
+            [Episode((4, 0)), Episode((1, 0)), Episode((3, 0))]
+        )
+        symbols = [s for s, _ in trie.children_of(0)]
+        assert symbols == sorted(symbols) == [1, 3, 4]
+
+    def test_sequence_protocol(self):
+        eps = generate_level(ALPHA, 2)
+        trie = CandidateTrie.from_episodes(eps)
+        assert len(trie) == len(eps)
+        assert trie == eps
+        assert eps[7] in trie
+        assert Episode((0, 1, 2)) not in trie
+        assert trie[3:5] == eps[3:5]
+
+    def test_empty_trie_is_falsy_and_equals_empty_list(self):
+        trie = CandidateTrie()
+        assert len(trie) == 0
+        assert not trie
+        assert trie == []
+        assert trie.matrix.shape == (0, 0)
+
+    def test_uniform_length_enforced(self):
+        trie = CandidateTrie.from_episodes([Episode((0, 1))])
+        with pytest.raises(ValidationError, match="uniform"):
+            trie.insert(Episode((0, 1, 2)))
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError, match="unhashable"):
+            hash(CandidateTrie())
+
+    def test_matrix_roundtrip(self):
+        eps = generate_level(ALPHA, 3)
+        trie = CandidateTrie.from_episodes(eps)
+        expected = np.stack([e.array for e in eps])
+        assert np.array_equal(trie.matrix, expected)
+
+    def test_from_matrix_allows_repeats_but_has_no_episode_view(self):
+        matrix = np.array([[0, 0], [1, 2], [0, 0]], dtype=np.uint8)
+        trie = CandidateTrie.from_matrix(matrix)
+        assert len(trie) == 3
+        assert np.array_equal(trie.matrix, matrix)
+        with pytest.raises(ValidationError, match="Episode view"):
+            list(trie)
+        with pytest.raises(ValidationError, match="matrix-built"):
+            trie.insert(Episode((0, 1)))
+
+    def test_duplicate_episodes_keep_their_own_indices(self):
+        matrix = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        trie = CandidateTrie.from_matrix(matrix)
+        db = small_db()
+        counts = count_positions_trie(db, trie)
+        assert counts[0] == counts[1] > 0
+
+
+class TestSubtreeGroups:
+    def test_partition_is_exact_and_bounded(self):
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        for max_groups in (1, 2, 3, 4, 10):
+            groups = trie.subtree_index_groups(max_groups)
+            assert 1 <= len(groups) <= max_groups
+            merged = np.concatenate(groups)
+            assert sorted(merged.tolist()) == list(range(len(trie)))
+
+    def test_whole_subtrees_stay_together(self):
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        groups = trie.subtree_index_groups(3)
+        # all episodes with the same leading symbol land in one group
+        for idxs in groups:
+            leads = {int(trie.matrix[i, 0]) for i in idxs.tolist()}
+            for other in groups:
+                if other is idxs:
+                    continue
+                assert leads.isdisjoint(
+                    {int(trie.matrix[i, 0]) for i in other.tolist()}
+                )
+
+    def test_empty_trie_yields_no_groups(self):
+        assert CandidateTrie().subtree_index_groups(4) == []
+
+
+class TestGenerationOrderInvariant:
+    def test_lexicographic_regardless_of_input_order(self):
+        frequent = generate_level(ALPHA, 2)
+        shuffled = frequent[:]
+        random.Random(5).shuffle(shuffled)
+        a = generate_next_level(frequent, ALPHA, contiguous=False)
+        b = generate_next_level(shuffled, ALPHA, contiguous=False)
+        assert list(a) == list(b)
+        items = [e.items for e in a]
+        assert items == sorted(items)
+
+    def test_duplicated_frequent_input_is_deduplicated(self):
+        frequent = generate_level(ALPHA, 1)
+        a = generate_next_level(frequent, ALPHA)
+        b = generate_next_level(frequent * 3, ALPHA)
+        assert list(a) == list(b)
+        assert len(set(e.items for e in a)) == len(a)
+
+    def test_returns_trie(self):
+        out = generate_next_level(generate_level(ALPHA, 1), ALPHA)
+        assert isinstance(out, CandidateTrie)
+        assert generate_next_level([], ALPHA) == []
+
+
+class TestTrieCounting:
+    @pytest.mark.parametrize("window", [None, 3, 7])
+    def test_matches_flat_reference(self, window):
+        db = small_db()
+        for level in (1, 2, 3):
+            eps = generate_level(ALPHA, level)
+            trie = CandidateTrie.from_episodes(eps)
+            policy = (
+                MatchPolicy.SUBSEQUENCE if window is None
+                else MatchPolicy.EXPIRING
+            )
+            got = count_positions_trie(db, trie, window)
+            ref = count_batch_reference(db, eps, ALPHA.size, policy, window)
+            assert np.array_equal(got, ref), (level, window)
+
+    def test_shared_index_reused(self):
+        db = small_db()
+        index = DatabaseIndex(db)
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        got = count_positions_trie(db, trie, None, index=index)
+        ref = count_batch_reference(
+            db, list(trie), ALPHA.size, MatchPolicy.SUBSEQUENCE, None
+        )
+        assert np.array_equal(got, ref)
+
+
+class TestCountCache:
+    def test_lru_eviction(self):
+        cache = CountCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        assert cache.get(("a",)) == 1  # refresh: "a" is now most recent
+        cache.put(("c",), 3)  # evicts "b"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) == 1
+        assert cache.get(("c",)) == 3
+        assert len(cache) == 2
+
+    def test_stats_and_clear(self):
+        cache = CountCache()
+        cache.put(("k",), 9)
+        cache.get(("k",))
+        cache.get(("missing",))
+        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        cache.clear()
+        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+
+
+class _SpyEngine:
+    """Counts engine dispatches; delegates to a real engine."""
+
+    def __init__(self):
+        self.inner = get_engine("position-hop")
+        self.calls = 0
+
+    def count_batch(self, db, batch, alphabet_size, policy, window=None,
+                    index=None):
+        self.calls += 1
+        with self.inner:
+            return self.inner.count_batch(
+                db, batch, alphabet_size, policy, window, index=index
+            )
+
+
+class TestCachedCountBatch:
+    def test_repeat_count_makes_zero_engine_calls(self):
+        db = small_db()
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        spy, cache = _SpyEngine(), CountCache()
+        first = cached_count_batch(
+            spy, db, trie, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        assert spy.calls == 1
+        second = cached_count_batch(
+            spy, db, trie, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        assert spy.calls == 1  # fully hit: the engine was never touched
+        assert np.array_equal(first, second)
+        assert cache.hits == len(trie)
+
+    def test_partial_hit_dispatches_only_misses(self):
+        db = small_db()
+        eps = generate_level(ALPHA, 2)
+        spy, cache = _SpyEngine(), CountCache()
+        half = CandidateTrie.from_episodes(eps[: len(eps) // 2])
+        cached_count_batch(
+            spy, db, half, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        full = CandidateTrie.from_episodes(eps)
+        got = cached_count_batch(
+            spy, db, full, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        assert spy.calls == 2
+        assert cache.hits == len(eps) // 2
+        ref = count_batch_reference(
+            db, eps, ALPHA.size, MatchPolicy.SUBSEQUENCE, None
+        )
+        assert np.array_equal(got, ref)
+
+    def test_mutated_database_misses_cleanly(self):
+        db = small_db()
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        spy, cache = _SpyEngine(), CountCache()
+        cached_count_batch(
+            spy, db, trie, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        db2 = np.roll(db, 1)
+        got = cached_count_batch(
+            spy, db2, trie, ALPHA.size, MatchPolicy.SUBSEQUENCE, cache=cache
+        )
+        assert spy.calls == 2  # new fingerprint: a clean miss, not staleness
+        ref = count_batch_reference(
+            db2, list(trie), ALPHA.size, MatchPolicy.SUBSEQUENCE, None
+        )
+        assert np.array_equal(got, ref)
+
+    def test_policy_and_window_are_part_of_the_key(self):
+        db = small_db()
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        spy, cache = _SpyEngine(), CountCache()
+        for policy, window in (
+            (MatchPolicy.SUBSEQUENCE, None),
+            (MatchPolicy.EXPIRING, 3),
+            (MatchPolicy.EXPIRING, 4),
+        ):
+            got = cached_count_batch(
+                spy, db, trie, ALPHA.size, policy, window, cache=cache
+            )
+            ref = count_batch_reference(
+                db, list(trie), ALPHA.size, policy, window
+            )
+            assert np.array_equal(got, ref), (policy, window)
+        assert spy.calls == 3  # no cross-policy/window collisions
+
+    def test_bound_engine_repeat_count_is_fully_cached(self):
+        """The miner-facing surface: a second identical level count on
+        one binding is served entirely from the per-binding cache."""
+        db = small_db()
+        trie = CandidateTrie.from_episodes(generate_level(ALPHA, 2))
+        bound = get_engine("position-hop").bind(
+            ALPHA.size, MatchPolicy.SUBSEQUENCE, None
+        )
+        with bound:
+            first = bound(db, trie)
+            assert bound.cache.misses == len(trie)
+            second = bound(db, trie)
+        assert np.array_equal(first, second)
+        assert bound.cache.hits == len(trie)
+
+
+class TestEpisodeHashCaching:
+    def test_hash_precomputed_at_construction(self):
+        e = Episode((3, 1, 4))
+        assert e._hash == hash((3, 1, 4))
+        assert hash(e) == hash((3, 1, 4))
+
+    def test_immutability_guard(self):
+        e = Episode((0, 1))
+        with pytest.raises(AttributeError):
+            e.items = (2, 3)
+
+    def test_pickle_roundtrip(self):
+        e = Episode((5, 0, 2))
+        clone = pickle.loads(pickle.dumps(e))
+        assert clone == e and hash(clone) == hash(e)
+
+    def test_slots_block_instance_dict(self):
+        assert not hasattr(Episode((0, 1)), "__dict__")
+
+
+@pytest.mark.slow
+class TestLevel3Acceptance:
+    """The PR 8 acceptance floor: the full level-3 grid (N=26, 15,600
+    candidates), trie-batched position-hop >= 1.5x the flat path with
+    bit-identical counts."""
+
+    def _best_of(self, fn, repeats=3):
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    def test_trie_batched_speedup_with_identical_counts(self):
+        rng = np.random.default_rng(20_090_525)
+        db = rng.integers(0, UPPERCASE.size, 30_000).astype(np.uint8)
+        eps = generate_level(UPPERCASE, 3)
+        assert len(eps) == 15_600  # Table 1, N=26, L=3
+        trie = CandidateTrie.from_episodes(eps)
+        matrix = trie.matrix
+        engine = get_engine("position-hop")
+        index = DatabaseIndex(db)
+        with engine:
+            flat = engine.count(
+                db, matrix, UPPERCASE.size, MatchPolicy.SUBSEQUENCE,
+                index=index,
+            )
+            batched = engine.count_batch(
+                db, trie, UPPERCASE.size, MatchPolicy.SUBSEQUENCE,
+                index=index,
+            )
+            assert np.array_equal(flat, batched)  # bit-identical, first
+            flat_s = self._best_of(
+                lambda: engine.count(
+                    db, matrix, UPPERCASE.size, MatchPolicy.SUBSEQUENCE,
+                    index=index,
+                )
+            )
+            trie_s = self._best_of(
+                lambda: engine.count_batch(
+                    db, trie, UPPERCASE.size, MatchPolicy.SUBSEQUENCE,
+                    index=index,
+                )
+            )
+        speedup = flat_s / trie_s
+        assert speedup >= 1.5, (
+            f"trie-batched level-3 counting {speedup:.2f}x flat "
+            f"(flat {flat_s * 1e3:.1f} ms, trie {trie_s * 1e3:.1f} ms; "
+            f"floor 1.5x)"
+        )
