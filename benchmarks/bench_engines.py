@@ -71,7 +71,8 @@ SRC = Path(__file__).parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-SCHEMA = 6  # 6: adds the trie_batch shared-prefix counting series
+SCHEMA = 7  # 7: streaming rows measure position-hop chunk resume and
+# the incremental>=recount floor is gated hard (6: trie_batch series)
 DEFAULT_OUT = Path(__file__).parent / "BENCH_engines.json"
 
 #: engines timed on the policy-sensitive paths; "gpu-sim" rows use the
@@ -484,6 +485,7 @@ def run_streaming_throughput(
     max_level: int = STREAM_MAX_LEVEL,
     drift: float = STREAM_DRIFT,
     seed: int = SEED,
+    repeats: int = 1,
 ) -> dict:
     """Incremental state-carry streaming vs per-chunk prefix recount.
 
@@ -492,9 +494,13 @@ def run_streaming_throughput(
     concatenated prefix after every chunk (``recount`` — a stream
     served without the subsystem).  Both must land on identical
     frequent sets/counts; ``check_regression.check_streaming`` gates
-    the checksums hard and the throughput against the committed
-    trajectory.
+    the checksums hard, requires incremental >= 1.0x recount on every
+    policy (hard), and compares throughput against the committed
+    trajectory.  ``repeats`` > 1 takes the best of N timings per mode
+    (the feed replays identically), which the scaled-down tier-1 smoke
+    uses to keep its hard speedup floor off the noise floor.
     """
+    import gc
     import time
 
     from repro.mining.alphabet import Alphabet
@@ -506,31 +512,52 @@ def run_streaming_throughput(
     rows = []
     if n_chunks < 1 or chunk_events < 1:
         return {"params": {}, "rows": rows}
+    # the incremental-vs-recount ratio is a hard gate, and the fast
+    # RESET runs are short enough that a single gen-2 GC pause landing
+    # inside one timed section (but not the other) flips the verdict;
+    # collect up front and keep the collector out of the timings
+    gc_was_enabled = gc.isenabled()
     for policy_value, window in POLICIES:
         policy = MatchPolicy(policy_value)
         source = SyntheticStreamSource(
             n_chunks, chunk_events, alphabet=alphabet, seed=seed, drift=drift
         )
 
-        t0 = time.perf_counter()
-        miner = StreamingMiner(
-            alphabet, threshold=threshold, policy=policy, window=window,
-            engine="auto", max_level=max_level,
-        )
-        miner.consume(source)
-        inc_s = time.perf_counter() - t0
+        inc_s = float("inf")
+        for _ in range(max(1, int(repeats))):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                miner = StreamingMiner(
+                    alphabet, threshold=threshold, policy=policy,
+                    window=window, engine="auto", max_level=max_level,
+                )
+                miner.consume(source)
+                inc_s = min(inc_s, time.perf_counter() - t0)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
         inc_result = miner.result()
 
-        t0 = time.perf_counter()
-        parts: "list[np.ndarray]" = []
-        batch = FrequentEpisodeMiner(
-            alphabet, threshold=threshold, policy=policy, window=window,
-            engine="auto", max_level=max_level,
-        )
-        for chunk in source.chunks():
-            parts.append(chunk)
-            rec_result = batch.mine(np.concatenate(parts))
-        rec_s = time.perf_counter() - t0
+        rec_s = float("inf")
+        for _ in range(max(1, int(repeats))):
+            gc.collect()
+            gc.disable()
+            try:
+                t0 = time.perf_counter()
+                parts: "list[np.ndarray]" = []
+                batch = FrequentEpisodeMiner(
+                    alphabet, threshold=threshold, policy=policy,
+                    window=window, engine="auto", max_level=max_level,
+                )
+                for chunk in source.chunks():
+                    parts.append(chunk)
+                    rec_result = batch.mine(np.concatenate(parts))
+                rec_s = min(rec_s, time.perf_counter() - t0)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
 
         total = miner.total_events
         for mode, seconds, result in (
@@ -593,7 +620,10 @@ def main(argv: "list[str] | None" = None) -> int:
         # quick mode shrinks the streaming feed too (the scaled-down
         # rows never match full-run reference cells, so only the
         # machine-independent checksum equality is gated on them)
-        streaming=dict(n_chunks=4, chunk_events=1500) if args.quick else None,
+        streaming=(
+            dict(n_chunks=6, chunk_events=2000, repeats=2)
+            if args.quick else None
+        ),
         # quick mode shrinks the trie grid the same way (N=12 -> 1,320
         # level-3 candidates); checksum equality is still gated on it
         trie_batch=(

@@ -32,13 +32,17 @@ exceed the pool-per-call time.  Both invariants are machine-independent
 (the first is a deterministic counter), so they are checked on the
 fresh payload alone — snapshots that predate the series need nothing.
 
-The ``streaming_throughput`` series (schema 5) gates the streaming
-subsystem's batch-equivalence contract: the incremental state-carry
-run and the per-chunk prefix recount must finish with identical
-frequent sets and counts (checksummed — machine-independent, checked on
-the fresh payload alone, so snapshots that predate the series need
-nothing), and each mode's events/sec is additionally compared against
-the committed trajectory when the reference carries the series.
+The ``streaming_throughput`` series (schema 5; hardened in schema 7)
+gates the streaming subsystem's batch-equivalence contract: the
+incremental state-carry run and the per-chunk prefix recount must
+finish with identical frequent sets and counts (checksummed —
+machine-independent, checked on the fresh payload alone, so snapshots
+that predate the series need nothing), the incremental run must be at
+least ``STREAMING_MIN_SPEEDUP`` (1.0x) as fast as the recount on every
+policy (within-machine, fresh payload alone — a hard failure, since an
+incremental carry that loses to naive recounting is a pessimization),
+and each mode's events/sec is additionally compared against the
+committed trajectory when the reference carries the series.
 
 The ``trie_batch`` series (schema 6) gates the shared-prefix trie
 refactor: flat and trie-batched position-hop counts of the same
@@ -284,6 +288,13 @@ def check_auto_calibration(
     return problems
 
 
+#: the incremental carry must never lose to naively re-mining the whole
+#: prefix after every chunk — on any policy (this was the schema-5
+#: regression: SUBSEQUENCE 0.74x, EXPIRING 0.39x before the
+#: position-hop chunk resume)
+STREAMING_MIN_SPEEDUP = 1.0
+
+
 def check_streaming(
     reference: dict, fresh: dict, tolerance: float = DEFAULT_TOLERANCE
 ) -> "list[str]":
@@ -292,10 +303,16 @@ def check_streaming(
     Exactness first: within the fresh payload, the ``incremental``
     (state-carry) and ``recount`` (batch-over-prefix) modes replayed
     the same seeded feed, so any checksum or frequent-count divergence
-    is a streaming counting bug — failed hard, on any machine.
-    Throughput is then compared per (policy, mode, total_events) cell
-    against the reference; snapshots that predate the series (or used
-    different feed sizes) carry no matching cells and pass untouched.
+    is a streaming counting bug — failed hard, on any machine.  The
+    incremental mode must then beat the recount on **every** policy
+    (``STREAMING_MIN_SPEEDUP``): both runs were timed moments apart in
+    the same process, so the floor is within-machine and needs no
+    reference cells — a hard failure, not a warning (losing to the
+    naive recount means the whole subsystem is a pessimization).
+    Throughput is finally compared per (policy, mode, total_events)
+    cell against the reference; snapshots that predate the series (or
+    used different feed sizes) carry no matching cells and pass
+    untouched.
     """
     series = fresh.get("streaming_throughput") or {}
     rows = series.get("rows", ())
@@ -315,6 +332,21 @@ def check_streaming(
                 f"{inc['checksum']} ({inc['n_frequent']} frequent) != "
                 f"recount {rec['checksum']} ({rec['n_frequent']} frequent) "
                 "— streaming state carry diverged from batch counting"
+            )
+            continue
+        speedup = inc.get("speedup_vs_recount")
+        if speedup is None:
+            problems.append(
+                f"streaming_throughput {policy}: incremental row carries "
+                "no speedup_vs_recount; the incremental-vs-recount floor "
+                "went unchecked"
+            )
+        elif speedup < STREAMING_MIN_SPEEDUP:
+            problems.append(
+                f"streaming_throughput {policy}: incremental "
+                f"{speedup:.2f}x vs per-chunk recount (floor "
+                f"{STREAMING_MIN_SPEEDUP:.1f}x — the state carry is a "
+                "pessimization on this policy)"
             )
     ref_series = reference.get("streaming_throughput") or {}
     ref_rows = {

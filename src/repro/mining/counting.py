@@ -449,32 +449,48 @@ def _chain_positions(
     return reach, starts
 
 
-def _greedy_nonoverlap_count(ends: np.ndarray, starts: np.ndarray) -> int:
-    """Greedy non-overlapped occurrence count from chain completions.
+def _walk_jump_chain(
+    ends: np.ndarray, starts: np.ndarray, first: int
+) -> tuple[int, int]:
+    """Walk the greedy completion chain starting at completion ``first``.
 
-    The scalar FSMs count by taking the earliest completion whose whole
-    chain lies after the previous completion; because ``starts`` is
-    non-decreasing that next completion is ``jump[i] = first k with
-    starts[k] > ends[i]``, and the answer is the length of the pointer
-    chain ``0 -> jump[0] -> ...`` — resolved here with O(log m)
-    vectorized binary-lifting rounds instead of a per-occurrence loop.
+    ``jump[i] = first k with starts[k] > ends[i]`` is the next greedy
+    non-overlapped completion after completion ``i`` (``starts`` is
+    non-decreasing, so the set of chains lying wholly after ``ends[i]``
+    is a suffix of indices).  Returns ``(count, last)`` — the number of
+    completions on the chain ``first -> jump[first] -> ...`` and the
+    index of the final one — resolved with O(log m) vectorized
+    binary-lifting rounds instead of a per-occurrence loop.
+    ``first >= m`` means no completion remains: ``(0, -1)``.
     """
     m = int(ends.size)
-    if m == 0:
-        return 0
+    if first >= m:
+        return 0, -1
     jump = np.searchsorted(starts, ends, side="right")
     table = np.append(jump, m).astype(np.int64)  # sentinel: m maps to m
     tables = [table]
     while (1 << len(tables)) < m:
         prev = tables[-1]
         tables.append(prev[prev])
-    count = 1  # index 0 is always the first completion (starts >= 0)
-    cur = 0
+    count = 1
+    cur = int(first)
     for k in range(len(tables) - 1, -1, -1):
         nxt = int(tables[k][cur])
         if nxt < m:
             count += 1 << k
             cur = nxt
+    return count, cur
+
+
+def _greedy_nonoverlap_count(ends: np.ndarray, starts: np.ndarray) -> int:
+    """Greedy non-overlapped occurrence count from chain completions.
+
+    The scalar FSMs count by taking the earliest completion whose whole
+    chain lies after the previous completion; index 0 is always the
+    first completion (starts >= 0), and the rest follow the
+    :func:`_walk_jump_chain` pointer chain.
+    """
+    count, _ = _walk_jump_chain(ends, starts, 0)
     return count
 
 
@@ -505,6 +521,120 @@ def count_positions_batch(
         items = tuple(int(x) for x in matrix[i])
         out[i] = _count_positions_single(index, items, window)
     return out
+
+
+# ---------------------------------------------------------------------------
+# Position-hop chunk resume (streaming advance; see repro.mining.spanning)
+# ---------------------------------------------------------------------------
+
+def _hop_partial_match(
+    index: DatabaseIndex, items: "tuple[int, ...]", after: int
+) -> tuple[int, int]:
+    """Greedy earliest-occurrence match of ``items`` strictly after ``after``.
+
+    Hops each symbol to its first occurrence strictly after the
+    previous hop — exactly the scalar FSM's advance rule — and returns
+    ``(n_matched, last_pos)``.  ``n_matched == len(items)`` means the
+    whole sequence completed at ``last_pos``; otherwise ``last_pos`` is
+    the position of the final matched symbol (``after`` if none).
+    """
+    pos = int(after)
+    matched = 0
+    for item in items:
+        occ = index.positions(item)
+        j = int(np.searchsorted(occ, pos, side="right"))
+        if j >= occ.size:
+            return matched, pos
+        pos = int(occ[j])
+        matched += 1
+    return matched, pos
+
+
+def _resume_subsequence_hopping(
+    index: DatabaseIndex,
+    items: "tuple[int, ...]",
+    state: int,
+    chain: "tuple[np.ndarray, np.ndarray]",
+) -> tuple[int, int]:
+    """``(count, exit_state)`` of the greedy SUBSEQUENCE FSM resumed in
+    ``state`` over the indexed database segment.
+
+    Bit-identical to one lane of :func:`resume_subsequence_batch`, in
+    O(L + log m) searchsorted hops instead of a per-character sweep:
+
+    1. the carried partial completes greedily (``items[state:]`` hopped
+       to earliest occurrences — the FSM's exact advance rule);
+    2. every later completion follows the full-episode jump chain
+       (:func:`_walk_jump_chain` over ``chain``, the precomputed
+       :func:`_chain_positions` of the whole episode — shared across a
+       trie subtree by :func:`repro.mining.trie.resume_positions_trie`);
+    3. the exit state is the greedy partial progress strictly after the
+       final completion (it can never re-complete — a full chain there
+       would itself have been on the jump chain).
+    """
+    length = len(items)
+    matched, p1 = _hop_partial_match(index, items[state:], -1)
+    if state + matched < length:
+        return 0, state + matched
+    ends, starts = chain
+    k = int(np.searchsorted(starts, p1, side="right"))
+    extra, last = _walk_jump_chain(ends, starts, k)
+    q = int(ends[last]) if extra else p1
+    exit_state, _ = _hop_partial_match(index, items, q)
+    return 1 + extra, exit_state
+
+
+def _expiring_chain_with_tails(
+    index: DatabaseIndex, items: "tuple[int, ...]", window: int
+) -> "tuple[np.ndarray, np.ndarray, list[tuple[int, int] | None]]":
+    """Windowed chain fold capturing each prefix depth's final frontier.
+
+    Returns ``(ends, starts, tails)`` where ``(ends, starts)`` is the
+    full-episode frontier and ``tails[s-1]`` is the ``(end, start)``
+    pair of the *last* completion on the depth-``s`` frontier for
+    ``s = 1..L-1`` (``None`` when that frontier is empty) — the inputs
+    :func:`_expiring_exit_row` turns into the sweep's exit snapshot.
+    """
+    ends = index.positions(items[0])
+    starts = ends
+    tails: "list[tuple[int, int] | None]" = []
+    for item in items[1:]:
+        tails.append(
+            (int(ends[-1]), int(starts[-1])) if ends.size else None
+        )
+        ends, starts = _hop_positions(index, ends, starts, item, window)
+    return ends, starts, tails
+
+
+def _expiring_exit_row(
+    length: int,
+    tails: "list[tuple[int, int] | None]",
+    ends: np.ndarray,
+    starts: np.ndarray,
+    t0: int,
+) -> "tuple[int, np.ndarray]":
+    """``(count, exit_times_row)`` of the empty-entry EXPIRING sweep.
+
+    Bit-identical to one row of :func:`resume_expiring_batch` from the
+    all-``_NEG`` snapshot: the count is the greedy jump chain over the
+    full-episode frontier, and the sweep's exit value for column ``s``
+    is the latest valid ``s``-prefix completion built entirely after
+    the final full completion ``q`` (the sweep wipes columns at every
+    completion).  Because ``starts`` is non-decreasing per depth, that
+    set is a suffix of the depth-``s`` frontier, so it is non-empty iff
+    the frontier's final chain starts after ``q`` — and its latest end
+    is the frontier's final end.  Columns 0 and L are always ``_NEG``
+    at a sweep exit (column 0 is never written; column L is wiped at
+    the completion that wrote it).
+    """
+    count, last = _walk_jump_chain(ends, starts, 0)
+    q = int(ends[last]) if count else -1
+    row = np.full(length + 1, _NEG, dtype=np.int64)
+    for s in range(1, length):
+        tail = tails[s - 1]
+        if tail is not None and tail[1] > q:
+            row[s] = t0 + tail[0]
+    return count, row
 
 
 def _count_subsequence_hopping(

@@ -186,6 +186,7 @@ from repro.mining.trie import (
     CountCache,
     cached_count_batch,
     count_positions_trie,
+    resume_positions_trie,
 )
 from repro.mining.spanning import (
     compose_expiring,
@@ -258,6 +259,41 @@ class CountingEngine:
             return np.zeros(0, dtype=np.int64)
         return self.count(db, matrix, alphabet_size, policy, window,
                           index=index)
+
+    def resume_batch(
+        self,
+        db: np.ndarray,
+        episodes: "CandidateTrie | list[Episode] | np.ndarray",
+        policy: MatchPolicy,
+        window: "int | None",
+        state: np.ndarray,
+        t0: int = 0,
+        index: "DatabaseIndex | None" = None,
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Batched position-hop chunk resume — the streaming advance
+        entry point.
+
+        Advances each episode's carried FSM state (``SUBSEQUENCE``
+        entry-state vector, ``EXPIRING`` absolute timestamp snapshot)
+        through ``db`` treated as the next segment of an unbounded
+        database, returning ``(counts, exit_state)`` bit-identical to
+        the resumable sweeps of :mod:`repro.mining.counting`.  All
+        tiers share the one exact implementation
+        (:func:`repro.mining.trie.resume_positions_trie` — interpreter
+        work independent of segment length, sibling episodes sharing
+        prefix hop chains), so there is nothing for a tier to
+        specialize; the method lives on the engine so streaming
+        dispatch stays an engine concern like ``count_batch``.  Not
+        run-scoped: the resume path holds no pooled resources.
+        """
+        trie = (
+            episodes
+            if isinstance(episodes, CandidateTrie)
+            else CandidateTrie.from_matrix(as_episode_matrix(episodes))
+        )
+        return resume_positions_trie(
+            db, trie, policy, window, state, t0=t0, index=index
+        )
 
     def bind(
         self,

@@ -59,7 +59,12 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.mining.counting import (
     _NEG,
+    DatabaseIndex,
+    _chain_positions,
+    _expiring_chain_with_tails,
+    _expiring_exit_row,
     _expiring_step,
+    _resume_subsequence_hopping,
     count_batch,
     resume_expiring_batch,
     resume_subsequence_batch,
@@ -283,6 +288,95 @@ def expiring_segment_summary(
     n_eps, length = matrix.shape
     times = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
     counts, exit_times = resume_expiring_batch(db_seg, matrix, window, times, t0)
+    return ExpiringSummary(counts=counts, exit_times=exit_times)
+
+
+def hop_subsequence_resume(
+    db_seg: np.ndarray,
+    matrix: np.ndarray,
+    entry: np.ndarray,
+    index: "DatabaseIndex | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Position-hop SUBSEQUENCE resume: ``(counts, exit_states)`` for a
+    segment entered in states ``entry``.
+
+    Bit-identical to :func:`~repro.mining.counting.
+    resume_subsequence_batch` but built from the segment's own
+    :class:`~repro.mining.counting.DatabaseIndex` — interpreter work is
+    O(E·(L + log m)), *independent of segment length*, which is what
+    makes the streaming chunk advance sublinear in chunk size (the
+    per-character sweep it replaces was the ``streaming_throughput``
+    pessimization).  Unlike :func:`subsequence_segment_summary` this
+    resumes only the entry states actually carried, not all L rows.
+    """
+    index = index if index is not None else DatabaseIndex(db_seg)
+    n_eps = matrix.shape[0]
+    counts = np.zeros(n_eps, dtype=np.int64)
+    exits = np.zeros(n_eps, dtype=np.int64)
+    for i in range(n_eps):
+        items = tuple(int(x) for x in matrix[i])
+        chain = _chain_positions(index, items, None)
+        counts[i], exits[i] = _resume_subsequence_hopping(
+            index, items, int(entry[i]), chain
+        )
+    return counts, exits
+
+
+def hop_subsequence_summary(
+    db_seg: np.ndarray,
+    matrix: np.ndarray,
+    index: "DatabaseIndex | None" = None,
+) -> SubsequenceSummary:
+    """Position-hop tabulation of the full SUBSEQUENCE entry table.
+
+    Bit-identical to :func:`subsequence_segment_summary` (one resume
+    per entry state, sharing each episode's chain), in O(E·L·log m)
+    hops instead of an ``E·L``-lane per-character sweep.  Used where
+    *every* entry state is needed — the decremental sliding window
+    caches these per segment and composes by table lookup.
+    """
+    n_eps, length = matrix.shape
+    index = index if index is not None else DatabaseIndex(db_seg)
+    counts = np.zeros((length, n_eps), dtype=np.int64)
+    exits = np.zeros((length, n_eps), dtype=np.int64)
+    for i in range(n_eps):
+        items = tuple(int(x) for x in matrix[i])
+        chain = _chain_positions(index, items, None)
+        for s in range(length):
+            counts[s, i], exits[s, i] = _resume_subsequence_hopping(
+                index, items, s, chain
+            )
+    return SubsequenceSummary(counts=counts, exits=exits)
+
+
+def hop_expiring_summary(
+    db_seg: np.ndarray,
+    matrix: np.ndarray,
+    window: int,
+    t0: int,
+    index: "DatabaseIndex | None" = None,
+) -> ExpiringSummary:
+    """Position-hop EXPIRING empty-entry summary.
+
+    Bit-identical to :func:`expiring_segment_summary` — counts from the
+    windowed jump chains, exit snapshot from each prefix depth's
+    frontier tail (:func:`~repro.mining.counting._expiring_exit_row`) —
+    without sweeping the segment per character.  The carried entry
+    state still composes through :func:`advance_expiring`, whose
+    dead-entry fast path accepts this summary O(1).
+    """
+    n_eps, length = matrix.shape
+    index = index if index is not None else DatabaseIndex(db_seg)
+    counts = np.zeros(n_eps, dtype=np.int64)
+    exit_times = np.full((n_eps, length + 1), _NEG, dtype=np.int64)
+    for i in range(n_eps):
+        items = tuple(int(x) for x in matrix[i])
+        ends, starts, tails = _expiring_chain_with_tails(
+            index, items, int(window)
+        )
+        counts[i], exit_times[i] = _expiring_exit_row(
+            length, tails, ends, starts, int(t0)
+        )
     return ExpiringSummary(counts=counts, exit_times=exit_times)
 
 

@@ -51,7 +51,9 @@ from repro.errors import ValidationError
 from repro.mining.counting import (
     DatabaseIndex,
     db_fingerprint,
+    _expiring_exit_row,
     _hop_positions,
+    _resume_subsequence_hopping,
 )
 from repro.mining.episode import Episode, episodes_to_matrix
 
@@ -64,6 +66,8 @@ __all__ = [
     "CountCache",
     "cached_count_batch",
     "count_positions_trie",
+    "expiring_summary_trie",
+    "resume_positions_trie",
 ]
 
 
@@ -376,6 +380,143 @@ def count_positions_trie(
     return out
 
 
+def resume_positions_trie(
+    db: np.ndarray,
+    trie: CandidateTrie,
+    policy: "MatchPolicy",
+    window: "int | None",
+    state: np.ndarray,
+    t0: int = 0,
+    index: "DatabaseIndex | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Batched position-hop chunk resume over a candidate trie.
+
+    The streaming advance analogue of :func:`count_positions_trie`:
+    episodes sharing a prefix share one position-list hop chain while
+    each episode's carried state is advanced through the new segment.
+    Returns ``(counts, exit_state)``, positionally aligned with the
+    trie (index stability):
+
+    * ``SUBSEQUENCE`` — ``state`` is the ``(E,)`` entry-state vector;
+      bit-identical to :func:`~repro.mining.counting.
+      resume_subsequence_batch`, with the full-episode jump chains
+      taken from the shared DFS frontiers.
+    * ``EXPIRING`` — ``state`` is the ``(E, L+1)`` absolute timestamp
+      snapshot; the trie walk produces the empty-entry summary
+      (:func:`expiring_summary_trie`) and the carried snapshot
+      composes through :func:`repro.mining.spanning.advance_expiring`
+      (O(1) for dead entries, bounded lockstep for live ones).
+
+    ``RESET`` is rejected: contiguous occurrences resume by boundary
+    replay (:func:`repro.mining.spanning.count_starts_in`), not by
+    state carry.  Engines expose this as
+    :meth:`repro.mining.engines.CountingEngine.resume_batch`.
+    """
+    from repro.mining.policies import MatchPolicy
+
+    db = np.asarray(db)
+    index = index if index is not None else DatabaseIndex(db)
+    if policy is MatchPolicy.SUBSEQUENCE:
+        entry = np.asarray(state, dtype=np.int64)
+        return _trie_subsequence_resume(index, trie, entry)
+    if policy is MatchPolicy.EXPIRING:
+        from repro.mining.spanning import ExpiringSummary, advance_expiring
+
+        counts, exit_times = expiring_summary_trie(
+            db, trie, int(window), int(t0), index=index  # type: ignore[arg-type]
+        )
+        summary = ExpiringSummary(counts=counts, exit_times=exit_times)
+        return advance_expiring(
+            db,
+            trie.matrix,
+            int(window),  # type: ignore[arg-type]
+            np.asarray(state, dtype=np.int64),
+            int(t0),
+            summary,
+        )
+    raise ValidationError(
+        "resume_positions_trie advances SUBSEQUENCE/EXPIRING state; "
+        "RESET resumes by boundary replay, not state carry"
+    )
+
+
+def _trie_subsequence_resume(
+    index: "DatabaseIndex", trie: CandidateTrie, entry: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """SUBSEQUENCE resume sharing full-episode chains via the trie DFS.
+
+    Subtrees with an empty frontier are still visited: an episode whose
+    full chain never completes can still make partial greedy progress
+    (phase 1 of :func:`repro.mining.counting.
+    _resume_subsequence_hopping`), which the exit state must reflect.
+    """
+    matrix = trie.matrix
+    counts = np.zeros(len(trie), dtype=np.int64)
+    exits = np.zeros(len(trie), dtype=np.int64)
+    stack: "list[tuple[int, np.ndarray, np.ndarray]]" = []
+    for symbol, child in reversed(trie.children_of(0)):
+        pos = index.positions(symbol)
+        stack.append((child, pos, pos))
+    while stack:
+        node, ends, starts = stack.pop()
+        for term in trie.terminals_of(node):
+            items = tuple(int(x) for x in matrix[term])
+            counts[term], exits[term] = _resume_subsequence_hopping(
+                index, items, int(entry[term]), (ends, starts)
+            )
+        for symbol, child in reversed(trie.children_of(node)):
+            child_ends, child_starts = _hop_positions(
+                index, ends, starts, symbol, None
+            )
+            stack.append((child, child_ends, child_starts))
+    return counts, exits
+
+
+def expiring_summary_trie(
+    db: np.ndarray,
+    trie: CandidateTrie,
+    window: int,
+    t0: int,
+    index: "DatabaseIndex | None" = None,
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Empty-entry EXPIRING summary ``(counts, exit_times)`` via the trie.
+
+    The trie-shared analogue of :func:`repro.mining.spanning.
+    hop_expiring_summary` (bit-identical to the per-character
+    ``expiring_segment_summary``): the DFS carries each path's
+    windowed frontier plus the per-depth frontier tails that
+    :func:`repro.mining.counting._expiring_exit_row` turns into the
+    sweep's exit snapshot.
+    """
+    from repro.mining.counting import _NEG
+
+    index = index if index is not None else DatabaseIndex(np.asarray(db))
+    matrix = trie.matrix
+    length = int(matrix.shape[1])
+    counts = np.zeros(len(trie), dtype=np.int64)
+    exit_times = np.full((len(trie), length + 1), _NEG, dtype=np.int64)
+    stack: "list[tuple[int, np.ndarray, np.ndarray, tuple]]" = []
+    for symbol, child in reversed(trie.children_of(0)):
+        pos = index.positions(symbol)
+        stack.append((child, pos, pos, ()))
+    while stack:
+        node, ends, starts, tails = stack.pop()
+        for term in trie.terminals_of(node):
+            counts[term], exit_times[term] = _expiring_exit_row(
+                length, list(tails), ends, starts, int(t0)
+            )
+        children = trie.children_of(node)
+        if children:
+            tail = (int(ends[-1]), int(starts[-1])) if ends.size else None
+            child_tails = tails + (tail,)
+            for symbol, child in reversed(children):
+                child_ends, child_starts = _hop_positions(
+                    index, ends, starts, symbol, window
+                )
+                stack.append((child, child_ends, child_starts, child_tails))
+    return counts, exit_times
+
+
 class _LeafBatch:
     """Deferred, fully vectorized resolution of a trie's leaf level.
 
@@ -584,8 +725,8 @@ def cached_count_batch(
         fingerprint = db_fingerprint(db)
     win = None if window is None else int(window)
     keys = [
-        (fingerprint, tuple(int(x) for x in matrix[i]), policy.value, win)
-        for i in range(n_eps)
+        (fingerprint, tuple(row), policy.value, win)
+        for row in matrix.tolist()
     ]
     out = np.zeros(n_eps, dtype=np.int64)
     missing: "list[int]" = []

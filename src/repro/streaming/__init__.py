@@ -19,23 +19,22 @@ asserts streaming == batch ``scalar-oracle`` for randomized boundaries
 including size-0/size-1 chunks, under all three policies).
 
 Each arriving chunk is treated as the next *segment* of the unbounded
-database.  Counting it takes two steps, split exactly as in the sharded
-engine's two-pass database-axis carry:
-
-1. **summary** (pass 1, prefix-independent): the chunk's standalone
-   behaviour.  Under RESET this is a plain engine count of the chunk
-   (any :mod:`repro.mining.engines` REGISTRY engine — ``sharded``
-   included, its run scope opened per chunk — with calibration
-   profiles steering dispatch as in batch mining); under SUBSEQUENCE
-   the full entry-state table; under EXPIRING the speculative
-   empty-entry run with absolute timestamps.
-2. **compose** (carry, chunk-bounded): the carried state threads
-   through the summary — RESET replays the boundary window (the last
-   ``L-1`` retained events against the chunk head), SUBSEQUENCE
-   composes by table lookup, EXPIRING resumes the snapshot in bounded
-   lockstep.  The composed exit state is persisted in the
-   :class:`~repro.streaming.store.EpisodeStateStore` for the next
-   chunk.
+database and folded in by **position-hop chunk resume**: the chunk's
+own :class:`~repro.mining.counting.DatabaseIndex` (per-symbol sorted
+occurrence lists — built once, shared by every tracked level) lets each
+tracked episode advance its carried FSM state by searchsorted-hopping
+only the symbols it needs, batched across sibling episodes through the
+candidate trie so shared prefixes share hop chains
+(:func:`~repro.mining.trie.resume_positions_trie`, reached via the
+engine's ``resume_batch``).  RESET — whose occurrences never span more
+than a chunk seam — instead engine-counts the chunk standalone (any
+:mod:`repro.mining.engines` REGISTRY engine, with calibration profiles
+steering dispatch as in batch mining) and replays the boundary window
+(the last ``L-1`` retained events against the chunk head).  Either
+way the exit state persisted in the
+:class:`~repro.streaming.store.EpisodeStateStore` is bit-identical to
+the scalar FSM having run the whole prefix, so per-chunk interpreter
+work tracks the candidate set, never the chunk or prefix length.
 
 Window semantics
 ----------------
@@ -44,11 +43,20 @@ stream since the first chunk: support after chunk ``k`` is
 ``count / total_events``, and per-chunk work is proportional to the
 chunk (the retained prefix is touched only to backfill episodes newly
 *promoted* into tracking when their prefix's support crossed the
-threshold).  ``mode="windowed"`` counts over the trailing ``horizon``
-events only: the buffer is bounded, each update recounts the window
-through the engine, and results equal batch mining of the window —
-the right mode when old events must stop influencing the frequent set
-(drift) or memory must stay bounded.
+threshold).  ``retention=N`` bounds landmark memory to the trailing
+``N`` events: carried counts stay exact forever, and episodes promoted
+after the cap binds backfill exact *lower bounds* over the retained
+suffix.  ``mode="windowed"`` counts over the trailing ``horizon``
+events only, as an **exact decremental sliding window**: each
+window-resident chunk segment's behaviour is summarized once (cached
+per level), expired segments retire with their summaries, and every
+update folds the cached summaries left-to-right — recounting afresh
+only the shrinking front partial segment and the new chunk, with
+updates that leave the window contents unchanged (size-0 chunks
+included) short-circuiting to the previous result.  Results equal
+batch mining of the window buffer, event for event — the right mode
+when old events must stop influencing the frequent set (drift) or
+memory must stay bounded.
 
 Checkpoint / resume
 -------------------
@@ -61,11 +69,13 @@ contract, asserted at randomized kill points by
 
 The file format (:mod:`repro.streaming.checkpoint`) is a single
 ``.npz`` archive: a ``meta`` member holding one canonical JSON object
-(``schema`` version — currently 1, bumped on any incompatible layout
-change — mining config, chunk/event progress, per-level results, and
-the store's tracked-episode layout) plus named arrays (the retained
-prefix or window buffer, the RESET tail, and each tracked level's
-counts / FSM state).  A SHA-256 ``digest`` over the canonical meta and
+(``schema`` version — currently 2, bumped on any incompatible layout
+change; schema-1 files are rejected with a migration hint because
+their ``prefix`` semantics predate bounded retention — mining config,
+chunk/event progress, per-level results, and the store's
+tracked-episode layout) plus named arrays (the retained prefix or
+window buffer, the RESET tail, and each tracked level's counts / FSM
+state).  A SHA-256 ``digest`` over the canonical meta and
 every array's name/dtype/shape/bytes seals the file; writes are atomic
 (temp + ``os.replace``), so readers see the old checkpoint or the new
 one, never a prefix, and any torn/corrupt/mismatched file fails as

@@ -1,15 +1,22 @@
 """Versioned, digest-validated stream checkpoints (one ``.npz`` file).
 
-Format (schema 1)
+Format (schema 2)
 -----------------
 A checkpoint is a single uncompressed ``.npz`` archive.  The ``meta``
 member is a 0-d unicode array holding one canonical JSON object::
 
     {
-      "schema": 1,            # bumped on any incompatible layout change
+      "schema": 2,            # bumped on any incompatible layout change
       "digest": "<sha256>",   # over everything else (see below)
       ...                     # writer-defined: config / progress / state
     }
+
+Schema history: schema 2 (position-hop chunk resume) added the
+``retention`` config key and redefined the ``prefix`` array as the
+*retained* prefix (a stream suffix once the landmark retention cap
+binds) — schema-1 files, whose prefix was unconditionally the whole
+stream and whose config lacks ``retention``, are rejected with a
+migration hint rather than resumed under the wrong semantics.
 
 Every other member is a named numpy array (the stream prefix, the
 store's tail buffer, per-level counts and FSM state under ``lvl{k}_*``
@@ -50,7 +57,7 @@ from repro.resilience.atomic import atomic_open
 __all__ = ["CHECKPOINT_SCHEMA", "write_checkpoint", "read_checkpoint"]
 
 #: current checkpoint layout version
-CHECKPOINT_SCHEMA = 1
+CHECKPOINT_SCHEMA = 2
 
 
 def _canonical(meta: dict) -> bytes:
@@ -141,9 +148,17 @@ def read_checkpoint(path: "str | Path") -> "tuple[dict, dict[str, np.ndarray]]":
         raise CheckpointError(f"checkpoint {path} meta is not an object")
     schema = meta.get("schema")
     if schema != CHECKPOINT_SCHEMA:
+        hint = (
+            " (schema-1 checkpoints predate position-hop resume and "
+            "bounded retention; re-run the stream from its source and "
+            "write a fresh checkpoint — resuming them here could "
+            "silently mis-count)"
+            if schema == 1
+            else ""
+        )
         raise CheckpointError(
             f"checkpoint {path} has schema {schema!r}; this reader "
-            f"supports schema {CHECKPOINT_SCHEMA}"
+            f"supports schema {CHECKPOINT_SCHEMA}{hint}"
         )
     recorded = meta.get("digest")
     expected = _digest(

@@ -7,8 +7,9 @@ batch-equivalence contract of :mod:`repro.streaming`) — without
 recounting the prefix.  Per chunk it:
 
 1. *advances* every tracked candidate's carried FSM state through the
-   :class:`~repro.streaming.store.EpisodeStateStore` (cost proportional
-   to the chunk, never the prefix);
+   :class:`~repro.streaming.store.EpisodeStateStore` (position-hop
+   chunk resume: interpreter work proportional to tracked candidates,
+   never to chunk or prefix length);
 2. *reconciles* the tracked candidate sets against what level-wise
    A-priori generation now yields: candidates whose support crossed the
    threshold promote their extensions into tracking (backfilled over
@@ -16,17 +17,34 @@ recounting the prefix.  Per chunk it:
    the lazy promotion/demotion that keeps the tracked set equal to the
    batch miner's candidate sets at all times.
 
-Counting dispatch goes through the engine registry: each ``update``
-call is wrapped in the engine's run scope, so a ``sharded`` engine
-acquires its worker pool once per chunk and an explicit or ambient
+Windowed mode is an *exact decremental sliding window*: the trailing
+``horizon`` events are kept as the arriving chunk segments, each full
+segment's behaviour is summarized once (hop-based segment summaries,
+cached per segment per level) and the window count is the left-to-right
+composition of the partial front segment plus the cached summaries —
+so a windowed update costs work proportional to the chunk, not the
+horizon, while staying bit-identical to batch-mining the window buffer.
+
+Landmark mode optionally bounds memory: with ``retention`` set, only
+the trailing ``retention`` events of the prefix are kept for promotion
+backfill.  Carried counts stay exact forever (state carry never needs
+history); counts backfilled for episodes *promoted after* the cap
+binds are exact lower bounds over the discarded prefix (see
+:meth:`~repro.streaming.store.EpisodeStateStore.retrack`).
+
+Counting dispatch goes through the engine registry: a
+``consume``/``mine_stream`` call leases the engine's run scope once for
+the whole stream, so a ``sharded`` engine spawns its worker pool once
+per stream — not once per chunk — and an explicit or ambient
 calibration profile (:mod:`repro.mining.calibration`) steers the
-``auto`` tier exactly as it does in batch mining.
+``auto`` tier exactly as it does in batch mining.  A bare ``update``
+call still scopes itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Iterator
 from pathlib import Path
 
 import numpy as np
@@ -34,14 +52,23 @@ import numpy as np
 from repro.errors import CheckpointError, ConfigError, ValidationError
 from repro.mining.alphabet import Alphabet
 from repro.mining.candidates import generate_level, generate_next_level
+from repro.mining.counting import _NEG
 from repro.mining.engines import (
     CountingEngine as RegistryEngine,
     get_engine,
 )
-from repro.mining.episode import Episode
+from repro.mining.episode import Episode, episodes_to_matrix
 from repro.mining.miner import LevelResult, MiningResult, eliminate_level
 from repro.mining.policies import MatchPolicy, validate_window
-from repro.mining.trie import CountCache, cached_count_batch
+from repro.mining.spanning import (
+    advance_expiring,
+    advance_subsequence,
+    count_starts_in,
+    hop_expiring_summary,
+    hop_subsequence_resume,
+    hop_subsequence_summary,
+)
+from repro.mining.trie import CandidateTrie, CountCache, cached_count_batch
 from repro.streaming.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.sources import StreamSource, as_stream_source
 from repro.streaming.store import EpisodeStateStore
@@ -50,6 +77,62 @@ __all__ = ["StreamingMiner", "StreamUpdate"]
 
 #: window-mode names accepted by :class:`StreamingMiner`
 MODES = ("landmark", "windowed")
+
+
+class _EventBuffer:
+    """Growable event buffer with O(1) amortized append and front drop.
+
+    Replaces the chunk-list + per-promotion ``np.concatenate`` prefix:
+    events live in one ``uint8`` array, appends double the capacity as
+    needed (compaction copies into a *fresh* array, never an
+    overlapping in-place move), and dropping from the front just
+    advances the low watermark — so bounded-retention landmark streams
+    hold at most ~2x the retained events plus one chunk.
+    """
+
+    def __init__(self) -> None:
+        self._buf = np.zeros(1024, dtype=np.uint8)
+        self._lo = 0
+        self._hi = 0
+
+    @property
+    def size(self) -> int:
+        return self._hi - self._lo
+
+    def append(self, chunk: np.ndarray) -> None:
+        chunk = np.asarray(chunk, dtype=np.uint8)
+        if chunk.size == 0:
+            return
+        if self._hi + int(chunk.size) > self._buf.size:
+            live = self._hi - self._lo
+            cap = max(1024, int(self._buf.size))
+            while cap < (live + int(chunk.size)) * 2:
+                cap *= 2
+            fresh = np.zeros(cap, dtype=np.uint8)
+            fresh[:live] = self._buf[self._lo:self._hi]
+            self._buf = fresh
+            self._lo = 0
+            self._hi = live
+        self._buf[self._hi:self._hi + int(chunk.size)] = chunk
+        self._hi += int(chunk.size)
+
+    def drop_front(self, n: int) -> None:
+        self._lo = min(self._lo + int(n), self._hi)
+
+    def view(self) -> np.ndarray:
+        """The live events as a zero-copy view (do not hold across appends)."""
+        return self._buf[self._lo:self._hi]
+
+
+class _Segment:
+    """One window-resident chunk: identity, absolute start, events."""
+
+    __slots__ = ("sid", "start", "data")
+
+    def __init__(self, sid: int, start: int, data: np.ndarray) -> None:
+        self.sid = sid
+        self.start = start
+        self.data = data
 
 
 @dataclass(frozen=True)
@@ -66,7 +149,7 @@ class StreamUpdate:
     demoted: "tuple[Episode, ...]"
     #: frequent episodes across all levels, as of this chunk
     n_frequent: int
-    #: supervision records from this chunk's engine run scope (see
+    #: supervision records from this chunk's engine work (see
     #: :mod:`repro.resilience.supervisor`); empty on clean updates
     events: tuple = ()
 
@@ -82,9 +165,11 @@ class StreamingMiner:
     ``mode`` selects the window semantics (documented in
     :mod:`repro.streaming`): ``"landmark"`` counts over the entire
     stream since the first chunk, carrying state incrementally;
-    ``"windowed"`` counts over the trailing ``horizon`` events,
-    recounting the (bounded) window buffer through the engine on every
-    update.
+    ``"windowed"`` counts over the trailing ``horizon`` events via the
+    decremental segment-summary fold.  ``retention`` (landmark only)
+    caps the retained backfill prefix at the trailing ``retention``
+    events; carried counts stay exact, promotion backfill over the
+    capped prefix yields exact lower bounds.
     """
 
     def __init__(
@@ -99,6 +184,7 @@ class StreamingMiner:
         horizon: "int | None" = None,
         max_level: int = 8,
         exhaustive_candidates: bool = False,
+        retention: "int | None" = None,
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(
@@ -114,8 +200,17 @@ class StreamingMiner:
                 raise ConfigError(
                     f"windowed mode requires horizon >= 1, got {horizon}"
                 )
+            if retention is not None:
+                raise ConfigError(
+                    "retention only applies to landmark mode (windowed "
+                    "streams are bounded by the horizon already)"
+                )
         elif horizon is not None:
             raise ConfigError("horizon only applies to windowed mode")
+        if retention is not None and retention < 1:
+            raise ConfigError(
+                f"retention must be >= 1 events, got {retention}"
+            )
         if engine is not None and not isinstance(engine, (str, RegistryEngine)):
             raise ValidationError(
                 "streaming mining needs a registry engine (name or "
@@ -129,6 +224,7 @@ class StreamingMiner:
         self.horizon = horizon
         self.max_level = max_level
         self.exhaustive_candidates = exhaustive_candidates
+        self.retention = retention
         self.calibration = calibration
         resolved = get_engine(engine or "auto")
         if calibration is not None:
@@ -139,10 +235,24 @@ class StreamingMiner:
         # instead of re-dispatching the engine
         self._count_cache = CountCache()
         self._store = EpisodeStateStore(
-            alphabet.size, policy, window, max_level, self._count_with_engine
+            alphabet.size, policy, window, max_level,
+            self._count_with_engine,
+            resume_chunk=self._engine.resume_batch,
         )
-        self._chunks: "list[np.ndarray]" = []
-        self._prefix_cache: "np.ndarray | None" = None
+        #: landmark mode: retained prefix (trailing `retention` events
+        #: once the cap binds, the whole prefix otherwise)
+        self._buf = _EventBuffer()
+        #: windowed mode: window-resident chunk segments, oldest first
+        self._segments: "list[_Segment]" = []
+        self._next_sid = 0
+        #: per-level cached segment summaries for the decremental fold
+        self._win_cache: "dict[int, dict]" = {}
+        #: window contents after the last recompute (no-op short-circuit)
+        self._win_prev: "np.ndarray | None" = None
+        #: per-level memo of (frequent-set key, generated candidates):
+        #: A-priori generation is deterministic in the frequent set, so
+        #: steady-state chunks reuse it instead of regenerating
+        self._cand_cache: "dict[int, tuple[tuple, tuple[Episode, ...]]]" = {}
         self._total = 0
         self._chunk_index = 0
         self._levels: "tuple[LevelResult, ...]" = ()
@@ -167,15 +277,20 @@ class StreamingMiner:
     def update(self, chunk: np.ndarray) -> StreamUpdate:
         """Fold one arriving chunk into the mining state.
 
-        The engine's run scope brackets the whole update, so run-scoped
-        engines (``sharded``) spawn at most one worker pool per chunk.
+        A bare ``update`` call brackets itself in the engine's run
+        scope; under :meth:`consume` / :meth:`mine_stream` the scope is
+        already held for the whole stream and this nests as a no-op
+        (engine scopes are re-entrant), so run-scoped engines
+        (``sharded``) spawn at most one worker pool per stream.
         """
         chunk = self._validate_chunk(chunk)
         with self._engine:
+            seen = len(getattr(self._engine, "events", ()))
             if self.mode == "landmark":
                 promoted, demoted = self._update_landmark(chunk)
             else:
                 promoted, demoted = self._update_windowed(chunk)
+            events = tuple(getattr(self._engine, "events", ()))[seen:]
         self._chunk_index += 1
         return StreamUpdate(
             chunk_index=self._chunk_index - 1,
@@ -185,14 +300,19 @@ class StreamingMiner:
             promoted=promoted,
             demoted=demoted,
             n_frequent=sum(lvl.n_frequent for lvl in self._levels),
-            events=tuple(getattr(self._engine, "events", ())),
+            events=events,
         )
 
     def consume(
         self, source: "StreamSource | np.ndarray | Iterable[np.ndarray]"
     ) -> "list[StreamUpdate]":
-        """Drain a stream source (or array / iterable of chunks)."""
-        return [self.update(c) for c in as_stream_source(source).chunks()]
+        """Drain a stream source (or array / iterable of chunks).
+
+        Leases the engine's run scope once for the whole stream (one
+        worker-pool spawn per ``consume``, not per chunk).
+        """
+        with self._engine:
+            return [self.update(c) for c in as_stream_source(source).chunks()]
 
     def result(self) -> MiningResult:
         """The mining result as of the last consumed chunk.
@@ -229,7 +349,7 @@ class StreamingMiner:
         if "prefix" in arrays:  # impossible today; guard the layout
             raise ConfigError("store arrays may not use the 'prefix' key")
         arrays = dict(arrays)
-        arrays["prefix"] = self._prefix()
+        arrays["prefix"] = np.array(self._retained(), dtype=np.uint8)
         meta = {
             "kind": "stream-miner",
             "config": {
@@ -241,6 +361,7 @@ class StreamingMiner:
                 "horizon": self.horizon,
                 "max_level": int(self.max_level),
                 "exhaustive_candidates": bool(self.exhaustive_candidates),
+                "retention": self.retention,
             },
             "progress": {
                 "chunk_index": int(self._chunk_index),
@@ -270,11 +391,11 @@ class StreamingMiner:
         """Rebuild a miner from a :meth:`checkpoint` file.
 
         Mining configuration (alphabet, threshold, policy, window,
-        mode, horizon, level cap) comes from the checkpoint; ``engine``
-        and ``calibration`` may differ from the writer's — every
-        registry engine is exact, so the choice moves speed, never
-        counts.  Feeding the resumed miner the chunks the writer had
-        not yet consumed yields results bit-identical to an
+        mode, horizon, retention, level cap) comes from the checkpoint;
+        ``engine`` and ``calibration`` may differ from the writer's —
+        every registry engine is exact, so the choice moves speed,
+        never counts.  Feeding the resumed miner the chunks the writer
+        had not yet consumed yields results bit-identical to an
         uninterrupted run (``tests/test_resilience.py`` asserts this at
         randomized kill points under all three policies).  Raises
         :class:`~repro.errors.CheckpointError` for torn, corrupt, or
@@ -299,6 +420,7 @@ class StreamingMiner:
                 horizon=cfg["horizon"],
                 max_level=cfg["max_level"],
                 exhaustive_candidates=cfg["exhaustive_candidates"],
+                retention=cfg["retention"],
             )
         except (KeyError, TypeError) as exc:
             raise CheckpointError(
@@ -310,14 +432,31 @@ class StreamingMiner:
         progress = meta["progress"]
         miner._chunk_index = int(progress["chunk_index"])
         miner._total = int(progress["total_events"])
-        miner._chunks = [prefix] if prefix.size else []
-        miner._prefix_cache = None
-        if miner.mode == "landmark" and int(prefix.size) != miner._store.events:
-            raise CheckpointError(
-                f"checkpoint {path} is inconsistent: prefix has "
-                f"{prefix.size} events, store clock says "
-                f"{miner._store.events}"
-            )
+        if miner.mode == "landmark":
+            expected = miner._store.events
+            if miner.retention is not None:
+                expected = min(expected, miner.retention)
+            if int(prefix.size) != expected:
+                raise CheckpointError(
+                    f"checkpoint {path} is inconsistent: prefix has "
+                    f"{prefix.size} events, the retained prefix should "
+                    f"hold {expected}"
+                )
+            miner._buf.append(prefix)
+        else:
+            expected = min(miner._total, int(miner.horizon))
+            if int(prefix.size) != expected:
+                raise CheckpointError(
+                    f"checkpoint {path} is inconsistent: window buffer "
+                    f"has {prefix.size} events, the trailing window "
+                    f"should hold {expected}"
+                )
+            if prefix.size:
+                miner._segments = [
+                    _Segment(0, miner._total - int(prefix.size), prefix)
+                ]
+                miner._next_sid = 1
+            miner._win_prev = prefix
         levels = []
         for entry in meta["results"]:
             frequent = tuple(
@@ -349,49 +488,77 @@ class StreamingMiner:
             return chunk.astype(np.uint8)
         return self.alphabet.validate_database(chunk)
 
-    def _count_with_engine(self, db: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    def _count_with_engine(
+        self, db: np.ndarray, batch: "CandidateTrie | np.ndarray"
+    ) -> np.ndarray:
         """The store's counting hook: one engine dispatch, RESET policy.
 
-        (SUBSEQUENCE/EXPIRING chunk pass-1 runs through the spanning
-        summaries — the engine hook covers RESET chunks and backfills.)
-        Dispatches through the content-addressed count cache so
-        promotion backfills over an unchanged retained prefix — an
-        episode demoted and re-promoted, or overlapping retrack sets —
-        dedupe to zero engine calls; keys carry the database
-        fingerprint, so every new chunk/prefix is a clean miss, never a
-        stale hit.  The caller (update/backfill path) holds the
-        engine's run scope.
+        (SUBSEQUENCE/EXPIRING chunk advance hop-resumes through the
+        engine's ``resume_batch`` — the engine count hook covers RESET
+        chunks and backfills.)  Dispatches through the
+        content-addressed count cache so promotion backfills over an
+        unchanged retained prefix — an episode demoted and re-promoted,
+        or overlapping retrack sets — dedupe to zero engine calls; keys
+        carry the database fingerprint, so every new chunk/prefix is a
+        clean miss, never a stale hit.  The caller (update/backfill
+        path) holds the engine's run scope.
         """
         return cached_count_batch(
             self._engine,
             db,
-            matrix,
+            batch,
             self.alphabet.size,
             MatchPolicy.RESET,
             None,
             cache=self._count_cache,
         )
 
-    def _prefix(self) -> np.ndarray:
-        if self._prefix_cache is None:
-            if len(self._chunks) > 1:
-                # collapse the chunk list into the cache so the retained
-                # prefix is stored once, not once per chunk plus once
-                self._prefix_cache = np.concatenate(self._chunks)
-                self._chunks = [self._prefix_cache]
-            elif self._chunks:
-                self._prefix_cache = self._chunks[0]
-            else:
-                self._prefix_cache = np.zeros(0, dtype=np.uint8)
-        return self._prefix_cache
+    def _next_candidates(
+        self, level: int, frequent: "tuple[Episode, ...]"
+    ) -> "list[Episode]":
+        """Level-``level`` candidates given the frequent set one level
+        down, memoized per level.
+
+        :func:`~repro.mining.candidates.generate_next_level` (and the
+        exhaustive :func:`~repro.mining.candidates.generate_level`) is
+        a pure function of the frequent set, so when a chunk leaves a
+        level's frequent episodes unchanged — the steady state — the
+        candidates are reused instead of regenerated.  This keeps the
+        per-chunk interpreter work of the A-priori loop proportional to
+        *changes* in the frequent sets, which is what lets the
+        incremental path beat the naive recount even on tiny feeds.
+        """
+        static = level == 1 or self.exhaustive_candidates
+        key = ("static",) if static else tuple(frequent)
+        cached = self._cand_cache.get(level)
+        if cached is not None and cached[0] == key:
+            return list(cached[1])
+        if static:
+            candidates = generate_level(self.alphabet, level)
+        else:
+            candidates = generate_next_level(
+                frequent, self.alphabet, contiguous=self.policy.is_contiguous
+            )
+        self._cand_cache[level] = (key, tuple(candidates))
+        return list(candidates)
+
+    def _retained(self) -> np.ndarray:
+        """The events a checkpoint must carry: the retained landmark
+        prefix, or the trailing window contents."""
+        if self.mode == "landmark":
+            return self._buf.view()
+        return self._window_contents()
+
+    # -- landmark mode -------------------------------------------------
 
     def _update_landmark(
         self, chunk: np.ndarray
     ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         self._store.advance(chunk)
-        self._chunks.append(chunk)
-        self._prefix_cache = None
+        self._buf.append(chunk)
         self._total += int(chunk.size)
+        if self.retention is not None and self._buf.size > self.retention:
+            self._buf.drop_front(self._buf.size - self.retention)
         return self._reconcile()
 
     def _reconcile(
@@ -403,7 +570,9 @@ class StreamingMiner:
         recording the first level with zero survivors and stopping
         there — but counts come from the state store: carried for
         episodes that stayed tracked, backfilled over the retained
-        prefix for episodes promoted by this chunk.
+        prefix for episodes promoted by this chunk (a suffix of the
+        stream when ``retention`` has started dropping history; the
+        store then backfills exact lower bounds).
         """
         n = self._total
         promoted: "list[Episode]" = []
@@ -412,11 +581,15 @@ class StreamingMiner:
         if n == 0:
             self._levels = ()
             return (), ()
+        history_start = self._total - self._buf.size
         used_levels: "set[int]" = set()
-        candidates = generate_level(self.alphabet, 1)
+        candidates = self._next_candidates(1, ())
         level = 1
         while candidates and level <= self.max_level:
-            pro, dem = self._store.retrack(level, candidates, self._prefix)
+            pro, dem = self._store.retrack(
+                level, candidates, self._buf.view,
+                history_start=history_start,
+            )
             promoted.extend(pro)
             demoted.extend(dem)
             used_levels.add(level)
@@ -428,50 +601,169 @@ class StreamingMiner:
             if not frequent:
                 break
             level += 1
-            if self.exhaustive_candidates:
-                candidates = generate_level(self.alphabet, level)
-            else:
-                candidates = generate_next_level(
-                    frequent,
-                    self.alphabet,
-                    contiguous=self.policy.is_contiguous,
-                )
+            candidates = self._next_candidates(level, frequent)
         for lvl in [k for k in self._store.levels if k not in used_levels]:
             demoted.extend(self._store.untrack(lvl))
         self._levels = tuple(levels)
         return tuple(promoted), tuple(demoted)
 
+    # -- windowed mode -------------------------------------------------
+
+    def _window_lo(self) -> int:
+        return max(0, self._total - int(self.horizon))
+
+    def _window_contents(self) -> np.ndarray:
+        """Materialize the trailing window (checkpoints / no-op check)."""
+        if not self._segments:
+            return np.zeros(0, dtype=np.uint8)
+        lo = self._window_lo()
+        first = self._segments[0]
+        parts = [first.data[lo - first.start:]]
+        parts.extend(seg.data for seg in self._segments[1:])
+        return parts[0] if len(parts) == 1 else np.concatenate(parts)
+
     def _update_windowed(
         self, chunk: np.ndarray
     ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
-        self._chunks.append(chunk)
-        self._total += int(chunk.size)
-        # trim the buffer to the horizon (chunk granularity first, then
-        # a partial head slice so the window is exactly the horizon)
-        kept: "list[np.ndarray]" = []
-        remaining = self.horizon
-        for part in reversed(self._chunks):
-            if remaining <= 0:
-                break
-            take = part[-remaining:] if part.size > remaining else part
-            kept.append(take)
-            remaining -= int(take.size)
-        self._chunks = list(reversed(kept))
-        self._prefix_cache = None
-        window_db = self._prefix()
-        if window_db.size == 0:
+        """Decremental slide: admit the chunk, retire expired segments,
+        recount only if the window contents actually changed.
+
+        Full segments keep their hop-based summaries (cached per level
+        in ``_win_cache``), so the recount folds cached summaries and
+        only does fresh per-event work on the partial front segment and
+        the new chunk — windowed updates cost work proportional to the
+        chunk, never the horizon.
+        """
+        if chunk.size:
+            self._segments.append(
+                _Segment(self._next_sid, self._total, chunk)
+            )
+            self._next_sid += 1
+            self._total += int(chunk.size)
+        lo = self._window_lo()
+        while self._segments and (
+            self._segments[0].start + int(self._segments[0].data.size) <= lo
+        ):
+            dropped = self._segments.pop(0)
+            for cache in self._win_cache.values():
+                cache["summaries"].pop(dropped.sid, None)
+        window = self._window_contents()
+        if self._win_prev is not None and np.array_equal(
+            window, self._win_prev
+        ):
+            # size-0 chunk, or a slide that shifted identical content in
+            # and out: the window is event-for-event what it was, so the
+            # previous level results are already the answer
+            return (), ()
+        self._win_prev = window
+        if window.size == 0:
             self._levels = ()
             return (), ()
-        from repro.mining.miner import FrequentEpisodeMiner
-
-        miner = FrequentEpisodeMiner(
-            self.alphabet,
-            self.threshold,
-            policy=self.policy,
-            window=self.window,
-            engine=self._engine,
-            max_level=self.max_level,
-            exhaustive_candidates=self.exhaustive_candidates,
-        )
-        self._levels = miner.mine(window_db).levels
+        self._reconcile_windowed(int(window.size))
         return (), ()
+
+    def _reconcile_windowed(self, n: int) -> None:
+        """The batch miner's level loop over the trailing window, with
+        counts from the decremental segment fold."""
+        levels: "list[LevelResult]" = []
+        candidates = self._next_candidates(1, ())
+        level = 1
+        while candidates and level <= self.max_level:
+            counts = self._windowed_counts(level, candidates)
+            result, frequent = eliminate_level(
+                level, candidates, counts, n, self.threshold
+            )
+            levels.append(result)
+            if not frequent:
+                break
+            level += 1
+            candidates = self._next_candidates(level, frequent)
+        self._levels = tuple(levels)
+
+    def _windowed_counts(
+        self, level: int, episodes: "list[Episode]"
+    ) -> np.ndarray:
+        """Exact counts of ``episodes`` over the trailing window.
+
+        Left-to-right composition over the window's segments: the
+        partial front segment is hop-counted fresh (it shrinks as the
+        window slides), every full segment contributes its cached
+        hop summary via the exact advance composition of
+        :mod:`repro.mining.spanning` — bit-identical to counting the
+        concatenated window (EXPIRING composes on the absolute event
+        clock; counts only depend on index differences, so they equal
+        the batch count of the window buffer).
+        """
+        episodes = tuple(episodes)
+        matrix = episodes_to_matrix(list(episodes))
+        cache = self._win_cache.get(level)
+        if cache is None or cache["episodes"] != episodes:
+            cache = {"episodes": episodes, "summaries": {}}
+            self._win_cache[level] = cache
+        summaries = cache["summaries"]
+        lo = self._window_lo()
+        total = np.zeros(len(episodes), dtype=np.int64)
+        if self.policy is MatchPolicy.RESET:
+            return self._windowed_counts_reset(matrix, total, lo)
+        if self.policy is MatchPolicy.SUBSEQUENCE:
+            state = np.zeros(len(episodes), dtype=np.int64)
+            for seg, data, offset in self._window_pieces(lo):
+                if offset:
+                    inc, state = hop_subsequence_resume(data, matrix, state)
+                else:
+                    summary = summaries.get(seg.sid)
+                    if summary is None:
+                        summary = hop_subsequence_summary(seg.data, matrix)
+                        summaries[seg.sid] = summary
+                    inc, state = advance_subsequence(summary, state)
+                total += inc
+            return total
+        times = np.full(
+            (len(episodes), matrix.shape[1] + 1), _NEG, dtype=np.int64
+        )
+        w = int(self.window)
+        for seg, data, offset in self._window_pieces(lo):
+            t0 = seg.start + offset
+            if offset:
+                summary = hop_expiring_summary(data, matrix, w, t0)
+            else:
+                summary = summaries.get(seg.sid)
+                if summary is None:
+                    summary = hop_expiring_summary(seg.data, matrix, w, t0)
+                    summaries[seg.sid] = summary
+            inc, times = advance_expiring(data, matrix, w, times, t0, summary)
+            total += inc
+        return total
+
+    def _window_pieces(
+        self, lo: int
+    ) -> "Iterator[tuple[_Segment, np.ndarray, int]]":
+        """Yield ``(segment, window-resident events, front offset)``."""
+        for i, seg in enumerate(self._segments):
+            offset = lo - seg.start if i == 0 and lo > seg.start else 0
+            data = seg.data[offset:] if offset else seg.data
+            yield seg, data, offset
+
+    def _windowed_counts_reset(
+        self, matrix: np.ndarray, total: np.ndarray, lo: int
+    ) -> np.ndarray:
+        """RESET window count: engine-count each piece standalone (the
+        content-addressed cache dedupes unchanged full segments) plus
+        the boundary-window seam replay between adjacent pieces —
+        exactly the store's chunk-seam decomposition, applied across
+        the window."""
+        length = int(matrix.shape[1])
+        tail = np.zeros(0, dtype=np.uint8)
+        for _seg, data, _offset in self._window_pieces(lo):
+            total += np.asarray(
+                self._count_with_engine(data, matrix), dtype=np.int64
+            )
+            if length > 1 and tail.size and data.size:
+                seam = np.concatenate([tail, data[: length - 1]])
+                total += count_starts_in(
+                    seam, matrix, self.alphabet.size,
+                    start_lo=0, start_hi=int(tail.size),
+                )
+            if length > 1:
+                tail = np.concatenate([tail, data])[-(length - 1):]
+        return total

@@ -18,22 +18,27 @@ database and advanced with the segment/state-carry machinery of
   the prefix and counts occurrences that start in that tail and finish
   inside the new chunk (:func:`~repro.mining.spanning.count_starts_in`,
   the Fig. 5 span fix applied at the chunk seam).
-* ``SUBSEQUENCE`` — pass 1 tabulates the chunk's behaviour from every
-  entry state
-  (:func:`~repro.mining.spanning.subsequence_segment_summary`); the
-  carried entry state composes by table lookup
-  (:func:`~repro.mining.spanning.advance_subsequence`).
-* ``EXPIRING`` — pass 1 runs the chunk speculatively from the empty
-  state (:func:`~repro.mining.spanning.expiring_segment_summary`,
-  absolute timestamps); the carried timestamp snapshot composes via
-  the bounded lockstep resume
-  (:func:`~repro.mining.spanning.advance_expiring`).
+* ``SUBSEQUENCE`` / ``EXPIRING`` — *position-hop chunk resume*: the
+  chunk's own :class:`~repro.mining.counting.DatabaseIndex` is built
+  once and shared across every tracked level, and each episode's
+  carried state (entry-state vector / absolute timestamp snapshot) is
+  advanced by searchsorted-hopping only the symbols that episode
+  needs, batched across sibling episodes through the candidate trie so
+  shared prefixes share hop chains
+  (:func:`~repro.mining.trie.resume_positions_trie`, dispatched
+  through the engine's ``resume_batch``).  Interpreter work per chunk
+  is proportional to tracked trie nodes, not chunk length — the fix
+  for the schema-5 bench regression where per-character segment
+  summaries lost to naive recount.
 
 Tracking is mutable: :meth:`EpisodeStateStore.retrack` promotes newly
 needed candidates (backfilling count and entry state over the retained
 prefix with the resumable sweeps of :mod:`repro.mining.counting`) and
 demotes candidates no longer generated, preserving the carried state of
-every episode that stays tracked.
+every episode that stays tracked.  Under bounded retention the caller
+may pass a *suffix* of the stream as backfill history
+(``history_start > 0``); promoted counts are then exact lower bounds
+(see :meth:`EpisodeStateStore.retrack`).
 """
 
 from __future__ import annotations
@@ -43,20 +48,11 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ValidationError
-from repro.mining.counting import (
-    _NEG,
-    resume_expiring_batch,
-    resume_subsequence_batch,
-)
+from repro.mining.counting import _NEG, DatabaseIndex
 from repro.mining.episode import Episode, episodes_to_matrix
 from repro.mining.policies import MatchPolicy, validate_window
-from repro.mining.spanning import (
-    advance_expiring,
-    advance_subsequence,
-    count_starts_in,
-    expiring_segment_summary,
-    subsequence_segment_summary,
-)
+from repro.mining.spanning import count_starts_in
+from repro.mining.trie import CandidateTrie, resume_positions_trie
 
 __all__ = ["EpisodeStateStore", "TrackedLevel"]
 
@@ -69,6 +65,8 @@ class TrackedLevel:
     and ``exp_times`` (EXPIRING, shape ``(E, L+1)``, absolute indices)
     hold the FSM summaries the next chunk resumes from; RESET carries
     nothing per-episode (the store's tail buffer covers the seam).
+    ``trie`` is the level's candidate trie, built once at
+    retrack/restore so every chunk advance shares prefix hop chains.
     """
 
     def __init__(
@@ -84,6 +82,7 @@ class TrackedLevel:
         self.counts = counts
         self.sub_states = sub_states
         self.exp_times = exp_times
+        self.trie = CandidateTrie.from_matrix(matrix)
 
     @property
     def length(self) -> int:
@@ -102,10 +101,18 @@ class EpisodeStateStore:
         ``max_level``); sizes the RESET tail buffer (``max_length - 1``
         events).
     count_chunk:
-        ``(db, matrix) -> counts`` callable used for standalone chunk
-        and backfill counting under RESET — the hook through which the
-        configured counting engine (any REGISTRY engine) does the
-        chunk's pass-1 work.
+        ``(db, batch) -> counts`` callable (``batch`` an episode matrix
+        or a :class:`~repro.mining.trie.CandidateTrie`) used for
+        standalone chunk and backfill counting under RESET — the hook
+        through which the configured counting engine (any REGISTRY
+        engine) does the chunk's pass-1 work.
+    resume_chunk:
+        ``(db, trie, policy, window, state, t0, index) -> (counts,
+        exit_state)`` callable advancing carried SUBSEQUENCE/EXPIRING
+        state through one chunk.  Defaults to
+        :func:`repro.mining.trie.resume_positions_trie`; the miner
+        passes the engine's ``resume_batch`` so dispatch stays an
+        engine concern.
     """
 
     def __init__(
@@ -115,6 +122,7 @@ class EpisodeStateStore:
         window: "int | None",
         max_length: int,
         count_chunk: "Callable[[np.ndarray, np.ndarray], np.ndarray]",
+        resume_chunk: "Callable[..., tuple[np.ndarray, np.ndarray]] | None" = None,
     ) -> None:
         validate_window(policy, window)
         if max_length < 1:
@@ -126,6 +134,9 @@ class EpisodeStateStore:
         self.window = window
         self.max_length = max_length
         self._count_chunk = count_chunk
+        self._resume_chunk = (
+            resume_chunk if resume_chunk is not None else resume_positions_trie
+        )
         self.levels: "dict[int, TrackedLevel]" = {}
         #: absolute index of the next arriving event
         self.events = 0
@@ -143,24 +154,36 @@ class EpisodeStateStore:
     # -- chunk arrival -------------------------------------------------
 
     def advance(self, chunk: np.ndarray) -> None:
-        """Fold one arriving chunk into every tracked level's state."""
+        """Fold one arriving chunk into every tracked level's state.
+
+        The chunk's :class:`~repro.mining.counting.DatabaseIndex` is
+        built once here and shared by every tracked level's hop
+        resume, so the per-chunk sort cost is paid a single time
+        regardless of how many levels are tracked.  Empty chunks are a
+        no-op for every policy (counts and carried state are
+        unchanged, and the event clock does not move).
+        """
         chunk = np.asarray(chunk)
+        if chunk.size == 0:
+            return
         t0 = self.events
+        index = (
+            DatabaseIndex(chunk)
+            if self.levels and self.policy is not MatchPolicy.RESET
+            else None
+        )
         for lvl in self.levels.values():
             if self.policy is MatchPolicy.RESET:
                 inc = self._advance_reset(lvl, chunk)
             elif self.policy is MatchPolicy.SUBSEQUENCE:
-                summary = subsequence_segment_summary(chunk, lvl.matrix)
-                inc, lvl.sub_states = advance_subsequence(
-                    summary, lvl.sub_states
+                inc, lvl.sub_states = self._resume_chunk(
+                    chunk, lvl.trie, self.policy, None, lvl.sub_states,
+                    t0=t0, index=index,
                 )
             else:
-                summary = expiring_segment_summary(
-                    chunk, lvl.matrix, int(self.window), t0
-                )
-                inc, lvl.exp_times = advance_expiring(
-                    chunk, lvl.matrix, int(self.window), lvl.exp_times, t0,
-                    summary,
+                inc, lvl.exp_times = self._resume_chunk(
+                    chunk, lvl.trie, self.policy, int(self.window),
+                    lvl.exp_times, t0=t0, index=index,
                 )
             lvl.counts = lvl.counts + inc
         self.events = t0 + int(chunk.size)
@@ -177,7 +200,9 @@ class EpisodeStateStore:
         starts restricted to the tail recovers exactly them (the tail
         is at most ``L-1`` events, so no occurrence fits inside it).
         """
-        inc = np.asarray(self._count_chunk(chunk, lvl.matrix), dtype=np.int64)
+        # the hook accepts the level's cached trie so prefix sharing and
+        # the content-addressed count cache skip a per-chunk trie build
+        inc = np.asarray(self._count_chunk(chunk, lvl.trie), dtype=np.int64)
         length = lvl.length
         if length > 1 and self._tail.size and chunk.size:
             tail = self._tail[-(length - 1):]
@@ -195,27 +220,37 @@ class EpisodeStateStore:
         level: int,
         episodes: "list[Episode] | tuple[Episode, ...]",
         history: np.ndarray,
+        history_start: int = 0,
     ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
         """Make ``level`` track exactly ``episodes`` (in that order).
 
         Episodes already tracked keep their carried count and state;
-        new ones are backfilled over ``history`` — the full retained
-        prefix as an array, or a zero-argument callable returning it
-        (only invoked when a backfill actually happens, so steady-state
-        updates never materialize the prefix).  The prefix must equal
-        the ``self.events`` events seen so far.  Returns
-        ``(promoted, demoted)``.
+        new ones are backfilled over ``history`` — the retained prefix
+        as an array, or a zero-argument callable returning it (only
+        invoked when a backfill actually happens, so steady-state
+        updates never materialize the prefix).  ``history_start`` is
+        the absolute stream index of ``history[0]``; the history must
+        cover the stream through the ``self.events`` events seen so
+        far (``history_start + history.size == self.events``).
+
+        With ``history_start == 0`` backfill is exact.  With a
+        positive start (bounded landmark retention) promoted counts
+        are exact *lower bounds*: occurrences lying wholly before
+        ``history_start`` are unseen, and the resumable sweeps start
+        from the empty state at the suffix boundary (EXPIRING resumes
+        with ``t0 = history_start`` so carried timestamps stay on the
+        absolute clock).  Returns ``(promoted, demoted)``.
         """
         episodes = tuple(episodes)
         if not episodes:
             demoted = self.untrack(level)
             return (), demoted
         old = self.levels.get(level)
+        if old is not None and old.episodes == episodes:
+            return (), ()  # steady state: nothing to rebuild
         old_index = (
             {ep: i for i, ep in enumerate(old.episodes)} if old else {}
         )
-        if old is not None and old.episodes == episodes:
-            return (), ()
         matrix = episodes_to_matrix(list(episodes))
         if matrix.shape[1] > self.max_length:
             raise ValidationError(
@@ -244,13 +279,17 @@ class EpisodeStateStore:
                 exp_times[j] = old.exp_times[i]
         if new_rows:
             prefix = np.asarray(history() if callable(history) else history)
-            if int(prefix.size) != self.events:
+            if int(history_start) + int(prefix.size) != self.events:
                 raise ValidationError(
-                    f"history has {prefix.size} events but the store has "
-                    f"seen {self.events}; backfill would be inexact"
+                    f"history covers [{int(history_start)}, "
+                    f"{int(history_start) + int(prefix.size)}) but the store "
+                    f"has seen {self.events} events; backfill would be "
+                    "inconsistent"
                 )
             sub = matrix[new_rows]
-            b_counts, b_state = self._backfill(sub, prefix)
+            b_counts, b_state = self._backfill(
+                sub, prefix, int(history_start)
+            )
             counts[new_rows] = b_counts
             if sub_states is not None:
                 sub_states[new_rows] = b_state
@@ -338,27 +377,33 @@ class EpisodeStateStore:
         self._tail = np.array(arrays["tail"], dtype=np.uint8)
 
     def _backfill(
-        self, matrix: np.ndarray, history: np.ndarray
+        self, matrix: np.ndarray, history: np.ndarray, history_start: int = 0
     ) -> "tuple[np.ndarray, np.ndarray | None]":
-        """Exact ``(counts, carry_state)`` of fresh episodes over the prefix.
+        """``(counts, carry_state)`` of fresh episodes over the retained prefix.
 
         RESET counts go through the configured engine (no per-episode
-        state to rebuild); SUBSEQUENCE/EXPIRING use the resumable
-        sweeps so the exit state lands exactly where the carried
-        episodes already are.
+        state to rebuild); SUBSEQUENCE/EXPIRING hop-resume from the
+        empty state at ``history_start`` so the exit state lands
+        exactly where the carried episodes already are.  Exact when
+        ``history_start == 0``; an exact lower bound otherwise (see
+        :meth:`retrack`).
         """
         if self.policy is MatchPolicy.RESET:
             counts = np.asarray(
                 self._count_chunk(history, matrix), dtype=np.int64
             )
             return counts, None
+        trie = CandidateTrie.from_matrix(matrix)
         if self.policy is MatchPolicy.SUBSEQUENCE:
-            return resume_subsequence_batch(
-                history, matrix, np.zeros(matrix.shape[0], dtype=np.int64)
+            return self._resume_chunk(
+                history, trie, self.policy, None,
+                np.zeros(matrix.shape[0], dtype=np.int64),
+                t0=int(history_start), index=None,
             )
         times = np.full(
             (matrix.shape[0], matrix.shape[1] + 1), _NEG, dtype=np.int64
         )
-        return resume_expiring_batch(
-            history, matrix, int(self.window), times, 0
+        return self._resume_chunk(
+            history, trie, self.policy, int(self.window), times,
+            t0=int(history_start), index=None,
         )

@@ -2,10 +2,13 @@
 
 A scaled-down engine benchmark runs inside the tier-1 suite and is
 compared against the committed ``benchmarks/BENCH_engines.json``.
-Checksum mismatches (counting bugs) fail hard; throughput regressions
-only *warn* — absolute ops/sec are hardware-dependent, so the blocking
-gate is the standalone ``benchmarks/check_regression.py`` run on
-reference hardware.
+Checksum mismatches (counting bugs) fail hard, and so does the
+streaming incremental-vs-recount floor — both runs are timed moments
+apart in this process, so an incremental carry losing to the naive
+recount is a genuine pessimization on *this* machine, not hardware
+variance.  Other throughput regressions only *warn* — absolute
+ops/sec are hardware-dependent, so the blocking gate is the standalone
+``benchmarks/check_regression.py`` run on reference hardware.
 """
 
 import json
@@ -32,10 +35,14 @@ def test_engine_throughput_no_regression():
     fresh = bench_engines.run_bench(
         sizes=(10_000,), engines=("vector-sweep", "position-hop", "gpu-sim"),
         # a scaled-down streaming feed: its incremental-vs-recount
-        # checksum equality is machine-independent and gated hard below;
-        # the smaller total_events never matches reference cells, so the
-        # throughput comparison stays out of tier-1
-        streaming=dict(n_chunks=4, chunk_events=1200),
+        # checksum equality AND speedup floor are within-process and
+        # gated hard below; the smaller total_events never matches
+        # reference cells, so the cross-machine throughput comparison
+        # stays out of tier-1
+        # best-of-2 timings per mode keep the hard incremental>=recount
+        # floor off the noise floor (a GC pause or scheduler stall in
+        # one 5 ms RESET run must not read as a pessimization)
+        streaming=dict(n_chunks=6, chunk_events=2000, repeats=2),
         # a scaled-down trie grid (N=12 -> 1,320 level-3 candidates):
         # the flat-vs-trie checksum equality is machine-independent and
         # gated hard below; the speedup floor stays advisory in tier-1
@@ -54,8 +61,18 @@ def test_engine_throughput_no_regression():
     # it means the analytic model changed without a snapshot regen)
     gpu_sim = check_regression.check_gpu_sim(reference, fresh)
     problems += [f"checksum-grade: {p}" for p in gpu_sim]
-    correctness = [p for p in problems if "checksum" in p]
-    throughput = [p for p in problems if "checksum" not in p]
+    def _hard(p: str) -> bool:
+        # counting bugs, plus the streaming floor: incremental losing to
+        # the per-chunk recount (or the floor going unchecked) is a
+        # within-process contract violation, not hardware variance
+        return (
+            "checksum" in p
+            or "per-chunk recount" in p
+            or "speedup_vs_recount" in p
+        )
+
+    correctness = [p for p in problems if _hard(p)]
+    throughput = [p for p in problems if not _hard(p)]
     assert not correctness, correctness  # counts changed: a real bug
     for message in throughput:  # perf is advisory inside tier-1
         warnings.warn(f"engine throughput regression: {message}", stacklevel=1)

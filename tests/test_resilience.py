@@ -348,6 +348,22 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError, match="schema"):
             read_checkpoint(path)
 
+    def test_schema_1_rejected_with_migration_hint(self, tmp_path):
+        """Pre-position-hop checkpoints (schema 1) must fail loudly
+        with a re-run hint — their retained prefix was unconditionally
+        the whole stream, so resuming them under the schema-2 retention
+        semantics could silently mis-count."""
+        miner = StreamingMiner(
+            ALPHA, 0.03, **self.run_config(MatchPolicy.RESET, None)
+        )
+        miner.update(make_db(300, seed=73))
+        path = miner.checkpoint(tmp_path / "old.npz")
+        meta, arrays = read_checkpoint(path)
+        meta["schema"] = 1
+        self._rewrite_raw(path, meta, arrays)
+        with pytest.raises(CheckpointError, match="re-run the stream"):
+            StreamingMiner.resume(path)
+
     def test_wrong_kind_raises(self, tmp_path):
         path = write_checkpoint(tmp_path / "kind.npz", {"kind": "other"}, {})
         with pytest.raises(CheckpointError, match="not a stream-miner"):

@@ -8,7 +8,11 @@ from hypothesis import strategies as st
 from repro.errors import ValidationError
 from repro.mining.alphabet import Alphabet, UPPERCASE
 from repro.mining.candidates import generate_level
-from repro.mining.counting import count_batch, count_batch_reference
+from repro.mining.counting import (
+    count_batch,
+    count_batch_reference,
+    resume_subsequence_batch,
+)
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy
 from repro.mining.spanning import (
@@ -16,6 +20,9 @@ from repro.mining.spanning import (
     compose_subsequence,
     count_segmented,
     expiring_segment_summary,
+    hop_expiring_summary,
+    hop_subsequence_resume,
+    hop_subsequence_summary,
     segment_bounds,
     subsequence_segment_summary,
 )
@@ -278,3 +285,88 @@ class TestPropertyBased:
             db, [ep], n, n_segments=n_segments, fix_spanning=False
         )
         assert int(unfixed.totals[0]) <= exact
+
+
+def _hop_case(data, n):
+    """Random (db, matrix) pair for hop-vs-sweep parity checks.
+
+    Repeated symbols within an episode are deliberately allowed — the
+    position-hop chain must handle them exactly like the sweep does.
+    """
+    length = data.draw(st.integers(0, 200))
+    seed = data.draw(st.integers(0, 10_000))
+    db = np.random.default_rng(seed).integers(0, n, length).astype(np.uint8)
+    ep_len = data.draw(st.integers(1, 3))
+    eps = data.draw(
+        st.lists(
+            st.lists(
+                st.integers(0, n - 1), min_size=ep_len, max_size=ep_len
+            ).map(tuple),
+            min_size=1, max_size=5, unique=True,
+        )
+    )
+    matrix = np.array(eps, dtype=np.uint8)
+    return db, matrix
+
+
+class TestPositionHopParity:
+    """The position-hop resume primitives (PR 9's streaming chunk
+    advance) are bit-identical to the per-character sweeps they
+    replace — counts AND carried exit state, for any entry state."""
+
+    @given(data=st.data(), n=st.integers(3, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_hop_resume_matches_subsequence_sweep(self, data, n):
+        db, matrix = _hop_case(data, n)
+        n_eps, length = matrix.shape
+        entry = np.array(
+            data.draw(
+                st.lists(
+                    st.integers(0, length - 1),
+                    min_size=n_eps, max_size=n_eps,
+                )
+            ),
+            dtype=np.int64,
+        )
+        ref_counts, ref_exits = resume_subsequence_batch(db, matrix, entry)
+        counts, exits = hop_subsequence_resume(db, matrix, entry)
+        np.testing.assert_array_equal(counts, ref_counts)
+        np.testing.assert_array_equal(exits, ref_exits)
+
+    @given(data=st.data(), n=st.integers(3, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_hop_summary_matches_subsequence_sweep(self, data, n):
+        db, matrix = _hop_case(data, n)
+        ref = subsequence_segment_summary(db, matrix)
+        hop = hop_subsequence_summary(db, matrix)
+        np.testing.assert_array_equal(hop.counts, ref.counts)
+        np.testing.assert_array_equal(hop.exits, ref.exits)
+
+    @given(data=st.data(), n=st.integers(3, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_hop_summary_matches_expiring_sweep(self, data, n):
+        db, matrix = _hop_case(data, n)
+        window = data.draw(st.integers(1, 6))
+        t0 = data.draw(st.integers(0, 50))
+        ref = expiring_segment_summary(db, matrix, window, t0)
+        hop = hop_expiring_summary(db, matrix, window, t0)
+        np.testing.assert_array_equal(hop.counts, ref.counts)
+        np.testing.assert_array_equal(hop.exit_times, ref.exit_times)
+
+    @given(data=st.data(), n=st.integers(3, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_hop_resume_composes_across_a_split(self, data, n):
+        """Chunk composition through the hop path equals the whole-db
+        count: segment 1 from the zero state, segment 2 resumed from
+        segment 1's exits."""
+        db, matrix = _hop_case(data, n)
+        cut = data.draw(st.integers(0, db.size))
+        first, rest = db[:cut], db[cut:]
+        c1, exits = hop_subsequence_resume(
+            first, matrix, np.zeros(matrix.shape[0], dtype=np.int64)
+        )
+        c2, _ = hop_subsequence_resume(rest, matrix, exits)
+        whole, _ = resume_subsequence_batch(
+            db, matrix, np.zeros(matrix.shape[0], dtype=np.int64)
+        )
+        np.testing.assert_array_equal(c1 + c2, whole)

@@ -139,18 +139,70 @@ class TestChunkingInvariance:
         miner.consume(ArrayStreamSource(db, 70))
         assert miner.result().levels == reference.levels
 
-    def test_sharded_engine_run_scoped_per_chunk(self):
+    def test_sharded_engine_pool_leased_once_per_stream(self):
+        """``consume()`` opens ONE engine run scope for the whole
+        stream: the worker pool is leased per stream, not re-spawned
+        per chunk (the PR 9 pool-churn fix)."""
         rng = np.random.default_rng(11)
         alphabet = Alphabet.of_size(5)
         db = rng.integers(0, 5, 240).astype(np.uint8)
         from repro.mining.engines import ShardedEngine
 
-        engine = ShardedEngine(workers=2, min_shard_work=0)
+        class SpyEngine(ShardedEngine):
+            def __init__(self):
+                super().__init__(workers=2, min_shard_work=0)
+                self.scopes_opened = 0
+
+            def __enter__(self):
+                if self._depth == 0:
+                    self.scopes_opened += 1
+                return super().__enter__()
+
+        engine = SpyEngine()
         miner = StreamingMiner(alphabet, 0.01, engine=engine, max_level=2)
-        miner.consume(ArrayStreamSource(db, 120))
+        miner.consume(ArrayStreamSource(db, 40))  # 6 chunks
+        assert engine.scopes_opened == 1
+        # at most one pool spawn for the whole stream (0 where the
+        # sandbox forbids worker processes and the serial path runs)
+        assert engine.pools_spawned <= 1
         reference = batch_mine(alphabet, db, 0.01, MatchPolicy.RESET, None,
                                max_level=2)
         assert miner.result().levels == reference.levels
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_resumed_stream_matches_batch_any_boundary(
+        self, tmp_path, policy, window
+    ):
+        """Chunking invariance survives checkpoint/resume: randomized
+        boundaries (size-0 and size-1 chunks forced in), kill at a
+        random chunk, resume from disk, feed the rest — the final
+        result is bit-identical to the batch scalar-oracle."""
+        rng = np.random.default_rng(29)
+        alphabet = Alphabet.of_size(4)
+        for trial in range(4):
+            db = rng.integers(0, 4, 160).astype(np.uint8)
+            cuts = sorted(
+                int(c) for c in rng.integers(0, db.size + 1, 5)
+            )
+            cuts += [cuts[0]]  # a size-0 chunk
+            cuts += [min(cuts[-1] + 1, db.size)]  # and a size-1 chunk
+            chunks = chunked(db, cuts)
+            miner = StreamingMiner(
+                alphabet, 0.02, policy=policy, window=window,
+                engine="auto", max_level=3,
+            )
+            kill = int(rng.integers(0, len(chunks) + 1))
+            for chunk in chunks[:kill]:
+                miner.update(chunk)
+            path = miner.checkpoint(
+                tmp_path / f"{policy.value}-{trial}.npz"
+            )
+            resumed = StreamingMiner.resume(path)
+            for chunk in chunks[kill:]:
+                resumed.update(chunk)
+            reference = batch_mine(alphabet, db, 0.02, policy, window)
+            assert resumed.result().levels == reference.levels
+            assert resumed.total_events == db.size
 
 
 class TestStreamingMinerBehaviour:
@@ -280,7 +332,163 @@ class TestWindowedMode:
         )
         for _ in range(20):
             miner.update(np.ones(100, dtype=np.uint8))
-        assert sum(c.size for c in miner._chunks) == 64
+        # expired segments are retired: at most one chunk sticks out of
+        # the horizon, and the materialized window is exactly the horizon
+        assert sum(s.data.size for s in miner._segments) <= 64 + 100
+        assert miner._window_contents().size == 64
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    @settings(max_examples=15, deadline=None)
+    @given(case=stream_case(), horizon=st.sampled_from([16, 64, 250]))
+    def test_windowed_matches_batch_any_boundary(
+        self, policy, window, case, horizon
+    ):
+        """The decremental slide is chunking-invariant too: any
+        randomized boundaries (size-0/size-1 chunks included) yield the
+        batch scalar-oracle result over the trailing window."""
+        alphabet_size, db, cuts, threshold = case
+        alphabet = Alphabet.of_size(alphabet_size)
+        miner = StreamingMiner(
+            alphabet, threshold, policy=policy, window=window,
+            mode="windowed", horizon=horizon, engine="auto", max_level=3,
+        )
+        for chunk in chunked(db, cuts):
+            miner.update(chunk)
+        tail = db[-min(horizon, db.size):]
+        reference = batch_mine(alphabet, tail, threshold, policy, window)
+        assert miner.result().levels == reference.levels
+
+    def test_unchanged_window_short_circuits(self):
+        """Size-0 chunks and slides that leave the window contents
+        event-for-event identical return the previous counts without
+        recounting anything."""
+        miner = StreamingMiner(
+            Alphabet.of_size(3), 0.1, mode="windowed", horizon=8,
+            max_level=2,
+        )
+        pattern = np.array([0, 1] * 4, dtype=np.uint8)
+        miner.update(pattern)
+        before = miner.result()
+
+        def explode(n):
+            raise AssertionError("unchanged window was recounted")
+
+        miner._reconcile_windowed = explode
+        update = miner.update(np.zeros(0, dtype=np.uint8))  # empty chunk
+        assert update.total_events == 8
+        # a full-period slide: new contents == old contents
+        update = miner.update(pattern)
+        assert update.total_events == 16
+        assert miner.result().levels == before.levels
+
+
+class TestRetention:
+    """Bounded-memory landmark mode: ``retention=N`` caps the retained
+    backfill prefix at the trailing N events.  Carried counts stay
+    exact; promotion backfill over the capped prefix yields exact
+    lower bounds (never overcounts, never promotes a false positive)."""
+
+    def test_constructor_validation(self):
+        alphabet = Alphabet.of_size(4)
+        with pytest.raises(ConfigError):
+            StreamingMiner(alphabet, 0.1, retention=0)
+        with pytest.raises(ConfigError):
+            StreamingMiner(
+                alphabet, 0.1, mode="windowed", horizon=10, retention=5
+            )
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_exact_when_cap_never_binds(self, policy, window):
+        rng = np.random.default_rng(51)
+        alphabet = Alphabet.of_size(4)
+        db = rng.integers(0, 4, 300).astype(np.uint8)
+        miner = StreamingMiner(
+            alphabet, 0.02, policy=policy, window=window,
+            retention=10_000, max_level=3,
+        )
+        miner.consume(ArrayStreamSource(db, 70))
+        reference = batch_mine(alphabet, db, 0.02, policy, window)
+        assert miner.result().levels == reference.levels
+
+    @pytest.mark.parametrize("policy,window", POLICIES)
+    def test_exact_while_continuously_tracked(self, policy, window):
+        """Episodes tracked from the start never touch the capped
+        prefix: their carried counts stay exact even once the cap
+        binds.  Threshold 0 keeps every candidate tracked, so the
+        whole result equals the batch oracle despite retention."""
+        rng = np.random.default_rng(57)
+        alphabet = Alphabet.of_size(3)
+        db = rng.integers(0, 3, 300).astype(np.uint8)
+        miner = StreamingMiner(
+            alphabet, 0.0, policy=policy, window=window,
+            retention=64, max_level=2,
+        )
+        miner.consume(ArrayStreamSource(db, 50))
+        reference = batch_mine(
+            alphabet, db, 0.0, policy, window, max_level=2
+        )
+        assert miner.result().levels == reference.levels
+
+    def test_binding_cap_is_sound_lower_bound(self):
+        """Demote-then-repromote under a binding cap: the backfill only
+        sees the retained tail, so counts are lower bounds — the
+        frequent set is a subset of the batch one, never a superset,
+        and no reported count exceeds the true count."""
+        alphabet = Alphabet.of_size(3)
+        db = np.concatenate([
+            np.array([0, 1] * 12, dtype=np.uint8),   # AB frequent
+            np.array([2] * 120, dtype=np.uint8),     # AB demoted
+            np.array([0, 1] * 150, dtype=np.uint8),  # AB repromoted
+        ])
+        miner = StreamingMiner(
+            alphabet, 0.2, policy=MatchPolicy.SUBSEQUENCE,
+            retention=100, max_level=2,
+        )
+        miner.consume(ArrayStreamSource(db, 48))
+        reference = batch_mine(
+            alphabet, db, 0.2, MatchPolicy.SUBSEQUENCE, None, max_level=2
+        )
+        ref_levels = {lvl.level: lvl for lvl in reference.levels}
+        for lvl in miner.result().levels:
+            ref = ref_levels[lvl.level]
+            assert set(lvl.frequent) <= set(ref.frequent)
+            exact = ref.as_dict()
+            for episode, count in lvl.as_dict().items():
+                assert count <= exact[episode]
+
+    def test_memory_stays_bounded(self):
+        miner = StreamingMiner(
+            Alphabet.of_size(4), 0.1, retention=200, max_level=2
+        )
+        rng = np.random.default_rng(61)
+        for _ in range(40):
+            miner.update(rng.integers(0, 4, 500).astype(np.uint8))
+        assert miner.total_events == 20_000
+        # the retained view is exactly the cap; the backing buffer is
+        # recycled in place, never proportional to the stream
+        assert miner._buf.size == 200
+        assert miner._buf._buf.size <= 2048
+
+    def test_checkpoint_roundtrip_preserves_retention(self, tmp_path):
+        rng = np.random.default_rng(67)
+        alphabet = Alphabet.of_size(4)
+        db = rng.integers(0, 4, 600).astype(np.uint8)
+        chunks = [db[lo: lo + 100] for lo in range(0, 600, 100)]
+        cfg = dict(policy=MatchPolicy.SUBSEQUENCE, retention=150,
+                   max_level=2)
+        full = StreamingMiner(alphabet, 0.02, **cfg)
+        killed = StreamingMiner(alphabet, 0.02, **cfg)
+        for chunk in chunks:
+            full.update(chunk)
+        for chunk in chunks[:3]:
+            killed.update(chunk)
+        path = killed.checkpoint(tmp_path / "ret.npz")
+        resumed = StreamingMiner.resume(path)
+        assert resumed.retention == 150
+        for chunk in chunks[3:]:
+            resumed.update(chunk)
+        assert resumed.result().levels == full.result().levels
+        assert resumed.total_events == full.total_events
 
 
 class TestMineStreamAPI:

@@ -388,3 +388,99 @@ class TestLevel3Acceptance:
             f"(flat {flat_s * 1e3:.1f} ms, trie {trie_s * 1e3:.1f} ms; "
             f"floor 1.5x)"
         )
+
+
+class TestResumePositionsTrie:
+    """Batched position-hop chunk resume (PR 9): the streaming advance
+    entry point shares prefix hop-chains across tracked episodes while
+    carrying each episode's own state — bit-identical to the per-episode
+    sweeps, for any chunk boundary."""
+
+    def _db(self, seed, n=300):
+        return np.random.default_rng(seed).integers(
+            0, ALPHA.size, n
+        ).astype(np.uint8)
+
+    def test_reset_policy_rejected(self):
+        from repro.mining.trie import resume_positions_trie
+
+        trie = CandidateTrie.from_matrix(np.array([[0, 1]], dtype=np.uint8))
+        with pytest.raises(ValidationError):
+            resume_positions_trie(
+                self._db(1), trie, MatchPolicy.RESET, None,
+                np.zeros(1, dtype=np.int64),
+            )
+
+    def test_subsequence_matches_flat_resume(self):
+        from repro.mining.counting import resume_subsequence_batch
+        from repro.mining.trie import resume_positions_trie
+
+        rng = np.random.default_rng(31)
+        eps = generate_level(ALPHA, 3)
+        trie = CandidateTrie.from_episodes(eps)
+        db = self._db(37)
+        entry = rng.integers(0, 3, len(eps)).astype(np.int64)
+        ref_counts, ref_exits = resume_subsequence_batch(
+            db, trie.matrix, entry
+        )
+        counts, exits = resume_positions_trie(
+            db, trie, MatchPolicy.SUBSEQUENCE, None, entry
+        )
+        np.testing.assert_array_equal(counts, ref_counts)
+        np.testing.assert_array_equal(exits, ref_exits)
+
+    def test_chunked_subsequence_totals_equal_batch(self):
+        from repro.mining.trie import resume_positions_trie
+
+        eps = generate_level(ALPHA, 2)
+        trie = CandidateTrie.from_episodes(eps)
+        db = self._db(41, n=500)
+        ref = count_batch_reference(
+            db, eps, ALPHA.size, MatchPolicy.SUBSEQUENCE
+        )
+        for cuts in ([0, 0, 7], [100, 101, 499], [250]):
+            edges = [0] + sorted(cuts) + [db.size]
+            state = np.zeros(len(eps), dtype=np.int64)
+            total = np.zeros(len(eps), dtype=np.int64)
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                inc, state = resume_positions_trie(
+                    db[lo:hi], trie, MatchPolicy.SUBSEQUENCE, None, state,
+                )
+                total += inc
+            np.testing.assert_array_equal(total, ref)
+
+    def test_chunked_expiring_totals_equal_batch(self):
+        from repro.mining.counting import _NEG
+        from repro.mining.trie import resume_positions_trie
+
+        window = 4
+        eps = generate_level(ALPHA, 3)[::7]  # thinned level-3 grid
+        trie = CandidateTrie.from_episodes(eps)
+        db = self._db(43, n=500)
+        ref = count_batch_reference(
+            db, eps, ALPHA.size, MatchPolicy.EXPIRING, window
+        )
+        length = trie.matrix.shape[1]
+        for cuts in ([0, 1, 13], [200, 200, 499], [333]):
+            edges = [0] + sorted(cuts) + [db.size]
+            state = np.full((len(eps), length + 1), _NEG, dtype=np.int64)
+            total = np.zeros(len(eps), dtype=np.int64)
+            for lo, hi in zip(edges[:-1], edges[1:]):
+                inc, state = resume_positions_trie(
+                    db[lo:hi], trie, MatchPolicy.EXPIRING, window, state,
+                    t0=lo,
+                )
+                total += inc
+            np.testing.assert_array_equal(total, ref)
+
+    def test_expiring_summary_trie_matches_hop_summary(self):
+        from repro.mining.spanning import hop_expiring_summary
+        from repro.mining.trie import expiring_summary_trie
+
+        eps = generate_level(ALPHA, 2)
+        trie = CandidateTrie.from_episodes(eps)
+        db = self._db(47)
+        ref = hop_expiring_summary(db, trie.matrix, 3, t0=17)
+        counts, exit_times = expiring_summary_trie(db, trie, 3, t0=17)
+        np.testing.assert_array_equal(counts, ref.counts)
+        np.testing.assert_array_equal(exit_times, ref.exit_times)
