@@ -51,6 +51,14 @@ checked on the fresh payload alone), and at level >= 3 the trie-batched
 path must be at least as fast as the flat path (within-machine, so
 pre-series snapshots need nothing).
 
+The ``telemetry_overhead`` series (schema 8) gates the run-telemetry
+layer's cost: the same counting loop timed with no recorder, the
+default ``NULL_RECORDER``, and a live ``Recorder`` must produce
+identical counts (checksummed — machine-independent), and the overhead
+ceilings (null <= 1%, recording <= 5%, with an absolute jitter floor)
+are within-machine, so the whole check runs on the fresh payload alone
+and pre-series snapshots need nothing.
+
 The ``auto_calibration`` series (schema 4) gates measured dispatch:
 after a fresh per-host calibration, the calibrated ``auto`` engine must
 stay within ``AUTO_CAL_TOLERANCE`` of the best fixed engine on every
@@ -420,6 +428,67 @@ def check_trie_batch(fresh: dict) -> "list[str]":
     return problems
 
 
+#: ceilings on the repro.obs recorder's cost around the counting loop:
+#: the default NullRecorder must be free in any practical sense, and a
+#: live --trace Recorder must stay cheap
+TELEMETRY_NULL_MAX_PCT = 1.0
+TELEMETRY_RECORDING_MAX_PCT = 5.0
+#: absolute noise floor: interleaved best-of timing still jitters by a
+#: few milliseconds on a loaded host, so a percentage breach smaller
+#: than this is noise, not recorder cost.  The recorder ops under test
+#: cost microseconds per loop, so any *real* breach (a NullRecorder
+#: that allocates, an enabled-path attr computation leaking into the
+#: disabled path) lands far above both the ceiling and this floor.
+TELEMETRY_ABS_SLACK_S = 5e-3
+
+
+def check_telemetry(fresh: dict) -> "list[str]":
+    """Gate recorder overhead (schema 8's ``telemetry_overhead`` series).
+
+    Exactness first: all three recorder modes counted the same batch on
+    the same database, so any checksum divergence means telemetry
+    perturbed counting — failed hard, on any machine.  The overhead
+    ceilings (NullRecorder <= ``TELEMETRY_NULL_MAX_PCT``%, live
+    recording <= ``TELEMETRY_RECORDING_MAX_PCT``%) are within-machine —
+    all three loops were timed moments apart in the same process — so
+    they too are checked on the fresh payload alone, with an absolute
+    slack floor against timer jitter; snapshots that predate the series
+    pass untouched.
+    """
+    series = fresh.get("telemetry_overhead") or {}
+    rows = {r.get("mode"): r for r in series.get("rows", ())}
+    if rows.get("baseline") is None:
+        return []
+    problems = []
+    if not series.get("counts_identical", True):
+        problems.append(
+            "telemetry_overhead: counts diverged across recorder modes "
+            f"(checksums {series.get('checksum')}) — telemetry perturbed "
+            "counting, not a perf issue"
+        )
+    for mode, ceiling in (
+        ("null", TELEMETRY_NULL_MAX_PCT),
+        ("recording", TELEMETRY_RECORDING_MAX_PCT),
+    ):
+        row = rows.get(mode)
+        if row is None or row.get("overhead_pct") is None:
+            problems.append(
+                f"telemetry_overhead: no {mode} overhead row in payload; "
+                "the recorder-cost ceiling went unchecked"
+            )
+            continue
+        pct = row["overhead_pct"]
+        overhead_s = row.get("overhead_s") or 0.0
+        if pct > ceiling and overhead_s > TELEMETRY_ABS_SLACK_S:
+            problems.append(
+                f"telemetry_overhead {mode}: {pct:+.2f}% vs the "
+                f"uninstrumented baseline ({overhead_s * 1e3:.2f} ms; "
+                f"ceiling {ceiling:.0f}%) — the recorder got too "
+                "expensive for the counting path"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--reference", type=Path, default=REFERENCE)
@@ -471,6 +540,7 @@ def main(argv: "list[str] | None" = None) -> int:
     problems += check_auto_calibration(fresh)
     problems += check_streaming(reference, fresh, tolerance=args.tolerance)
     problems += check_trie_batch(fresh)
+    problems += check_telemetry(fresh)
     if not problems:
         print("engine throughput: no regression vs committed trajectory")
         return 0

@@ -546,6 +546,13 @@ _CLOCK_CALLS = frozenset({
 
 
 class _Rep006Visitor(_RuleVisitor):
+    def __init__(self, rule: Rule, ctx: FileContext) -> None:
+        super().__init__(rule, ctx)
+        #: bare local name -> the clock callable it was imported from
+        #: (``from time import perf_counter as tick`` binds
+        #: ``tick -> time.perf_counter``)
+        self.clock_aliases: "dict[str, str]" = {}
+
     def visit_Attribute(self, node: ast.Attribute) -> None:
         name = dotted_name(node)
         if name is not None:
@@ -553,21 +560,58 @@ class _Rep006Visitor(_RuleVisitor):
             if tail2 in _CLOCK_CALLS:
                 self.report(
                     node,
-                    f"{name} read in a counting path; results would "
-                    "depend on wallclock and break bit-identical resume",
+                    f"{name} read in a counting path; time through "
+                    "repro.obs.clock instead (results must not depend "
+                    "on wallclock, or resume stops replaying "
+                    "bit-identically)",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        # a bare-name import (`from time import perf_counter`) erases
+        # the dotted form visit_Attribute matches on — track the bound
+        # names and flag the import itself
+        if node.module and node.level == 0:
+            for alias in node.names:
+                dotted = f"{node.module}.{alias.name}"
+                if ".".join(dotted.split(".")[-2:]) in _CLOCK_CALLS:
+                    self.clock_aliases[alias.asname or alias.name] = dotted
+                    self.report(
+                        node,
+                        f"{dotted} imported into a counting path; time "
+                        "through repro.obs.clock instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load):
+            dotted = self.clock_aliases.get(node.id)
+            if dotted is not None:
+                self.report(
+                    node,
+                    f"{node.id} ({dotted}) read in a counting path; "
+                    "time through repro.obs.clock instead",
                 )
         self.generic_visit(node)
 
 
 @register_rule
 class WallclockInCountingPathRule(Rule):
-    """Replayability contract (PR 5/6): counting in ``repro.mining`` /
-    ``repro.streaming`` is a pure function of the input stream, so
-    checkpoint/resume replays bit-identically.  Clock reads break that.
+    """Replayability contract (PR 5/6, tightened in PR 10): counting in
+    ``repro.mining`` / ``repro.streaming`` is a pure function of the
+    input stream, so checkpoint/resume replays bit-identically.  Clock
+    reads break that.
 
-    The calibration and reference-timing modules *measure* wallclock by
-    design and are exempted by module name, not by noqa, so the
-    exemption is visible in one place.
+    :mod:`repro.obs.clock` is the sole sanctioned timing seam: code
+    that legitimately measures elapsed time (calibration probes, the
+    serial baseline's timing reports, telemetry spans) calls
+    ``clock.now()`` / ``clock.utc_stamp()``, which this rule does not
+    flag — so every wallclock acquisition in the counting packages
+    funnels through one auditable module.  There are no module-level
+    exemptions; the rare non-seam read (e.g. profile staleness checks
+    comparing provenance stamps) carries an inline noqa with its
+    justification.  Both dotted reads (``time.perf_counter()``) and
+    bare-name imports (``from time import perf_counter``) are caught.
     """
 
     id = "REP006"
@@ -575,16 +619,12 @@ class WallclockInCountingPathRule(Rule):
     severity = "error"
     fix_hint = (
         "derive ordering from stream positions/sequence numbers; if "
-        "this is measurement code, move it to a calibration module"
+        "this is measurement code, time through the repro.obs.clock "
+        "seam (clock.now() / clock.utc_stamp())"
     )
 
     #: counting-path packages this rule patrols
     SCOPED_PREFIXES = ("repro.mining", "repro.streaming")
-    #: measurement harnesses: wallclock is their purpose
-    EXEMPT_MODULES = frozenset({
-        "repro.mining.calibration",
-        "repro.mining.gminer_ref",
-    })
 
     def visit(self, ctx: FileContext) -> "Iterator[Finding]":
         module = ctx.module
@@ -592,7 +632,5 @@ class WallclockInCountingPathRule(Rule):
             module == p or module.startswith(p + ".")
             for p in self.SCOPED_PREFIXES
         ):
-            return
-        if module in self.EXEMPT_MODULES:
             return
         yield from _collect(self, ctx, _Rep006Visitor(self, ctx))

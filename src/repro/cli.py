@@ -16,6 +16,9 @@ regenerated without writing Python:
 * ``calibrate`` — measure this host's engine crossovers and write a
   ``calibration.json`` profile the ``auto``/``sharded`` engines consult
   (see :mod:`repro.mining.calibration` for format and precedence);
+* ``report out.json`` — render a run report written by the ``--trace``
+  flag of ``mine``/``stream``/``calibrate`` (phase table, counters,
+  cache stats, degradation events; see :mod:`repro.obs`);
 * ``probe`` — run the §6 micro-benchmark suite on a card;
 * ``lint`` — run the contract linter (:mod:`repro.analysis`, rules
   REP001-REP006 per ``CONTRACTS.md``) over the source trees; also
@@ -113,6 +116,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="ignore any calibration profile and use the fixed engine "
         "heuristics",
     )
+    mine.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record run telemetry (span tree, counters, cache stats, "
+        "degradation events) and write it as a JSON run report; "
+        "inspect with `repro report PATH`",
+    )
 
     strm = sub.add_parser(
         "stream",
@@ -199,6 +208,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "comes from the file, already-consumed chunks of the feed are "
         "skipped, and results are bit-identical to an uninterrupted run",
     )
+    strm.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record per-chunk telemetry (spans, counters, "
+        "incremental-vs-recount decisions, degradation events) and "
+        "write it as a JSON run report; inspect with `repro report PATH`",
+    )
 
     cal = sub.add_parser(
         "calibrate",
@@ -229,6 +244,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stamp the profile as valid on any host (CI fixtures; "
         "skips the fingerprint check on load)",
     )
+    cal.add_argument(
+        "--trace", type=Path, default=None, metavar="PATH",
+        help="record probe-phase telemetry and write it as a JSON run "
+        "report; inspect with `repro report PATH`",
+    )
+
+    rep = sub.add_parser(
+        "report",
+        help="render a run report written by --trace: phase table, "
+        "counters, cache stats, degradation events",
+    )
+    rep.add_argument("path", type=Path, metavar="PATH",
+                     help="run-report file written by a --trace run")
 
     probe = sub.add_parser("probe", help="run the micro-benchmark suite")
     probe.add_argument("--card", default="GTX280")
@@ -369,10 +397,32 @@ def _resolve_cli_profile(args: argparse.Namespace):
     return None
 
 
-def _cmd_stream(args: argparse.Namespace) -> int:
-    import time
+def _trace_recorder(args: argparse.Namespace):
+    """A live recorder when ``--trace`` was given, else ``None``."""
+    if getattr(args, "trace", None) is None:
+        return None
+    from repro.obs.recorder import Recorder
 
+    return Recorder()
+
+
+def _write_trace(report, path: Path) -> None:
+    if report is None:
+        return
+    report.write(path)
+    print(f"wrote run report to {path} (inspect with `repro report {path}`)")
+
+
+def _degradation_line(ev) -> str:
+    """One-line human summary of a DegradationEvent."""
+    shards = ",".join(str(s) for s in ev.shards) if ev.shards else "-"
+    return (f"  degradation: [{ev.kind}] shard(s) {shards} "
+            f"attempt {ev.attempt}: {ev.detail}")
+
+
+def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.errors import ConfigError
+    from repro.obs import clock
     from repro.mining.alphabet import Alphabet
     from repro.mining.engines import ShardedEngine, get_engine, list_engines
     from repro.mining.policies import MatchPolicy, validate_window
@@ -440,6 +490,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"synthetic feed ({n_chunks} chunks x {args.chunk_size} "
             f"events, drift {drift:g})"
         )
+    recorder = _trace_recorder(args)
     skip = 0
     if args.resume is not None:
         # mining configuration comes from the checkpoint — the feed
@@ -448,6 +499,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         miner = StreamingMiner.resume(
             args.resume, engine=engine, calibration=profile
         )
+        miner.recorder = recorder
         skip = miner.chunk_index
         mode = miner.mode
         print(
@@ -467,6 +519,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             mode=args.mode,
             horizon=args.horizon,
             max_level=args.max_level,
+            recorder=recorder,
         )
         mode = args.mode
     print(
@@ -475,7 +528,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     )
     interrupted = False
     last_checkpoint = None
-    t0 = time.perf_counter()
+    t0 = clock.now()
     try:
         for i, chunk in enumerate(source.chunks()):
             if i < skip:
@@ -492,9 +545,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
                     line += f", +{len(update.promoted)} promoted"
                 if update.demoted:
                     line += f", -{len(update.demoted)} demoted"
-            if update.events:
-                line += f", {len(update.events)} supervision event(s)"
             print(line)
+            for ev in update.events:
+                print(_degradation_line(ev))
             if args.checkpoint is not None:
                 # after every completed chunk, so an interrupt or crash
                 # at any point leaves a consistent resume point
@@ -516,7 +569,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         else:
             print("interrupted (run with --checkpoint PATH to make "
                   "streams resumable)")
-    elapsed = time.perf_counter() - t0
+    elapsed = clock.now() - t0
     result = miner.result()
     for lvl in result.levels:
         print(
@@ -536,14 +589,17 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             f"sharded over {engine.workers} workers "
             f"({engine.pools_spawned} pool spawn(s))"
         )
+    if args.trace is not None:
+        # also after an interrupt: every completed chunk's telemetry is
+        # balanced, so the partial trace is still a valid report
+        _write_trace(miner.last_report, args.trace)
     return 130 if interrupted else 0
 
 
 def _cmd_mine(args: argparse.Namespace) -> int:
-    import time
-
     from repro.data.market import MarketConfig, generate_market_stream
     from repro.errors import ConfigError
+    from repro.obs import clock
     from repro.gpu.specs import get_card
     from repro.mining.engines import (
         GpuSimEngine,
@@ -600,20 +656,22 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     )
     alphabet = config.alphabet()
     stream = generate_market_stream(config)
-    t0 = time.perf_counter()
+    recorder = _trace_recorder(args)
+    miner = FrequentEpisodeMiner(
+        alphabet, threshold=args.threshold, policy=policy,
+        window=args.window, engine=engine, max_level=4,
+        calibration=profile, recorder=recorder,
+    )
+    t0 = clock.now()
     try:
-        result = FrequentEpisodeMiner(
-            alphabet, threshold=args.threshold, policy=policy,
-            window=args.window, engine=engine, max_level=4,
-            calibration=profile,
-        ).mine(stream)
+        result = miner.mine(stream)
     except KeyboardInterrupt:
         # batch mining has no resumable state; discard cleanly (worker
         # pools shut down via the engine scope's __exit__)
         print("\ninterrupted: partial batch mining state discarded",
               file=sys.stderr)
         return 130
-    elapsed = time.perf_counter() - t0
+    elapsed = clock.now() - t0
     print(
         f"mined {stream.size:,} events at alpha={args.threshold} "
         f"(engine={engine_name}, policy={policy.value})"
@@ -641,6 +699,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             f"sharded over {engine.workers} workers "
             f"({engine.pools_spawned} pool spawn(s) for the whole run)"
         )
+    for ev in miner.degradation_events:
+        print(_degradation_line(ev))
+    if args.trace is not None:
+        _write_trace(miner.last_report, args.trace)
     return 0
 
 
@@ -659,11 +721,13 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
         raise ConfigError(
             "no default profile location in this installation; pass --out"
         )
+    recorder = _trace_recorder(args)
     profile = run_calibration(
         quick=args.quick,
         workers=args.workers,
         repeats=args.repeats,
         host=ANY_HOST if args.any_host else None,
+        recorder=recorder,
     )
     print(f"calibrated host {profile.host} "
           f"({len(profile.measurements)} probe cells)")
@@ -685,6 +749,72 @@ def _cmd_calibrate(args: argparse.Namespace) -> int:
     save_profile(profile, out)
     reset_active_profile()  # the ambient cache may now point at stale data
     print(f"wrote {out}")
+    if recorder is not None:
+        from repro.obs.report import RunReport
+
+        report = RunReport.from_recorder(
+            recorder,
+            command="calibrate",
+            calibration={"source": "fresh", "host": profile.host,
+                         "created": profile.created,
+                         "schema": profile.schema},
+            meta={"quick": bool(args.quick), "repeats": int(args.repeats),
+                  "profile_path": str(out)},
+        )
+        _write_trace(report, args.trace)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport
+    from repro.util.tables import format_table
+
+    report = RunReport.read(args.path)
+    print(
+        f"run report: command={report.command} created={report.created_at} "
+        f"wall {report.wall_s * 1e3:.1f} ms"
+    )
+    if report.meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(report.meta.items()))
+        print(f"  {pairs}")
+    rows = [
+        (phase, calls, total * 1e3, pct)
+        for phase, calls, total, pct in report.phase_rows()
+    ]
+    if rows:
+        print()
+        print(format_table(
+            ("phase", "calls", "total ms", "% of wall"),
+            rows,
+            title="phases (nested spans count toward their parents)",
+        ))
+    if report.counters:
+        print()
+        print("counters:")
+        for name, value in sorted(report.counters.items()):
+            print(f"  {name} = {value:,}")
+    if report.gauges:
+        print("gauges:")
+        for name, value in sorted(report.gauges.items()):
+            print(f"  {name} = {value:g}")
+    if report.cache:
+        stats = ", ".join(f"{k}={v:,}" for k, v in report.cache.items())
+        print(f"count cache: {stats}")
+    if report.calibration:
+        pairs = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.calibration.items())
+        )
+        print(f"calibration: {pairs}")
+    if report.degradation_events:
+        print(f"degradation events ({len(report.degradation_events)}):")
+        for ev in report.degradation_events:
+            shards = ev.get("shards") or []
+            where = ",".join(str(s) for s in shards) if shards else "-"
+            print(f"  [{ev.get('kind', '?')}] shard(s) {where} "
+                  f"attempt {ev.get('attempt', 0)}: {ev.get('detail', '')}")
+    if report.dropped_spans:
+        print(f"note: {report.dropped_spans:,} span(s) over the retention "
+              "cap were timed but dropped from the tree")
     return 0
 
 
@@ -756,6 +886,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "mine": _cmd_mine,
     "calibrate": _cmd_calibrate,
+    "report": _cmd_report,
     "probe": _cmd_probe,
 }
 

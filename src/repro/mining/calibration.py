@@ -81,7 +81,6 @@ import hashlib
 import json
 import os
 import platform
-import time
 import warnings
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -92,6 +91,7 @@ import numpy as np
 
 from repro.errors import ConfigError, ValidationError
 from repro.mining.policies import MatchPolicy
+from repro.obs import clock
 
 __all__ = [
     "CALIBRATION_SCHEMA",
@@ -295,6 +295,7 @@ class CalibrationProfile:
             return None
         if created.tzinfo is None:
             created = created.replace(tzinfo=timezone.utc)
+        # repro: noqa REP006 staleness compares provenance stamps, never counting state
         now = now if now is not None else datetime.now(timezone.utc)
         return (now - created).total_seconds() / 86_400.0
 
@@ -522,9 +523,9 @@ def active_profile() -> "CalibrationProfile | None":
 def _time_best(fn: Callable[[], object], repeats: int) -> float:
     best = float("inf")
     for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
+        t0 = clock.now()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, clock.now() - t0)
     return best
 
 
@@ -746,13 +747,13 @@ def probe_sharding_costs(
     from repro.mining.engines import get_engine
 
     w = workers if workers is not None else min(os.cpu_count() or 1, 8)
-    t0 = time.perf_counter()
+    t0 = clock.now()
     pool = ProcessPoolEngine(workers=w)
     try:
         pool.__enter__()
     except (OSError, RuntimeError):
         return None
-    spawn_s = time.perf_counter() - t0
+    spawn_s = clock.now() - t0
     try:
         job = MapReduceJob(
             inputs=[KeyValue(i, i) for i in range(w)],
@@ -797,28 +798,40 @@ def run_calibration(
     repeats: int = 2,
     include_sharding: bool = True,
     host: "str | None" = None,
+    recorder: "object | None" = None,
 ) -> CalibrationProfile:
     """Run the full micro-probe harness and return a fitted profile.
 
     ``quick`` shrinks the grid (used by benchmarks and tests);
     ``host=ANY_HOST`` stamps a fixture profile valid on any machine.
+    ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) traces the
+    probe phases — grid probing, threshold fitting, the sharding-cost
+    probe — as spans, with the probed cell count as a counter.
     """
+    from repro.obs.recorder import resolve_recorder
+
+    rec = resolve_recorder(recorder)  # type: ignore[arg-type]
     if repeats < 1:
         raise ConfigError(f"repeats must be >= 1, got {repeats}")
     sizes = QUICK_SIZES if quick else FULL_SIZES
     episode_counts = QUICK_EPISODES if quick else FULL_EPISODES
-    rows = probe_engine_grid(sizes, episode_counts, repeats=repeats)
-    thresholds = fit_thresholds(rows)
-    sharding = (
-        probe_sharding_costs(workers=workers, repeats=repeats)
-        if include_sharding
-        else None
-    )
+    with rec.span("probe-grid", sizes=len(sizes),
+                  episodes=len(episode_counts), repeats=repeats):
+        rows = probe_engine_grid(sizes, episode_counts, repeats=repeats)
+    rec.count("calibration.probe_cells", len(rows))
+    with rec.span("fit-thresholds"):
+        thresholds = fit_thresholds(rows)
+    with rec.span("probe-sharding", included=include_sharding):
+        sharding = (
+            probe_sharding_costs(workers=workers, repeats=repeats)
+            if include_sharding
+            else None
+        )
     return CalibrationProfile(
         thresholds=thresholds,
         sharding=sharding,
         host=host if host is not None else host_fingerprint(),
-        created=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        created=clock.utc_stamp(),
         schema=CALIBRATION_SCHEMA,
         grid={
             "sizes": list(sizes),

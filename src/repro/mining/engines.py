@@ -162,6 +162,8 @@ import numpy as np
 from repro.errors import ConfigError, ValidationError
 from repro.mapreduce.combiner import group_by_key
 from repro.mapreduce.types import KeyValue, MapReduceJob
+from repro.obs import clock as _clock
+from repro.obs.recorder import NULL_RECORDER, NullRecorder, Recorder
 from repro.resilience import faults as _faults
 from repro.resilience.supervisor import (
     BackoffPolicy,
@@ -220,6 +222,24 @@ class CountingEngine:
 
     #: registry name; subclasses override
     name: str = "abstract"
+
+    #: run telemetry sink (see :mod:`repro.obs`); the shared
+    #: :data:`~repro.obs.recorder.NULL_RECORDER` by default, so
+    #: uninstrumented runs record nothing and pay nothing.  Recorders
+    #: are parent-side only — they never cross into worker processes.
+    recorder: "Recorder | NullRecorder" = NULL_RECORDER
+
+    def set_recorder(self, recorder: "Recorder | NullRecorder") -> None:
+        """Attach a run's telemetry recorder.
+
+        Miners set this for the duration of a run (and restore the
+        null recorder after).  Stateless tiers have nothing run-scoped
+        to record — the miner-level spans already time their counting
+        calls — but accept the recorder uniformly; the supervised
+        (``sharded``) and simulated (``gpu-sim``) tiers record shard
+        dispatch and selector choices through it.
+        """
+        self.recorder = recorder
 
     def count(
         self,
@@ -397,6 +417,10 @@ class BoundEngine:
         self._db = db
         self._frozen_at_index = self._frozen(db)
         return self._index
+
+    def set_recorder(self, recorder: "Recorder | NullRecorder") -> None:
+        """Forward the run's telemetry recorder to the bound engine."""
+        self.engine.set_recorder(recorder)
 
     def __enter__(self) -> "BoundEngine":
         self.engine.__enter__()
@@ -751,6 +775,7 @@ class GpuSimEngine(CountingEngine):
         if matrix.shape[0] == 0:
             return np.zeros(0, dtype=np.int64)
         problem = MiningProblem(db, matrix, alphabet_size, policy, window)
+        choice = None
         if self._selector is not None:
             choice = self._selector.select_cached(problem)
             kernel = get_algorithm(choice.algorithm_id)(
@@ -762,6 +787,19 @@ class GpuSimEngine(CountingEngine):
             )
         result = self._sim.launch(kernel)
         self.reports.append(result.report)
+        rec = self.recorder
+        if rec.enabled:
+            # selector choices are structural (the sweep is memoized and
+            # the analytic model deterministic), so these counters stay
+            # identical across seeded runs
+            rec.count("gpu_sim.launches")
+            if choice is not None:
+                rec.count(f"gpu_sim.algo_{choice.algorithm_id}")
+                rec.gauge(
+                    "gpu_sim.threads_per_block",
+                    float(choice.threads_per_block),
+                )
+            rec.gauge("gpu_sim.last_kernel_ms", float(result.report.total_ms))
         return np.asarray(result.output, dtype=np.int64)
 
 
@@ -916,11 +954,19 @@ class _ShardJobHost:
         mapper: "Callable[[KeyValue], list]",
         pool: "ProcessPoolEngine",
         owned: bool,
+        turnaround: "list[float] | None" = None,
     ) -> None:
         self.engine = engine
         self.mapper = mapper
         self.pool = pool
         self.owned = owned
+        #: telemetry sink for per-shard submit->done latency (queue +
+        #: exec, observed parent-side: workers are never instrumented).
+        #: None when recording is off — the hot submit path then takes
+        #: no callback at all.  Completion callbacks run on executor
+        #: threads, so they only append to this plain list; the engine
+        #: folds it into the recorder afterwards, on the owning thread.
+        self.turnaround = turnaround
 
     @staticmethod
     def _stamped(record: KeyValue) -> KeyValue:
@@ -937,7 +983,14 @@ class _ShardJobHost:
         return KeyValue(record.key, payload)
 
     def submit(self, record: KeyValue) -> "Future":
-        return self.pool.submit(self.mapper, self._stamped(record))
+        fut = self.pool.submit(self.mapper, self._stamped(record))
+        sink = self.turnaround
+        if sink is not None:
+            t0 = _clock.now()
+            fut.add_done_callback(
+                lambda _f, _t0=t0, _sink=sink: _sink.append(_clock.now() - _t0)
+            )
+        return fut
 
     def inline(self, record: KeyValue) -> list:
         return list(self.mapper(record))
@@ -1548,17 +1601,44 @@ class ShardedEngine(CountingEngine):
         is the framework's own pipeline (intermediate -> group -> reduce)
         applied to the supervised map output, so results are identical
         to an unsupervised ``pool.run(job)`` on the happy path.
+
+        Telemetry: dispatch runs under a ``shard-dispatch`` span.  Shard
+        timing is the submit->done turnaround observed from the parent
+        (queue + exec together; workers are never instrumented), fed
+        through a plain-list sink the host's completion callbacks append
+        to and folded here, on the owning thread.  DegradationEvents
+        raised during the job are counted per kind and mirrored onto the
+        span.
         """
-        host = _ShardJobHost(self, job.mapper, pool, owned)
-        try:
-            mapped = ShardSupervisor(
-                host,
-                deadline_s=self.shard_deadline_s,
-                events=self.events,
-            ).map(list(job.inputs))
-        finally:
-            if owned:
-                host.pool.__exit__(None, None, None)
+        rec = self.recorder
+        turnaround: "list[float] | None" = [] if rec.enabled else None
+        events_before = len(self.events)
+        host = _ShardJobHost(self, job.mapper, pool, owned,
+                             turnaround=turnaround)
+        with rec.span("shard-dispatch", shards=len(job.inputs)) as sp:
+            try:
+                mapped = ShardSupervisor(
+                    host,
+                    deadline_s=self.shard_deadline_s,
+                    events=self.events,
+                ).map(list(job.inputs))
+            finally:
+                if owned:
+                    host.pool.__exit__(None, None, None)
+        if rec.enabled:
+            rec.count("sharded.jobs")
+            rec.count("sharded.shards", len(job.inputs))
+            new_events = self.events[events_before:]
+            for ev in new_events:
+                rec.count(f"sharded.events.{ev.kind}")
+            if turnaround:
+                sp.attrs.update(
+                    shards_timed=len(turnaround),
+                    shard_turnaround_total_s=round(sum(turnaround), 9),
+                    shard_turnaround_max_s=round(max(turnaround), 9),
+                )
+            if new_events:
+                sp.attrs["degradation_events"] = [ev.kind for ev in new_events]
         if job.intermediate is not None:
             mapped = list(job.intermediate(mapped))
         grouped = group_by_key(mapped)

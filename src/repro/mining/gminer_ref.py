@@ -11,7 +11,6 @@ configurations against.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -21,6 +20,7 @@ from repro.mining.counting import count_batch_reference
 from repro.mining.episode import Episode
 from repro.mining.miner import FrequentEpisodeMiner, MiningResult
 from repro.mining.policies import MatchPolicy
+from repro.obs import clock
 
 
 @dataclass(frozen=True)
@@ -62,14 +62,14 @@ class SerialMiner:
         )
 
     def _count(self, db: np.ndarray, episodes: list[Episode]) -> np.ndarray:
-        start = time.perf_counter()
+        start = clock.now()
         counts = count_batch_reference(
             db, episodes, self.alphabet.size, self.policy, self.window
         )
         self.last_timing = SerialTiming(
             episodes=len(episodes),
             db_length=int(np.asarray(db).size),
-            seconds=time.perf_counter() - start,
+            seconds=clock.now() - start,
         )
         return counts
 

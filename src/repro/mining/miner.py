@@ -21,6 +21,13 @@ from repro.mining.engines import CountingEngine as RegistryEngine, get_engine
 from repro.mining.episode import Episode
 from repro.mining.policies import MatchPolicy, validate_window
 from repro.mining.trie import CandidateTrie
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    resolve_recorder,
+)
+from repro.obs.report import RunReport
 
 
 class CountingEngine(Protocol):
@@ -78,6 +85,29 @@ def eliminate_level(
         counts=tuple(kept_counts),
     )
     return result, frequent
+
+
+def calibration_provenance(explicit: "object | None") -> "dict[str, object]":
+    """Describe which calibration profile shaped a run, for run reports.
+
+    ``explicit`` is a caller-supplied profile (``source: "explicit"``);
+    ``None`` resolves the ambient profile the engines would see
+    (``source: "ambient"``), and ``{"source": "none"}`` means dispatch
+    ran on built-in defaults.
+    """
+    profile, source = explicit, "explicit"
+    if profile is None:
+        from repro.mining.calibration import active_profile
+
+        profile, source = active_profile(), "ambient"
+    if profile is None:
+        return {"source": "none"}
+    return {
+        "source": source,
+        "host": getattr(profile, "host", None),
+        "created": getattr(profile, "created", None),
+        "schema": getattr(profile, "schema", None),
+    }
 
 
 @dataclass(frozen=True)
@@ -140,6 +170,15 @@ class FrequentEpisodeMiner:
         the paper's characterization workload.  If False (default), the
         A-priori generation step builds level L+1 only from level-L
         survivors — Algorithm 1 as written.
+    recorder:
+        A :class:`~repro.obs.recorder.Recorder` to trace runs into.
+        Each ``mine()`` call opens a root ``mine`` span with one
+        ``level`` span per level, records structural counters
+        (candidates, frequent survivors, trie nodes, count-cache
+        hits/misses) and, for instrumented engines, shard-dispatch and
+        gpu-sim telemetry.  ``None`` (default) records nothing at zero
+        cost; after a recorded run :attr:`last_report` holds the
+        structured :class:`~repro.obs.report.RunReport`.
     """
 
     def __init__(
@@ -152,6 +191,7 @@ class FrequentEpisodeMiner:
         max_level: int = 8,
         exhaustive_candidates: bool = False,
         calibration: "object | None" = None,
+        recorder: "Recorder | NullRecorder | None" = None,
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(
@@ -167,6 +207,8 @@ class FrequentEpisodeMiner:
         self.max_level = max_level
         self.exhaustive_candidates = exhaustive_candidates
         self.calibration = calibration
+        self.recorder = recorder
+        self._last_report: "RunReport | None" = None
         if engine is None or isinstance(engine, (str, RegistryEngine)):
             resolved = get_engine(engine or "auto")
             if calibration is not None:
@@ -207,17 +249,40 @@ class FrequentEpisodeMiner:
         """
         return tuple(getattr(self._engine, "events", ()))
 
+    @property
+    def last_report(self) -> "RunReport | None":
+        """The :class:`~repro.obs.report.RunReport` from the most recent
+        recorded run (``None`` until a ``mine()`` call runs with a real
+        recorder; unrecorded runs leave the previous report in place)."""
+        return self._last_report
+
+    def _calibration_provenance(self) -> "dict[str, object]":
+        """Which calibration profile shaped this run, for the report."""
+        return calibration_provenance(self.calibration)
+
     def mine(self, db: np.ndarray) -> MiningResult:
         """Run Algorithm 1 over ``db`` and return all frequent episodes.
 
         The counting engine's run scope brackets the whole level loop,
         so run-scoped engines (``sharded``) amortize their worker pool
         across every level of this call.
+
+        When the miner carries a recorder, the whole call runs under a
+        root ``mine`` span with one ``level`` span per level (covering
+        counting, elimination, and next-level candidate generation, so
+        level spans account for the run's wall time), and the engine
+        records through the same recorder for the duration of the call
+        — then is reset to the null recorder, because registry engines
+        may be shared singletons.
         """
         db = self.alphabet.validate_database(np.asarray(db))
         n = db.size
         if n == 0:
             raise ValidationError("cannot mine an empty database")
+        rec = resolve_recorder(self.recorder)
+        engine = self._engine
+        instrumented = hasattr(engine, "set_recorder")
+        cache = getattr(engine, "cache", None)
         levels: list[LevelResult] = []
         # every level counts through the trie batch representation:
         # generate_next_level emits tries directly, and the exhaustive /
@@ -225,31 +290,81 @@ class FrequentEpisodeMiner:
         # count_batch path (index-stable, so results are unchanged)
         candidates = CandidateTrie.from_episodes(generate_level(self.alphabet, 1))
         level = 1
-        with self._engine_scope():
-            while candidates and level <= self.max_level:
-                counts = np.asarray(self._engine(db, candidates), dtype=np.int64)
-                if counts.shape != (len(candidates),):
-                    raise MiningError(
-                        f"engine returned shape {counts.shape} for "
-                        f"{len(candidates)} candidates"
-                    )
-                result, frequent = eliminate_level(
-                    level, candidates, counts, n, self.threshold
-                )
-                levels.append(result)
-                if not frequent:
-                    break
-                level += 1
-                if self.exhaustive_candidates:
-                    candidates = CandidateTrie.from_episodes(
-                        generate_level(self.alphabet, level)
-                    )
-                else:
-                    candidates = generate_next_level(
-                        frequent,
-                        self.alphabet,
-                        contiguous=self.policy.is_contiguous,
-                    )
+        if instrumented:
+            engine.set_recorder(rec)
+        try:
+            with rec.span("mine", events=int(n), threshold=self.threshold):
+                with self._engine_scope():
+                    while candidates and level <= self.max_level:
+                        with rec.span(
+                            "level", level=level, candidates=len(candidates)
+                        ) as sp:
+                            before = (
+                                cache.stats()
+                                if rec.enabled and cache is not None
+                                else None
+                            )
+                            counts = np.asarray(
+                                self._engine(db, candidates), dtype=np.int64
+                            )
+                            if counts.shape != (len(candidates),):
+                                raise MiningError(
+                                    f"engine returned shape {counts.shape} for "
+                                    f"{len(candidates)} candidates"
+                                )
+                            result, frequent = eliminate_level(
+                                level, candidates, counts, n, self.threshold
+                            )
+                            levels.append(result)
+                            if rec.enabled:
+                                rec.count("mine.levels")
+                                rec.count("mine.candidates", result.n_candidates)
+                                rec.count("mine.frequent", result.n_frequent)
+                                rec.count("mine.trie_nodes", candidates.n_nodes)
+                                sp.attrs["frequent"] = result.n_frequent
+                                if before is not None:
+                                    after = cache.stats()
+                                    d_hits = after["hits"] - before["hits"]
+                                    d_miss = after["misses"] - before["misses"]
+                                    rec.count("cache.hits", d_hits)
+                                    rec.count("cache.misses", d_miss)
+                                    sp.attrs.update(
+                                        cache_hits=d_hits, cache_misses=d_miss
+                                    )
+                            if not frequent:
+                                break
+                            level += 1
+                            if self.exhaustive_candidates:
+                                candidates = CandidateTrie.from_episodes(
+                                    generate_level(self.alphabet, level)
+                                )
+                            else:
+                                candidates = generate_next_level(
+                                    frequent,
+                                    self.alphabet,
+                                    contiguous=self.policy.is_contiguous,
+                                )
+        finally:
+            if instrumented:
+                engine.set_recorder(NULL_RECORDER)
+        if rec.enabled:
+            self._last_report = RunReport.from_recorder(
+                rec,
+                command="mine",
+                degradation_events=self.degradation_events,
+                cache=cache.stats() if cache is not None else None,
+                calibration=self._calibration_provenance(),
+                meta={
+                    "engine": getattr(
+                        getattr(engine, "engine", engine), "name",
+                        type(engine).__name__,
+                    ),
+                    "policy": self.policy.value,
+                    "threshold": self.threshold,
+                    "n_events": int(n),
+                    "levels": len(levels),
+                },
+            )
         return MiningResult(threshold=self.threshold, levels=tuple(levels))
 
     def mine_stream(
@@ -290,5 +405,9 @@ class FrequentEpisodeMiner:
             horizon=horizon,
             max_level=self.max_level,
             exhaustive_candidates=self.exhaustive_candidates,
+            recorder=self.recorder,
         )
-        return streaming.mine_stream(source)
+        result = streaming.mine_stream(source)
+        if self.recorder is not None:
+            self._last_report = streaming.last_report
+        return result

@@ -644,10 +644,12 @@ class CountCache:
     Keys are ``(db_fingerprint, items, policy value, window)`` — every
     input the count is a function of, nothing it is not — so entries
     can never go stale: a mutated database changes its fingerprint and
-    simply misses.  ``hits``/``misses`` expose effectiveness.
+    simply misses.  ``hits``/``misses``/``evictions`` expose
+    effectiveness; :meth:`stats` bundles them (plus the current size)
+    for the telemetry recorder (:mod:`repro.obs`) and run reports.
     """
 
-    __slots__ = ("max_entries", "hits", "misses", "_data")
+    __slots__ = ("max_entries", "hits", "misses", "evictions", "_data")
 
     def __init__(self, max_entries: int = 65536) -> None:
         if max_entries < 1:
@@ -657,6 +659,7 @@ class CountCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._data: "dict[tuple, int]" = {}
 
     def get(self, key: tuple) -> "int | None":
@@ -672,6 +675,7 @@ class CountCache:
         self._data.pop(key, None)
         while len(self._data) >= self.max_entries:
             self._data.pop(next(iter(self._data)))
+            self.evictions += 1
         self._data[key] = value
 
     def __len__(self) -> int:
@@ -681,11 +685,13 @@ class CountCache:
         self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> "dict[str, int]":
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "entries": len(self._data),
         }
 

@@ -58,7 +58,12 @@ from repro.mining.engines import (
     get_engine,
 )
 from repro.mining.episode import Episode, episodes_to_matrix
-from repro.mining.miner import LevelResult, MiningResult, eliminate_level
+from repro.mining.miner import (
+    LevelResult,
+    MiningResult,
+    calibration_provenance,
+    eliminate_level,
+)
 from repro.mining.policies import MatchPolicy, validate_window
 from repro.mining.spanning import (
     advance_expiring,
@@ -69,6 +74,13 @@ from repro.mining.spanning import (
     hop_subsequence_summary,
 )
 from repro.mining.trie import CandidateTrie, CountCache, cached_count_batch
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    resolve_recorder,
+)
+from repro.obs.report import RunReport
 from repro.streaming.checkpoint import read_checkpoint, write_checkpoint
 from repro.streaming.sources import StreamSource, as_stream_source
 from repro.streaming.store import EpisodeStateStore
@@ -170,6 +182,14 @@ class StreamingMiner:
     caps the retained backfill prefix at the trailing ``retention``
     events; carried counts stay exact, promotion backfill over the
     capped prefix yields exact lower bounds.
+
+    ``recorder`` (a :class:`~repro.obs.recorder.Recorder`) traces the
+    stream: one ``chunk`` span per update carrying the
+    incremental-vs-recount path decision, counters for events ingested,
+    promotions/demotions, and backfill cost, plus whatever the engine
+    records (shard dispatch, gpu-sim launches).  :attr:`last_report`
+    snapshots the accumulated telemetry into a
+    :class:`~repro.obs.report.RunReport` on demand.
     """
 
     def __init__(
@@ -185,6 +205,7 @@ class StreamingMiner:
         max_level: int = 8,
         exhaustive_candidates: bool = False,
         retention: "int | None" = None,
+        recorder: "Recorder | NullRecorder | None" = None,
     ) -> None:
         if not 0.0 <= threshold < 1.0:
             raise ValidationError(
@@ -256,6 +277,15 @@ class StreamingMiner:
         self._total = 0
         self._chunk_index = 0
         self._levels: "tuple[LevelResult, ...]" = ()
+        #: run telemetry (None -> the zero-cost null recorder)
+        self.recorder = recorder
+        #: which update path the last chunk took, for the chunk span:
+        #: "incremental" (landmark carry), "short-circuit" (windowed
+        #: no-op slide), or "recount" (windowed decremental fold)
+        self._last_path = ""
+        #: supervision events accumulated across the whole stream (the
+        #: engine's list resets per run scope; reports want all of them)
+        self._sup_events: "list" = []
 
     # -- public surface ------------------------------------------------
 
@@ -274,6 +304,39 @@ class StreamingMiner:
         """Chunks consumed so far (== the next chunk's index)."""
         return self._chunk_index
 
+    @property
+    def last_report(self) -> "RunReport | None":
+        """Snapshot the stream's telemetry into a
+        :class:`~repro.obs.report.RunReport` (``None`` without a real
+        recorder).
+
+        Built on access rather than per chunk, so long streams pay
+        nothing between reads; each access reflects every chunk
+        consumed so far.
+        """
+        rec = self.recorder
+        if rec is None or not rec.enabled:
+            return None
+        return RunReport.from_recorder(
+            rec,
+            command="stream",
+            degradation_events=tuple(self._sup_events),
+            cache=self._count_cache.stats(),
+            calibration=calibration_provenance(self.calibration),
+            meta={
+                "engine": getattr(
+                    self._engine, "name", type(self._engine).__name__
+                ),
+                "mode": self.mode,
+                "horizon": self.horizon,
+                "retention": self.retention,
+                "policy": self.policy.value,
+                "threshold": self.threshold,
+                "chunks": int(self._chunk_index),
+                "total_events": int(self._total),
+            },
+        )
+
     def update(self, chunk: np.ndarray) -> StreamUpdate:
         """Fold one arriving chunk into the mining state.
 
@@ -284,13 +347,37 @@ class StreamingMiner:
         (``sharded``) spawn at most one worker pool per stream.
         """
         chunk = self._validate_chunk(chunk)
-        with self._engine:
-            seen = len(getattr(self._engine, "events", ()))
-            if self.mode == "landmark":
-                promoted, demoted = self._update_landmark(chunk)
-            else:
-                promoted, demoted = self._update_windowed(chunk)
-            events = tuple(getattr(self._engine, "events", ()))[seen:]
+        rec = resolve_recorder(self.recorder)
+        instrumented = hasattr(self._engine, "set_recorder")
+        if instrumented:
+            self._engine.set_recorder(rec)
+        try:
+            with rec.span(
+                "chunk", index=self._chunk_index, events=int(chunk.size)
+            ) as sp:
+                with self._engine:
+                    seen = len(getattr(self._engine, "events", ()))
+                    if self.mode == "landmark":
+                        promoted, demoted = self._update_landmark(chunk)
+                    else:
+                        promoted, demoted = self._update_windowed(chunk)
+                    events = tuple(getattr(self._engine, "events", ()))[seen:]
+                if rec.enabled:
+                    rec.count("stream.chunks")
+                    rec.count("stream.events_ingested", int(chunk.size))
+                    rec.count("stream.promoted", len(promoted))
+                    rec.count("stream.demoted", len(demoted))
+                    rec.count(f"stream.path.{self._last_path}")
+                    sp.attrs.update(
+                        path=self._last_path,
+                        promoted=len(promoted),
+                        demoted=len(demoted),
+                        n_tracked=self._store.n_tracked,
+                    )
+        finally:
+            if instrumented:
+                self._engine.set_recorder(NULL_RECORDER)
+        self._sup_events.extend(events)
         self._chunk_index += 1
         return StreamUpdate(
             chunk_index=self._chunk_index - 1,
@@ -554,6 +641,7 @@ class StreamingMiner:
     def _update_landmark(
         self, chunk: np.ndarray
     ) -> "tuple[tuple[Episode, ...], tuple[Episode, ...]]":
+        self._last_path = "incremental"
         self._store.advance(chunk)
         self._buf.append(chunk)
         self._total += int(chunk.size)
@@ -590,6 +678,13 @@ class StreamingMiner:
                 level, candidates, self._buf.view,
                 history_start=history_start,
             )
+            if pro:
+                # promotion backfill cost: each promoted episode was
+                # re-counted over the retained prefix (the expensive
+                # part of a landmark reconcile)
+                resolve_recorder(self.recorder).count(
+                    "stream.backfill_episodes", len(pro)
+                )
             promoted.extend(pro)
             demoted.extend(dem)
             used_levels.add(level)
@@ -654,11 +749,14 @@ class StreamingMiner:
             # size-0 chunk, or a slide that shifted identical content in
             # and out: the window is event-for-event what it was, so the
             # previous level results are already the answer
+            self._last_path = "short-circuit"
             return (), ()
         self._win_prev = window
         if window.size == 0:
+            self._last_path = "short-circuit"
             self._levels = ()
             return (), ()
+        self._last_path = "recount"
         self._reconcile_windowed(int(window.size))
         return (), ()
 

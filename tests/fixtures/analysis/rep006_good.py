@@ -1,9 +1,12 @@
-"""REP006 good fixture: ordering from stream positions, not clocks."""
+"""REP006 good fixture: positions for ordering, the seam for timing."""
 import time
+
+from repro.obs import clock
 
 
 def count_chunk(db, episodes, position):
+    probe_start = clock.now()              # the sanctioned timing seam
     counts = [len(db)] * len(episodes)
     sequence_number = position + len(db)   # position-derived, replayable
     time.sleep(0)                          # sleeps are not clock *reads*
-    return counts, sequence_number
+    return counts, sequence_number, clock.now() - probe_start

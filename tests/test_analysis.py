@@ -58,7 +58,7 @@ FIXTURE_CASES = {
     "rep004_good.py": ("src/repro/resilience/fixture_mod.py", []),
     "rep005_bad.py": ("src/repro/mapreduce/fixture_mod.py", ["REP005"] * 4),
     "rep005_good.py": ("src/repro/mapreduce/fixture_mod.py", []),
-    "rep006_bad.py": ("src/repro/streaming/fixture_mod.py", ["REP006"] * 3),
+    "rep006_bad.py": ("src/repro/streaming/fixture_mod.py", ["REP006"] * 5),
     "rep006_good.py": ("src/repro/streaming/fixture_mod.py", []),
 }
 
@@ -129,8 +129,33 @@ def test_rep006_only_patrols_counting_packages():
     assert [f.rule_id for f in check(source, "src/repro/mining/x.py")] == [
         "REP006"
     ]
-    assert check(source, "src/repro/mining/calibration.py") == []
+    # no module-level exemptions since PR 10: measurement code times
+    # through the repro.obs.clock seam instead
+    assert [
+        f.rule_id for f in check(source, "src/repro/mining/calibration.py")
+    ] == ["REP006"]
     assert check(source, "src/repro/resilience/backoff.py") == []
+
+
+def test_rep006_clock_seam_is_sanctioned():
+    source = (
+        "from repro.obs import clock\n"
+        "start = clock.now()\n"
+        "stamp = clock.utc_stamp()\n"
+    )
+    assert check(source, "src/repro/mining/x.py") == []
+
+
+def test_rep006_catches_bare_name_imports():
+    source = (
+        "from time import perf_counter as tick\n"
+        "def f(db):\n"
+        "    t0 = tick()\n"
+        "    return len(db), tick() - t0\n"
+    )
+    findings = check(source, "src/repro/streaming/x.py")
+    assert [f.rule_id for f in findings] == ["REP006"] * 3
+    assert [f.line for f in findings] == [1, 3, 4]
 
 
 # ---------------------------------------------------------------------------
@@ -398,6 +423,7 @@ def test_mypy_strict_packages():
             "src/repro/mining/calibration.py",
             "src/repro/streaming",
             "src/repro/resilience",
+            "src/repro/obs",
         ],
         capture_output=True,
         text=True,

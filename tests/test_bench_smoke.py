@@ -47,6 +47,10 @@ def test_engine_throughput_no_regression():
         # the flat-vs-trie checksum equality is machine-independent and
         # gated hard below; the speedup floor stays advisory in tier-1
         trie_batch=dict(n=8_000, alphabet_size=12),
+        # a scaled-down telemetry workload: the overhead ceilings are
+        # relative and within-process, so they gate hard at any size
+        # (the absolute-jitter slack in check_telemetry absorbs noise)
+        telemetry=dict(n=20_000, n_episodes=200, repeats=3),
     )
     problems = check_regression.compare(reference, fresh)
     problems += check_regression.check_invariants(fresh, min_speedup=2.0)
@@ -56,6 +60,7 @@ def test_engine_throughput_no_regression():
     problems += check_regression.check_auto_calibration(fresh)
     problems += check_regression.check_streaming(reference, fresh)
     problems += check_regression.check_trie_batch(fresh)
+    problems += check_regression.check_telemetry(fresh)
     # the simulated series is deterministic, so its checksum/timing gate
     # is exact even inside tier-1 (timing drift counts as correctness:
     # it means the analytic model changed without a snapshot regen)
@@ -65,10 +70,13 @@ def test_engine_throughput_no_regression():
         # counting bugs, plus the streaming floor: incremental losing to
         # the per-chunk recount (or the floor going unchecked) is a
         # within-process contract violation, not hardware variance
+        # telemetry overhead is likewise within-process: the NullRecorder
+        # getting expensive is an observability-layer bug, not variance
         return (
             "checksum" in p
             or "per-chunk recount" in p
             or "speedup_vs_recount" in p
+            or "telemetry_overhead" in p
         )
 
     correctness = [p for p in problems if _hard(p)]

@@ -210,9 +210,22 @@ class TestCountCache:
         cache.put(("k",), 9)
         cache.get(("k",))
         cache.get(("missing",))
-        assert cache.stats() == {"hits": 1, "misses": 1, "entries": 1}
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "entries": 1,
+        }
         cache.clear()
-        assert cache.stats() == {"hits": 0, "misses": 0, "entries": 0}
+        assert cache.stats() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }
+
+    def test_evictions_counted(self):
+        cache = CountCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.put(("c",), 3)  # evicts ("a",), the LRU entry
+        assert cache.stats()["evictions"] == 1
+        assert cache.stats()["entries"] == 2
+        assert cache.get(("a",)) is None
 
 
 class _SpyEngine:
